@@ -1,0 +1,443 @@
+package rpcc
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation section (§5). One benchmark per figure: each iteration runs
+// the figure's full parameter sweep (one simulation per strategy × sweep
+// point) at a reduced simulated duration, and reports the figure's
+// y-values as custom benchmark metrics so the series appear directly in
+// `go test -bench` output. Absolute numbers depend on the simulated
+// duration; the SHAPES — who wins, by what factor, where the crossovers
+// fall — are the reproduction targets and are asserted in the test suite.
+//
+// Figure index:
+//
+//	BenchmarkFig7a…c — network traffic vs update interval / request
+//	                   interval / cache number (paper Fig 7)
+//	BenchmarkFig8a…c — query latency over the same sweeps (paper Fig 8)
+//	BenchmarkFig9a/b — traffic and latency vs invalidation TTL on the
+//	                   single-hot-item topology (paper Fig 9)
+//	BenchmarkRelayCountVsTTL — the §5.3 relay-population series
+//	BenchmarkAblation*       — design-choice ablations (DESIGN.md A1–A4)
+//	BenchmarkSim*            — substrate micro-benchmarks
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/manetlab/rpcc/internal/experiment"
+	"github.com/manetlab/rpcc/internal/geo"
+	"github.com/manetlab/rpcc/internal/radio"
+	"github.com/manetlab/rpcc/internal/sim"
+)
+
+// benchSimTime keeps one full figure sweep around a few seconds of wall
+// time. Use cmd/figures -simtime 5h for the paper-duration reproduction.
+const benchSimTime = 10 * time.Minute
+
+// benchFigure runs the identified figure sweep each iteration and reports
+// the mean y-value of every strategy's series as a custom metric.
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	var spec experiment.SweepSpec
+	found := false
+	for _, s := range experiment.AllFigureSpecs() {
+		if s.ID == id {
+			spec, found = s, true
+			break
+		}
+	}
+	if !found {
+		b.Fatalf("unknown figure %q", id)
+	}
+	base := experiment.DefaultConfig(experiment.StrategyRPCCSC, 1)
+	base.SimTime = benchSimTime
+
+	var fig experiment.Figure
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, err = experiment.RunSweep(spec, base)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	for _, series := range fig.Series {
+		var sum float64
+		for _, pt := range series.Points {
+			sum += spec.Metric(pt.Result)
+		}
+		mean := sum / float64(len(series.Points))
+		b.ReportMetric(mean, fmt.Sprintf("%s_%s", series.Strategy, yUnit(spec)))
+	}
+}
+
+func yUnit(spec experiment.SweepSpec) string {
+	if spec.YLabel == "messages" {
+		return "msgs"
+	}
+	if spec.YLabel == "relay peers" {
+		return "relays"
+	}
+	return "ms"
+}
+
+// BenchmarkFig7aTrafficVsUpdateInterval regenerates paper Fig 7(a).
+func BenchmarkFig7aTrafficVsUpdateInterval(b *testing.B) { benchFigure(b, "fig7a") }
+
+// BenchmarkFig7bTrafficVsQueryInterval regenerates paper Fig 7(b).
+func BenchmarkFig7bTrafficVsQueryInterval(b *testing.B) { benchFigure(b, "fig7b") }
+
+// BenchmarkFig7cTrafficVsCacheNum regenerates paper Fig 7(c).
+func BenchmarkFig7cTrafficVsCacheNum(b *testing.B) { benchFigure(b, "fig7c") }
+
+// BenchmarkFig8aLatencyVsUpdateInterval regenerates paper Fig 8(a).
+func BenchmarkFig8aLatencyVsUpdateInterval(b *testing.B) { benchFigure(b, "fig8a") }
+
+// BenchmarkFig8bLatencyVsQueryInterval regenerates paper Fig 8(b).
+func BenchmarkFig8bLatencyVsQueryInterval(b *testing.B) { benchFigure(b, "fig8b") }
+
+// BenchmarkFig8cLatencyVsCacheNum regenerates paper Fig 8(c).
+func BenchmarkFig8cLatencyVsCacheNum(b *testing.B) { benchFigure(b, "fig8c") }
+
+// BenchmarkFig9aTrafficVsTTL regenerates paper Fig 9(a).
+func BenchmarkFig9aTrafficVsTTL(b *testing.B) { benchFigure(b, "fig9a") }
+
+// BenchmarkFig9bLatencyVsTTL regenerates paper Fig 9(b).
+func BenchmarkFig9bLatencyVsTTL(b *testing.B) { benchFigure(b, "fig9b") }
+
+// BenchmarkRelayCountVsTTL regenerates the §5.3 relay-population series
+// (DESIGN.md ablation A3).
+func BenchmarkRelayCountVsTTL(b *testing.B) { benchFigure(b, "relay-count") }
+
+// BenchmarkAblationOmega sweeps the history weight ω of Eq 4.2.2–4.2.5
+// (DESIGN.md A1) and reports the relay population and traffic under each.
+func BenchmarkAblationOmega(b *testing.B) {
+	omegas := []float64{0, 0.2, 0.5, 1}
+	results := make([]experiment.Result, len(omegas))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, omega := range omegas {
+			cfg := experiment.DefaultConfig(experiment.StrategyRPCCSC, 1)
+			cfg.SimTime = benchSimTime
+			cfg.Omega = omega
+			r, err := experiment.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			results[j] = r
+		}
+	}
+	b.StopTimer()
+	for j, omega := range omegas {
+		b.ReportMetric(float64(results[j].RelayCount), fmt.Sprintf("omega%.1f_relays", omega))
+	}
+}
+
+// BenchmarkAblationAdaptivePull compares the push-with-adaptive-pull
+// extension against simple pull (DESIGN.md A2): same workload, report
+// both traffic totals.
+func BenchmarkAblationAdaptivePull(b *testing.B) {
+	var adaptive, pull experiment.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range []experiment.StrategyKind{experiment.StrategyAdaptive, experiment.StrategyPull} {
+			cfg := experiment.DefaultConfig(s, 1)
+			cfg.SimTime = benchSimTime
+			r, err := experiment.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if s == experiment.StrategyAdaptive {
+				adaptive = r
+			} else {
+				pull = r
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(adaptive.TotalTx), "adaptive_msgs")
+	b.ReportMetric(float64(pull.TotalTx), "pull_msgs")
+	b.ReportMetric(float64(adaptive.MeanLatency.Milliseconds()), "adaptive_ms")
+}
+
+// BenchmarkAblationEagerRefresh quantifies the eager relay-refresh
+// extension (DESIGN.md A4): RPCC(SC) with and without it.
+func BenchmarkAblationEagerRefresh(b *testing.B) {
+	var eager, faithful experiment.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, disable := range []bool{false, true} {
+			cfg := experiment.DefaultConfig(experiment.StrategyRPCCSC, 1)
+			cfg.SimTime = benchSimTime
+			cfg.DisableEagerRefresh = disable
+			r, err := experiment.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if disable {
+				faithful = r
+			} else {
+				eager = r
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(eager.TotalTx), "eager_msgs")
+	b.ReportMetric(float64(faithful.TotalTx), "fig6c_msgs")
+	b.ReportMetric(float64(eager.MeanLatency.Milliseconds()), "eager_ms")
+	b.ReportMetric(float64(faithful.MeanLatency.Milliseconds()), "fig6c_ms")
+}
+
+// BenchmarkSimKernelEvents measures raw discrete-event throughput.
+func BenchmarkSimKernelEvents(b *testing.B) {
+	b.ReportAllocs()
+	k := sim.NewKernel()
+	var tick func(*sim.Kernel)
+	n := 0
+	tick = func(kk *sim.Kernel) {
+		n++
+		if n < b.N {
+			kk.After(time.Millisecond, "tick", tick)
+		}
+	}
+	b.ResetTimer()
+	k.After(time.Millisecond, "tick", tick)
+	k.Run()
+}
+
+// BenchmarkRadioGraphBuild measures the unit-disk snapshot rebuild that
+// runs every topology-refresh interval (50 nodes, Table 1 geometry).
+func BenchmarkRadioGraphBuild(b *testing.B) {
+	b.ReportAllocs()
+	terrain, err := geo.NewTerrain(1500, 1500)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	pts := make([]geo.Point, 50)
+	for i := range pts {
+		pts[i] = terrain.RandomPoint(r)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := radio.NewGraph(pts, nil, 250, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRadioBFS measures the shortest-path query used per unicast hop.
+func BenchmarkRadioBFS(b *testing.B) {
+	terrain, _ := geo.NewTerrain(1500, 1500)
+	r := rand.New(rand.NewSource(1))
+	pts := make([]geo.Point, 50)
+	for i := range pts {
+		pts[i] = terrain.RandomPoint(r)
+	}
+	g, err := radio.NewGraph(pts, nil, 250, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.NextHop(i%50, (i+25)%50)
+	}
+}
+
+// BenchmarkFullScenarioRPCC measures end-to-end simulation speed: one
+// Table 1 run (50 peers, RPCC-SC) per iteration at benchSimTime.
+func BenchmarkFullScenarioRPCC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiment.DefaultConfig(experiment.StrategyRPCCSC, int64(i)+1)
+		cfg.SimTime = benchSimTime
+		if _, err := experiment.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationDSRRouting swaps the idealised oracle routing layer
+// for DSR-style on-demand source routing (DESIGN.md A5) and reports the
+// traffic with routing control overhead included.
+func BenchmarkAblationDSRRouting(b *testing.B) {
+	var oracle, dsr experiment.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, useDSR := range []bool{false, true} {
+			cfg := experiment.DefaultConfig(experiment.StrategyRPCCSC, 1)
+			cfg.SimTime = benchSimTime
+			cfg.UseDSRRouting = useDSR
+			r, err := experiment.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if useDSR {
+				dsr = r
+			} else {
+				oracle = r
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(oracle.TotalTx), "oracle_msgs")
+	b.ReportMetric(float64(dsr.TotalTx), "dsr_msgs")
+	b.ReportMetric(float64(dsr.MeanLatency.Milliseconds()), "dsr_ms")
+	b.ReportMetric(100*dsr.AnswerRate(), "dsr_answered_pct")
+}
+
+// BenchmarkAblationAdaptiveTTN enables RPCC's adaptive invalidation
+// interval (§6 future work, DESIGN.md A6) under a slow-update workload,
+// where quiet sources should save most of their periodic floods.
+func BenchmarkAblationAdaptiveTTN(b *testing.B) {
+	var fixed, adaptive experiment.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, on := range []bool{false, true} {
+			cfg := experiment.DefaultConfig(experiment.StrategyRPCCDC, 1)
+			cfg.SimTime = benchSimTime
+			cfg.UpdateInterval = 8 * time.Minute // quiet items
+			cfg.AdaptiveTTN = on
+			r, err := experiment.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if on {
+				adaptive = r
+			} else {
+				fixed = r
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(fixed.TotalTx), "fixedTTN_msgs")
+	b.ReportMetric(float64(adaptive.TotalTx), "adaptiveTTN_msgs")
+}
+
+// BenchmarkAblationLossRate sweeps the wireless loss rate (DESIGN.md A7)
+// and reports RPCC(SC)'s answer rate and traffic under each — the
+// robustness dimension the paper's §1 problem statement raises ("higher
+// packets loss rate") but its evaluation does not quantify.
+func BenchmarkAblationLossRate(b *testing.B) {
+	rates := []float64{0, 0.1, 0.2, 0.3}
+	results := make([]experiment.Result, len(rates))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, rate := range rates {
+			cfg := experiment.DefaultConfig(experiment.StrategyRPCCSC, 1)
+			cfg.SimTime = benchSimTime
+			cfg.LossRate = rate
+			r, err := experiment.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			results[j] = r
+		}
+	}
+	b.StopTimer()
+	for j, rate := range rates {
+		b.ReportMetric(100*results[j].AnswerRate(), fmt.Sprintf("loss%.0f%%_answered_pct", 100*rate))
+	}
+}
+
+// BenchmarkAblationGPSCE runs the location-aided comparator from the
+// paper's related work (DESIGN.md A8): eager geo-unicast invalidation
+// with per-source state. Reports traffic, latency and the staleness
+// violations its lost invalidations cause — the quantified version of
+// the paper's qualitative argument against GPS-based schemes.
+func BenchmarkAblationGPSCE(b *testing.B) {
+	var gpsce, push experiment.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range []experiment.StrategyKind{experiment.StrategyGPSCE, experiment.StrategyPush} {
+			cfg := experiment.DefaultConfig(s, 1)
+			cfg.SimTime = benchSimTime
+			r, err := experiment.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if s == experiment.StrategyGPSCE {
+				gpsce = r
+			} else {
+				push = r
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(gpsce.TotalTx), "gpsce_msgs")
+	b.ReportMetric(float64(push.TotalTx), "push_msgs")
+	b.ReportMetric(float64(gpsce.MeanLatency.Milliseconds()), "gpsce_ms")
+	b.ReportMetric(float64(gpsce.Violations), "gpsce_staleViol")
+}
+
+// BenchmarkAblationMobilityModel reruns the default scenario under the
+// random-direction mobility model (DESIGN.md A9): if the strategy
+// ordering held only under random waypoint's centre-density artefact, it
+// would show here.
+func BenchmarkAblationMobilityModel(b *testing.B) {
+	type cell struct{ wp, rd experiment.Result }
+	results := map[experiment.StrategyKind]*cell{}
+	strategies := []experiment.StrategyKind{experiment.StrategyPull, experiment.StrategyRPCCSC}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range strategies {
+			c := &cell{}
+			for _, rd := range []bool{false, true} {
+				cfg := experiment.DefaultConfig(s, 1)
+				cfg.SimTime = benchSimTime
+				cfg.RandomDirection = rd
+				r, err := experiment.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rd {
+					c.rd = r
+				} else {
+					c.wp = r
+				}
+			}
+			results[s] = c
+		}
+	}
+	b.StopTimer()
+	for _, s := range strategies {
+		b.ReportMetric(float64(results[s].wp.TotalTx), fmt.Sprintf("%s_waypoint_msgs", s))
+		b.ReportMetric(float64(results[s].rd.TotalTx), fmt.Sprintf("%s_randdir_msgs", s))
+	}
+}
+
+// BenchmarkAblationSerializedRadio swaps the idealised parallel radio for
+// a single serialized transmitter per node (DESIGN.md A10): flood-heavy
+// pull should feel MAC queueing hardest.
+func BenchmarkAblationSerializedRadio(b *testing.B) {
+	type pair struct{ ideal, serial experiment.Result }
+	results := map[experiment.StrategyKind]*pair{}
+	strategies := []experiment.StrategyKind{experiment.StrategyPull, experiment.StrategyRPCCSC}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range strategies {
+			p := &pair{}
+			for _, serialize := range []bool{false, true} {
+				cfg := experiment.DefaultConfig(s, 1)
+				cfg.SimTime = benchSimTime
+				cfg.SerializeTx = serialize
+				r, err := experiment.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if serialize {
+					p.serial = r
+				} else {
+					p.ideal = r
+				}
+			}
+			results[s] = p
+		}
+	}
+	b.StopTimer()
+	for _, s := range strategies {
+		b.ReportMetric(float64(results[s].ideal.MeanLatency.Milliseconds()), fmt.Sprintf("%s_ideal_ms", s))
+		b.ReportMetric(float64(results[s].serial.MeanLatency.Milliseconds()), fmt.Sprintf("%s_mac_ms", s))
+	}
+}

@@ -1,0 +1,92 @@
+// Command figures regenerates every figure of the paper's evaluation
+// section (Fig 7a–c, 8a–c, 9a–b, plus the §5.3 relay-count series) as
+// aligned text tables: one simulation per (strategy, sweep-point) pair.
+//
+// A full 5-hour Table 1 reproduction:
+//
+//	figures -simtime 5h
+//
+// A quick pass (about a minute of wall time):
+//
+//	figures -simtime 30m
+//
+// Single figure:
+//
+//	figures -only fig9a
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/manetlab/rpcc/internal/experiment"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		simTime  = flag.Duration("simtime", time.Hour, "simulated duration per run (paper: 5h)")
+		seed     = flag.Int64("seed", 1, "root random seed")
+		only     = flag.String("only", "", "run a single figure (fig7a..fig9b, relay-count)")
+		format   = flag.String("format", "table", "output format: table | csv")
+		replicas = flag.Int("replicas", 1, "independent seeds per point, averaged")
+	)
+	flag.Parse()
+	if *format != "table" && *format != "csv" {
+		return fmt.Errorf("unknown format %q", *format)
+	}
+
+	specs := experiment.AllFigureSpecs()
+	if *only != "" {
+		var filtered []experiment.SweepSpec
+		for _, s := range specs {
+			if s.ID == *only {
+				filtered = append(filtered, s)
+			}
+		}
+		if len(filtered) == 0 {
+			return fmt.Errorf("unknown figure %q", *only)
+		}
+		specs = filtered
+	}
+
+	for _, spec := range specs {
+		base := experiment.DefaultConfig(experiment.StrategyRPCCSC, *seed)
+		base.SimTime = *simTime
+		start := time.Now()
+		fig, err := experiment.RunSweepReplicated(spec, base, *replicas)
+		if err != nil {
+			return err
+		}
+		if *format == "csv" {
+			fmt.Print(renderCSV(fig, spec))
+		} else {
+			fmt.Print(experiment.RenderTable(fig, spec.Metric))
+			fmt.Printf("(%d runs, %v wall time)\n", len(spec.Strategies)*len(spec.Xs)**replicas, time.Since(start).Round(time.Millisecond))
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// renderCSV emits one figure as CSV: figure,x,strategy,y — the layout
+// plotting scripts want.
+func renderCSV(fig experiment.Figure, spec experiment.SweepSpec) string {
+	var b strings.Builder
+	b.WriteString("figure,x,strategy,y\n")
+	for _, series := range fig.Series {
+		for _, pt := range series.Points {
+			fmt.Fprintf(&b, "%s,%g,%s,%g\n", fig.ID, pt.X, series.Strategy, spec.Metric(pt.Result))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,87 @@
+// Command rpccsim runs one cache-consistency simulation scenario and
+// prints its metrics. Every Table 1 parameter of the paper is exposed as
+// a flag; the defaults reproduce the paper's setup.
+//
+// Examples:
+//
+//	rpccsim -strategy rpcc-sc
+//	rpccsim -strategy pull -simtime 1h -seed 3
+//	rpccsim -strategy rpcc-sc -invttl 7 -single
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/manetlab/rpcc/internal/experiment"
+	"github.com/manetlab/rpcc/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rpccsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		strategy = flag.String("strategy", "rpcc-sc", "pull | push | rpcc-sc | rpcc-dc | rpcc-wc | rpcc-hy | adaptive-pull")
+		seed     = flag.Int64("seed", 1, "root random seed")
+		peers    = flag.Int("peers", 50, "number of mobile peers (N_Peers)")
+		area     = flag.Float64("area", 1500, "square terrain side in metres (T_Area)")
+		cacheNum = flag.Int("cachenum", 10, "cache entries per host (C_Num)")
+		rng      = flag.Float64("range", 250, "radio range in metres (C_Range)")
+		simTime  = flag.Duration("simtime", 5*time.Hour, "simulated duration (T_Sim)")
+		update   = flag.Duration("update", 2*time.Minute, "mean update interval (I_Update)")
+		query    = flag.Duration("query", 20*time.Second, "mean query interval (I_Query)")
+		brTTL    = flag.Int("brttl", 8, "broadcast TTL for push/pull and fallbacks (TTL_BR)")
+		invTTL   = flag.Int("invttl", 3, "RPCC invalidation TTL")
+		ttn      = flag.Duration("ttn", 2*time.Minute, "source broadcast interval (TTN_OP)")
+		ttr      = flag.Duration("ttr", 90*time.Second, "relay freshness window (TTR_RP)")
+		ttp      = flag.Duration("ttp", 4*time.Minute, "cache Δ window (TTP_CP)")
+		swi      = flag.Duration("switch", 5*time.Minute, "mean connected dwell (I_Switch)")
+		noChurn  = flag.Bool("nochurn", false, "disable disconnection/reconnection churn")
+		single   = flag.Bool("single", false, "Fig 9 scenario: one source, its item cached by all peers")
+		detail   = flag.Bool("detail", true, "print the per-kind traffic breakdown")
+		useDSR   = flag.Bool("dsr", false, "route unicasts with DSR-style discovery instead of the oracle")
+		loss     = flag.Float64("loss", 0, "per-reception link loss probability [0,1)")
+		adaptTTN = flag.Bool("adaptivettn", false, "enable RPCC's adaptive invalidation interval (§6)")
+	)
+	flag.Parse()
+
+	cfg := experiment.DefaultConfig(experiment.StrategyKind(*strategy), *seed)
+	cfg.NPeers = *peers
+	cfg.AreaWidth, cfg.AreaHeight = *area, *area
+	cfg.CacheNum = *cacheNum
+	cfg.CommRange = *rng
+	cfg.SimTime = *simTime
+	cfg.UpdateInterval = *update
+	cfg.QueryInterval = *query
+	cfg.BroadcastTTL = *brTTL
+	cfg.InvalidationTTL = *invTTL
+	cfg.TTN, cfg.TTR, cfg.TTP = *ttn, *ttr, *ttp
+	cfg.SwitchInterval = *swi
+	cfg.ChurnDisabled = *noChurn
+	if *single {
+		cfg.Popularity = workload.PopularitySingle
+	}
+	cfg.UseDSRRouting = *useDSR
+	cfg.LossRate = *loss
+	cfg.AdaptiveTTN = *adaptTTN
+
+	start := time.Now()
+	res, err := experiment.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("simulated %v of %d peers in %v wall time\n\n", cfg.SimTime, cfg.NPeers, time.Since(start).Round(time.Millisecond))
+	if *detail {
+		fmt.Print(experiment.RenderDetail(res))
+	} else {
+		fmt.Println(res)
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module github.com/manetlab/rpcc
+
+go 1.22

@@ -1,0 +1,188 @@
+// Package cache implements the per-node cooperative cache store: a bounded
+// LRU of data-item copies (capacity C_Num in the paper's Table 1) with the
+// access accounting the relay-peer selection criterion needs (N_a, the
+// number of cache accesses per period, feeding the peer access rate of
+// Eq 4.2.1).
+//
+// Placement is query-driven ("cache what you fetched"), and discovery —
+// locating a nearby copy on a miss — is performed by the protocol layers
+// with expanding-ring DATA_REQUEST floods. The paper assumes both exist as
+// an "independent mechanism" (§3); this package provides the store those
+// mechanisms populate.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/manetlab/rpcc/internal/data"
+)
+
+// Store is one node's cache. The zero value is unusable; use NewStore.
+// Store is not safe for concurrent use: it lives inside the single-threaded
+// simulation loop.
+type Store struct {
+	capacity int
+	order    *list.List // front = most recently used; values are *entry
+	byID     map[data.ItemID]*list.Element
+	accesses uint64 // cumulative: hits + misses observed by this node
+	hits     uint64
+	puts     uint64
+	evicts   uint64
+}
+
+// entry is one cached copy plus bookkeeping.
+type entry struct {
+	copy     data.Copy
+	storedAt time.Duration
+}
+
+// NewStore creates a cache holding at most capacity items.
+func NewStore(capacity int) (*Store, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("cache: capacity %d must be > 0", capacity)
+	}
+	return &Store{
+		capacity: capacity,
+		order:    list.New(),
+		byID:     make(map[data.ItemID]*list.Element, capacity),
+	}, nil
+}
+
+// Capacity returns the configured maximum item count.
+func (s *Store) Capacity() int { return s.capacity }
+
+// Len returns the current item count.
+func (s *Store) Len() int { return s.order.Len() }
+
+// Get returns the cached copy of id and whether it was present, counting
+// the access (hit or miss) for the PAR statistic and refreshing recency.
+func (s *Store) Get(id data.ItemID) (data.Copy, bool) {
+	s.accesses++
+	el, ok := s.byID[id]
+	if !ok {
+		return data.Copy{}, false
+	}
+	s.hits++
+	s.order.MoveToFront(el)
+	return el.Value.(*entry).copy, true
+}
+
+// Peek returns the cached copy without counting an access or refreshing
+// recency — for protocol-internal inspection (e.g. a relay peer answering
+// a POLL examines its copy without that counting as local demand).
+func (s *Store) Peek(id data.ItemID) (data.Copy, bool) {
+	el, ok := s.byID[id]
+	if !ok {
+		return data.Copy{}, false
+	}
+	return el.Value.(*entry).copy, true
+}
+
+// Put inserts or refreshes a copy, evicting the least recently used entry
+// when full. Putting an older version over a newer one is rejected: caches
+// must never regress (protocols can only move copies forward).
+func (s *Store) Put(c data.Copy, now time.Duration) error {
+	_, _, err := s.PutEvict(c, now)
+	return err
+}
+
+// PutEvict is Put that additionally reports which item, if any, was
+// evicted to make room. Protocol layers need this to tear down per-item
+// roles (e.g. a relay peer whose copy is evicted must CANCEL with the
+// source host).
+func (s *Store) PutEvict(c data.Copy, now time.Duration) (evicted data.ItemID, hasEvicted bool, err error) {
+	if c.ID < 0 {
+		return 0, false, fmt.Errorf("cache: negative item id %v", c.ID)
+	}
+	if !c.Consistent() {
+		return 0, false, fmt.Errorf("cache: refusing torn copy %v v%d", c.ID, c.Version)
+	}
+	if el, ok := s.byID[c.ID]; ok {
+		e := el.Value.(*entry)
+		if c.Version < e.copy.Version {
+			return 0, false, fmt.Errorf("cache: version regression for %v: have v%d, put v%d",
+				c.ID, e.copy.Version, c.Version)
+		}
+		e.copy = c
+		e.storedAt = now
+		s.order.MoveToFront(el)
+		s.puts++
+		return 0, false, nil
+	}
+	if s.order.Len() >= s.capacity {
+		if oldest := s.order.Back(); oldest != nil {
+			evicted = oldest.Value.(*entry).copy.ID
+			hasEvicted = true
+			s.removeElement(oldest)
+			s.evicts++
+		}
+	}
+	el := s.order.PushFront(&entry{copy: c, storedAt: now})
+	s.byID[c.ID] = el
+	s.puts++
+	return evicted, hasEvicted, nil
+}
+
+// Remove drops id from the cache (e.g. on invalidation without refresh),
+// reporting whether it was present.
+func (s *Store) Remove(id data.ItemID) bool {
+	el, ok := s.byID[id]
+	if !ok {
+		return false
+	}
+	s.removeElement(el)
+	return true
+}
+
+func (s *Store) removeElement(el *list.Element) {
+	e := el.Value.(*entry)
+	delete(s.byID, e.copy.ID)
+	s.order.Remove(el)
+}
+
+// Contains reports whether id is cached, without touching recency.
+func (s *Store) Contains(id data.ItemID) bool {
+	_, ok := s.byID[id]
+	return ok
+}
+
+// StoredAt returns when the cached copy of id was written into this store.
+func (s *Store) StoredAt(id data.ItemID) (time.Duration, bool) {
+	el, ok := s.byID[id]
+	if !ok {
+		return 0, false
+	}
+	return el.Value.(*entry).storedAt, true
+}
+
+// Items returns the cached item ids sorted ascending (stable for tests and
+// iteration determinism).
+func (s *Store) Items() []data.ItemID {
+	out := make([]data.ItemID, 0, s.order.Len())
+	for id := range s.byID {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Accesses returns the cumulative access count (the basis for the paper's
+// N_a; the coefficient tracker differences it per period φ).
+func (s *Store) Accesses() uint64 { return s.accesses }
+
+// Hits returns the cumulative hit count.
+func (s *Store) Hits() uint64 { return s.hits }
+
+// HitRatio returns hits/accesses, or zero before any access.
+func (s *Store) HitRatio() float64 {
+	if s.accesses == 0 {
+		return 0
+	}
+	return float64(s.hits) / float64(s.accesses)
+}
+
+// Evictions returns how many entries LRU pressure has dropped.
+func (s *Store) Evictions() uint64 { return s.evicts }

@@ -1,0 +1,197 @@
+package churn
+
+import (
+	"testing"
+	"time"
+
+	"github.com/manetlab/rpcc/internal/sim"
+)
+
+func testConfig() Config {
+	return Config{MeanUp: 5 * time.Minute, MeanDown: time.Minute}
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"valid", testConfig(), true},
+		{"disabled ignores durations", Config{Disabled: true}, true},
+		{"zero up", Config{MeanDown: time.Minute}, false},
+		{"zero down", Config{MeanUp: time.Minute}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.cfg.Validate(); (err == nil) != tt.ok {
+				t.Errorf("Validate() = %v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestNewProcessValidation(t *testing.T) {
+	k := sim.NewKernel()
+	if _, err := NewProcess(testConfig(), 0, k); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := NewProcess(testConfig(), 5, nil); err == nil {
+		t.Error("nil kernel accepted")
+	}
+}
+
+func TestAllConnectedInitially(t *testing.T) {
+	k := sim.NewKernel()
+	p, err := NewProcess(testConfig(), 10, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if !p.Connected(i) {
+			t.Errorf("node %d not connected at t=0", i)
+		}
+		if p.Switches(i) != 0 {
+			t.Errorf("node %d has %d switches at t=0", i, p.Switches(i))
+		}
+	}
+}
+
+func TestTransitionsHappen(t *testing.T) {
+	k := sim.NewKernel(sim.WithHorizon(2 * time.Hour))
+	p, err := NewProcess(testConfig(), 20, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	total := uint64(0)
+	for i := 0; i < 20; i++ {
+		total += p.Switches(i)
+	}
+	// Mean up 5m, mean down 1m: each node flips roughly every 3m on
+	// average, ~40 flips in 2h; 20 nodes => hundreds. Just require some.
+	if total < 100 {
+		t.Fatalf("only %d transitions in 2h across 20 nodes", total)
+	}
+}
+
+func TestDisabledChurnNeverFlips(t *testing.T) {
+	k := sim.NewKernel(sim.WithHorizon(2 * time.Hour))
+	p, err := NewProcess(Config{Disabled: true}, 10, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	for i := 0; i < 10; i++ {
+		if !p.Connected(i) || p.Switches(i) != 0 {
+			t.Fatalf("node %d flipped with churn disabled", i)
+		}
+	}
+}
+
+func TestListenerSeesTransitions(t *testing.T) {
+	k := sim.NewKernel(sim.WithHorizon(time.Hour))
+	p, err := NewProcess(testConfig(), 5, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := 0
+	lastTime := time.Duration(-1)
+	p.Subscribe(func(node int, s State, at time.Duration) {
+		events++
+		if at < lastTime {
+			t.Errorf("listener time went backwards: %v after %v", at, lastTime)
+		}
+		lastTime = at
+		if s != StateConnected && s != StateDisconnected {
+			t.Errorf("listener got invalid state %v", s)
+		}
+	})
+	k.Run()
+	var total uint64
+	for i := 0; i < 5; i++ {
+		total += p.Switches(i)
+	}
+	if uint64(events) != total {
+		t.Fatalf("listener saw %d events, switches sum %d", events, total)
+	}
+}
+
+func TestDownMaskMatchesState(t *testing.T) {
+	k := sim.NewKernel()
+	p, err := NewProcess(testConfig(), 6, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ForceState(k, 2, StateDisconnected); err != nil {
+		t.Fatal(err)
+	}
+	mask := p.DownMask(nil)
+	for i, down := range mask {
+		if down != !p.Connected(i) {
+			t.Errorf("mask[%d] = %v, Connected = %v", i, down, p.Connected(i))
+		}
+	}
+	if !mask[2] {
+		t.Error("forced-down node not in mask")
+	}
+	// Reuse buffer.
+	mask2 := p.DownMask(mask)
+	if &mask2[0] != &mask[0] {
+		t.Error("DownMask reallocated despite capacity")
+	}
+}
+
+func TestForceState(t *testing.T) {
+	k := sim.NewKernel()
+	p, _ := NewProcess(Config{Disabled: true}, 3, k)
+	if err := p.ForceState(k, 9, StateDisconnected); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if err := p.ForceState(k, 0, StateInvalid); err == nil {
+		t.Error("invalid state accepted")
+	}
+	if err := p.ForceState(k, 0, StateDisconnected); err != nil {
+		t.Fatal(err)
+	}
+	if p.Connected(0) {
+		t.Error("node still connected after ForceState")
+	}
+	if p.Switches(0) != 1 {
+		t.Errorf("Switches = %d, want 1", p.Switches(0))
+	}
+	// Same-state force is a no-op.
+	if err := p.ForceState(k, 0, StateDisconnected); err != nil {
+		t.Fatal(err)
+	}
+	if p.Switches(0) != 1 {
+		t.Errorf("no-op force incremented switches to %d", p.Switches(0))
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if StateConnected.String() != "connected" ||
+		StateDisconnected.String() != "disconnected" ||
+		StateInvalid.String() != "invalid" {
+		t.Error("State.String mismatch")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []uint64 {
+		k := sim.NewKernel(sim.WithSeed(99), sim.WithHorizon(time.Hour))
+		p, _ := NewProcess(testConfig(), 10, k)
+		k.Run()
+		out := make([]uint64, 10)
+		for i := range out {
+			out[i] = p.Switches(i)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at node %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/manetlab/rpcc/internal/protocol"
+)
+
+func adaptiveConfig() Config {
+	cfg := DefaultConfig()
+	cfg.AdaptiveTTN = true
+	cfg.AdaptiveTTNMax = 4 * cfg.TTN
+	return cfg
+}
+
+func TestAdaptiveTTNValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.AdaptiveTTN = true
+	cfg.AdaptiveTTNMax = time.Second // below TTN
+	if cfg.Validate() == nil {
+		t.Fatal("adaptive cap below TTN accepted")
+	}
+	if err := adaptiveConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdaptiveTTNStretchesWhenQuiet(t *testing.T) {
+	e := newEnv(t, 3, adaptiveConfig())
+	ps := e.eng.peers[0]
+	// First tick establishes the base interval; subsequent quiet ticks
+	// stretch it toward the cap.
+	e.eng.ttnTick(e.k, 0)
+	first := ps.ttnInterval
+	for i := 0; i < 10; i++ {
+		e.eng.ttnTick(e.k, 0)
+	}
+	if ps.ttnInterval <= first {
+		t.Fatalf("interval did not stretch: %v -> %v", first, ps.ttnInterval)
+	}
+	if ps.ttnInterval > adaptiveConfig().AdaptiveTTNMax {
+		t.Fatalf("interval %v exceeded cap", ps.ttnInterval)
+	}
+}
+
+func TestAdaptiveTTNSnapsBackOnUpdate(t *testing.T) {
+	e := newEnv(t, 3, adaptiveConfig())
+	ps := e.eng.peers[0]
+	for i := 0; i < 10; i++ {
+		e.eng.ttnTick(e.k, 0)
+	}
+	stretched := ps.ttnInterval
+	if stretched <= e.eng.cfg.TTN {
+		t.Fatalf("precondition: interval not stretched (%v)", stretched)
+	}
+	e.eng.OnUpdate(e.k, 0)
+	e.eng.ttnTick(e.k, 0)
+	if ps.ttnInterval != e.eng.cfg.TTN {
+		t.Fatalf("interval after update = %v, want base %v", ps.ttnInterval, e.eng.cfg.TTN)
+	}
+}
+
+func TestAdaptiveTTNReducesQuietTraffic(t *testing.T) {
+	// Two identical runs, no updates at all: the adaptive source floods
+	// fewer INVALIDATIONs over the same horizon.
+	run := func(adaptive bool) uint64 {
+		cfg := DefaultConfig()
+		if adaptive {
+			cfg = adaptiveConfig()
+		}
+		e := newEnv(t, 4, cfg)
+		e.k.RunUntil(40 * time.Minute)
+		return e.net.Traffic().Originated(protocol.KindInvalidation)
+	}
+	fixed := run(false)
+	adaptive := run(true)
+	if adaptive >= fixed {
+		t.Fatalf("adaptive TTN originated %d invalidations, fixed %d; want fewer", adaptive, fixed)
+	}
+}
+
+func TestFixedTTNIntervalConstant(t *testing.T) {
+	e := newEnv(t, 3, DefaultConfig())
+	ps := e.eng.peers[0]
+	for i := 0; i < 5; i++ {
+		e.eng.ttnTick(e.k, 0)
+	}
+	if ps.ttnInterval != DefaultConfig().TTN {
+		t.Fatalf("fixed-mode interval drifted to %v", ps.ttnInterval)
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// CoeffSample is one node's raw activity counters at a sampling instant.
+// The tracker differences consecutive samples to obtain the per-period
+// counts N_a (cache accesses), N_s (connectivity switches) and N_m
+// (subnet moves) of §4.2.
+type CoeffSample struct {
+	Accesses uint64  // cumulative cache accesses + messages handled
+	Switches uint64  // cumulative churn transitions
+	Moves    uint64  // cumulative subnet crossings
+	CE       float64 // instantaneous coefficient of energy (Eq 4.2.7)
+}
+
+// CoeffTracker maintains one node's relay-selection coefficients.
+//
+// Per Eq 4.2.2 the peer access rate keeps a three-window history:
+//
+//	PAR_t = PAR_{t-2}·ω/4 + PAR_{t-1}·ω/2 + (N_a/φ)·(1 − ω/4 − ω/2)
+//
+// and CAR = 1/(1+PAR_t) (Eq 4.2.3). The switching and moving rates use a
+// single-term EWMA (Eq 4.2.4, 4.2.5):
+//
+//	PSR_t = PSR_{t−1}·ω + (N_s/φ)·(1−ω)
+//	PMR_t = PMR_{t−1}·ω + (N_m/φ)·(1−ω)
+//
+// with CS = 1/(1+PSR_t+PMR_t) (Eq 4.2.6).
+//
+// The paper never states the rate units, and the Table 1 thresholds only
+// become functional once units are fixed. We calibrate the access rate
+// per minute — μ_CAR = 0.15 then admits nodes handling more than ~5.7
+// events/minute, i.e. anything actually participating in the network —
+// and the switching/moving rates per ten seconds — μ_CS = 0.6 then
+// rejects nodes flapping faster than ~4 transitions/minute while
+// tolerating the ordinary I_Switch = 5 min churn. Under this calibration
+// the relay population is gated chiefly by who hears the INVALIDATION
+// flood, i.e. by its TTL, which is exactly the dependence §5.3 studies.
+type CoeffTracker struct {
+	omega  float64
+	period time.Duration
+
+	last      CoeffSample
+	hasSample bool
+
+	parPrev float64 // PAR_{t-2} after an update (the window before last)
+	par     float64 // PAR_{t-1} after an update (the latest window)
+	psr     float64
+	pmr     float64
+	ce      float64
+	windows int
+}
+
+// NewCoeffTracker builds a tracker with weight omega and period φ.
+func NewCoeffTracker(omega float64, period time.Duration) (*CoeffTracker, error) {
+	if omega < 0 || omega > 1 {
+		return nil, fmt.Errorf("core: omega %g outside [0,1]", omega)
+	}
+	if period <= 0 {
+		return nil, fmt.Errorf("core: non-positive coefficient period %v", period)
+	}
+	return &CoeffTracker{omega: omega, period: period, ce: 1}, nil
+}
+
+// Observe ingests the node's cumulative counters at the end of a period
+// and advances the coefficient state by one window.
+func (t *CoeffTracker) Observe(s CoeffSample) {
+	if !t.hasSample {
+		// First window: establish the baseline; rates start at zero.
+		t.last = s
+		t.hasSample = true
+		t.ce = s.CE
+		return
+	}
+	perMin := t.period.Minutes()
+	if perMin <= 0 {
+		perMin = 1
+	}
+	perTenSec := t.period.Seconds() / 10
+	if perTenSec <= 0 {
+		perTenSec = 1
+	}
+	na := float64(s.Accesses-t.last.Accesses) / perMin
+	ns := float64(s.Switches-t.last.Switches) / perTenSec
+	nm := float64(s.Moves-t.last.Moves) / perTenSec
+	t.last = s
+
+	w := t.omega
+	t.parPrev, t.par = t.par, t.parPrev*w/4+t.par*w/2+na*(1-w/4-w/2)
+	t.psr = t.psr*w + ns*(1-w)
+	t.pmr = t.pmr*w + nm*(1-w)
+	t.ce = s.CE
+	t.windows++
+}
+
+// CAR returns the coefficient of access rate (Eq 4.2.3), in (0,1].
+func (t *CoeffTracker) CAR() float64 { return 1 / (1 + t.par) }
+
+// CS returns the coefficient of stability (Eq 4.2.6), in (0,1].
+func (t *CoeffTracker) CS() float64 { return 1 / (1 + t.psr + t.pmr) }
+
+// CE returns the coefficient of energy (Eq 4.2.7), in [0,1].
+func (t *CoeffTracker) CE() float64 { return t.ce }
+
+// PAR returns the smoothed peer access rate (events per minute).
+func (t *CoeffTracker) PAR() float64 { return t.par }
+
+// PSR returns the smoothed peer switching rate (events per ten seconds).
+func (t *CoeffTracker) PSR() float64 { return t.psr }
+
+// PMR returns the smoothed peer moving rate (events per ten seconds).
+func (t *CoeffTracker) PMR() float64 { return t.pmr }
+
+// Windows returns how many full periods have been observed.
+func (t *CoeffTracker) Windows() int { return t.windows }
+
+// Eligible evaluates the selection criterion of Eq 4.2.8:
+//
+//	(CAR < μ_CAR) ∧ (CS > μ_CS) ∧ (CE > μ_CE)
+//
+// A node with no completed window yet is never eligible — it has no
+// demonstrated history of accessibility or stability.
+func (t *CoeffTracker) Eligible(muCAR, muCS, muCE float64) bool {
+	if t.windows == 0 {
+		return false
+	}
+	return t.CAR() < muCAR && t.CS() > muCS && t.CE() > muCE
+}
+
+// String renders the current coefficients for traces.
+func (t *CoeffTracker) String() string {
+	return fmt.Sprintf("CAR=%.3f CS=%.3f CE=%.3f (PAR=%.2f/min PSR=%.2f PMR=%.2f)",
+		t.CAR(), t.CS(), t.CE(), t.par, t.psr, t.pmr)
+}

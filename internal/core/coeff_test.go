@@ -1,0 +1,163 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewCoeffTrackerValidation(t *testing.T) {
+	if _, err := NewCoeffTracker(-0.1, time.Minute); err == nil {
+		t.Error("negative omega accepted")
+	}
+	if _, err := NewCoeffTracker(1.1, time.Minute); err == nil {
+		t.Error("omega > 1 accepted")
+	}
+	if _, err := NewCoeffTracker(0.2, 0); err == nil {
+		t.Error("zero period accepted")
+	}
+}
+
+func TestFreshTrackerNeverEligible(t *testing.T) {
+	tr, err := NewCoeffTracker(0.2, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Eligible(0.99, 0.01, 0.01) {
+		t.Fatal("tracker with no windows eligible")
+	}
+	// The first observation only sets the baseline.
+	tr.Observe(CoeffSample{Accesses: 100, CE: 1})
+	if tr.Windows() != 0 {
+		t.Fatalf("Windows = %d after baseline, want 0", tr.Windows())
+	}
+	if tr.Eligible(0.99, 0.01, 0.01) {
+		t.Fatal("baseline-only tracker eligible")
+	}
+}
+
+func TestPARFollowsEq422(t *testing.T) {
+	// Hand-computed: ω = 0.2, φ = 1 min, access deltas 60, 120, 0.
+	// PAR_1 = 0·ω/4 + 0·ω/2 + 60·(1−0.05−0.1) = 51
+	// PAR_2 = 0·0.05 + 51·0.1 + 120·0.85 = 107.1
+	// PAR_3 = 51·0.05 + 107.1·0.1 + 0·0.85 = 13.26
+	tr, _ := NewCoeffTracker(0.2, time.Minute)
+	tr.Observe(CoeffSample{Accesses: 0, CE: 1}) // baseline
+	steps := []struct {
+		cum  uint64
+		want float64
+	}{
+		{60, 51},
+		{180, 107.1},
+		{180, 13.26},
+	}
+	for i, s := range steps {
+		tr.Observe(CoeffSample{Accesses: s.cum, CE: 1})
+		if got := tr.PAR(); math.Abs(got-s.want) > 1e-9 {
+			t.Fatalf("step %d: PAR = %g, want %g", i, got, s.want)
+		}
+	}
+}
+
+func TestCARBoundsProperty(t *testing.T) {
+	f := func(deltas []uint16) bool {
+		tr, err := NewCoeffTracker(0.2, time.Minute)
+		if err != nil {
+			return false
+		}
+		var cum uint64
+		tr.Observe(CoeffSample{CE: 1})
+		for _, d := range deltas {
+			cum += uint64(d)
+			tr.Observe(CoeffSample{Accesses: cum, CE: 1})
+			car, cs := tr.CAR(), tr.CS()
+			if car <= 0 || car > 1 || cs <= 0 || cs > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSPenalisesChurnAndMobility(t *testing.T) {
+	stable, _ := NewCoeffTracker(0.2, time.Minute)
+	mobile, _ := NewCoeffTracker(0.2, time.Minute)
+	stable.Observe(CoeffSample{CE: 1})
+	mobile.Observe(CoeffSample{CE: 1})
+	for i := 1; i <= 5; i++ {
+		stable.Observe(CoeffSample{CE: 1})
+		mobile.Observe(CoeffSample{Switches: uint64(i * 2), Moves: uint64(i * 3), CE: 1})
+	}
+	if stable.CS() != 1 {
+		t.Errorf("stable CS = %g, want 1", stable.CS())
+	}
+	if mobile.CS() >= stable.CS() {
+		t.Errorf("mobile CS %g not below stable %g", mobile.CS(), stable.CS())
+	}
+}
+
+func TestEligibilityCriterion(t *testing.T) {
+	// Busy, stable, full-energy node: CAR small, CS = 1, CE = 1.
+	tr, _ := NewCoeffTracker(0.2, time.Minute)
+	tr.Observe(CoeffSample{CE: 1})
+	tr.Observe(CoeffSample{Accesses: 600, CE: 1}) // PAR 510/min, CAR ~ 0.002
+	if !tr.Eligible(0.15, 0.6, 0.6) {
+		t.Fatalf("busy stable node not eligible: %v", tr)
+	}
+	// Same node with a drained battery fails on CE.
+	tr.Observe(CoeffSample{Accesses: 1200, CE: 0.3})
+	if tr.Eligible(0.15, 0.6, 0.6) {
+		t.Fatal("drained node eligible")
+	}
+}
+
+func TestIdleNodeFailsCAR(t *testing.T) {
+	tr, _ := NewCoeffTracker(0.2, time.Minute)
+	tr.Observe(CoeffSample{CE: 1})
+	tr.Observe(CoeffSample{Accesses: 2, CE: 1}) // PAR 1.7/min, CAR ~ 0.37
+	if tr.Eligible(0.15, 0.6, 0.6) {
+		t.Fatal("idle node eligible despite CAR above threshold")
+	}
+}
+
+func TestFlappingNodeFailsCS(t *testing.T) {
+	tr, _ := NewCoeffTracker(0.2, time.Minute)
+	tr.Observe(CoeffSample{CE: 1})
+	tr.Observe(CoeffSample{Accesses: 600, Switches: 5, Moves: 5, CE: 1})
+	// PSR+PMR = 8 ⇒ CS = 1/9 ≈ 0.11 < 0.6.
+	if tr.Eligible(0.15, 0.6, 0.6) {
+		t.Fatalf("flapping node eligible: %v", tr)
+	}
+}
+
+func TestOmegaZeroIgnoresHistory(t *testing.T) {
+	tr, _ := NewCoeffTracker(0, time.Minute)
+	tr.Observe(CoeffSample{CE: 1})
+	tr.Observe(CoeffSample{Accesses: 1000, CE: 1})
+	tr.Observe(CoeffSample{Accesses: 1000, CE: 1}) // zero new accesses
+	if got := tr.PAR(); got != 0 {
+		t.Errorf("PAR with ω=0 after idle window = %g, want 0 (no history)", got)
+	}
+}
+
+func TestOmegaOneMostlyHistory(t *testing.T) {
+	tr, _ := NewCoeffTracker(1, time.Minute)
+	tr.Observe(CoeffSample{CE: 1})
+	tr.Observe(CoeffSample{Accesses: 400, CE: 1}) // PAR_1 = 400*(1-0.75) = 100
+	par1 := tr.PAR()
+	tr.Observe(CoeffSample{Accesses: 400, CE: 1}) // PAR_2 = PAR_1*0.5 = 50
+	if got := tr.PAR(); math.Abs(got-par1*0.5) > 1e-9 {
+		t.Errorf("PAR with ω=1 = %g, want %g", got, par1*0.5)
+	}
+}
+
+func TestTrackerString(t *testing.T) {
+	tr, _ := NewCoeffTracker(0.2, time.Minute)
+	if s := tr.String(); s == "" {
+		t.Fatal("empty String")
+	}
+}

@@ -1,0 +1,184 @@
+// Package core implements RPCC — the Relay Peer-based Cache Consistency
+// protocol that is the paper's contribution (§4).
+//
+// RPCC inserts a relay-peer tier between each data item's source host and
+// its cache nodes. The source host pushes to relay peers: a periodic
+// TTL-scoped INVALIDATION flood every TTN, plus UPDATE unicasts carrying
+// new content to every registered relay. Cache nodes pull from relay
+// peers: a TTL-scoped POLL flood that any relay (or the source itself)
+// answers with POLL_ACK_A ("your copy is current") or POLL_ACK_B (new
+// content). Relay-peer membership is self-selected via the CAR/CS/CE
+// coefficient criterion (Eq 4.2.1–4.2.8) plus an APPLY/APPLY_ACK handshake
+// with the source host, and torn down with CANCEL. GET_NEW/SEND_NEW repair
+// a relay that missed updates while disconnected (§4.5).
+//
+// Queries are served per their consistency level (§4.4): weak answers come
+// straight from the local cache; Δ-consistency answers are local while the
+// copy's TTP has not expired; strong (and TTP-expired Δ) queries poll.
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Config carries every RPCC knob. Defaults follow the paper's Table 1.
+type Config struct {
+	// InvalidationTTL is the hop scope of the periodic INVALIDATION flood
+	// (Table 1: 3 hops). It determines which cache nodes can hear the
+	// source and therefore become relay peers — the Fig 9 sweep variable.
+	InvalidationTTL int
+	// TTN is the source host's invalidation broadcast interval
+	// (Table 1: 2 minutes).
+	TTN time.Duration
+	// TTR is how long a relay peer treats its copy as authoritative after
+	// the last refresh from the source (Table 1: 1.5 minutes). TTR < TTN
+	// means a relay goes conservative for the tail of each interval and
+	// queues polls until the next INVALIDATION.
+	TTR time.Duration
+	// TTP is how long a cache node's copy satisfies Δ-consistency after
+	// its last validation (Table 1: 4 minutes). TTP is the Δ of §4.4.
+	TTP time.Duration
+	// PollTTL is the scope of the first POLL ring a cache node floods
+	// when it must validate a copy.
+	PollTTL int
+	// PollFallbackTTL is the network-wide scope used when no relay
+	// answered the first ring (TTL_BR in Table 1: 8 hops).
+	PollFallbackTTL int
+	// PollTimeout is the per-stage wait before escalating or failing a
+	// poll round. It also covers the relay-side "wait for the next
+	// INVALIDATION" case: rather than stall the query for up to
+	// TTN − TTR, the poller escalates and the relay's late answer is
+	// discarded.
+	PollTimeout time.Duration
+	// CoeffPeriod is φ, the coefficient recomputation period (§4.2).
+	CoeffPeriod time.Duration
+	// Omega is ω, the recent-vs-history weight in Eq 4.2.2/4.2.4/4.2.5
+	// (Table 1: 0.2).
+	Omega float64
+	// MuCAR, MuCS, MuCE are the selection thresholds of Eq 4.2.8
+	// (Table 1: 0.15, 0.6, 0.6).
+	MuCAR float64
+	MuCS  float64
+	MuCE  float64
+	// DemoteAfter is how many consecutive failing coefficient windows a
+	// candidate or relay tolerates before stepping down. The paper's
+	// Fig 5 demotes on any failing window; a little hysteresis keeps the
+	// relay population from flapping on coefficient noise.
+	DemoteAfter int
+	// RepairTimeout bounds how long a node waits on an outstanding APPLY
+	// or GET_NEW before the next INVALIDATION may retrigger it. Without
+	// it a single lost APPLY_ACK or SEND_NEW would wedge the relay
+	// lifecycle forever (§4.5's lost-message cases).
+	RepairTimeout time.Duration
+	// ActiveSource, when non-nil, restricts the periodic source-host
+	// duties (UPDATE push + INVALIDATION flood) to hosts for which it
+	// returns true. The Fig 9 scenario has a single active source; all
+	// other hosts own items nobody caches and stay silent.
+	ActiveSource func(host int) bool
+	// AdaptiveTTN enables the §6 future-work extension: a source host
+	// whose item saw no update during the last interval stretches its
+	// next INVALIDATION interval multiplicatively (×1.5, capped at
+	// AdaptiveTTNMax), and snaps back to TTN as soon as the item
+	// changes. Quiet items then stop paying the periodic flood cost.
+	AdaptiveTTN bool
+	// AdaptiveTTNMax caps the stretched interval (default 4×TTN).
+	AdaptiveTTNMax time.Duration
+	// EagerRelayRefresh extends Fig 6(c): a relay whose TTR has expired
+	// and that receives a POLL immediately repairs with GET_NEW instead
+	// of idling until the next INVALIDATION. The paper's protocol waits
+	// ("the relay peer has to wait for the next INVALIDATION"); eager
+	// refresh converts many fallback floods into two unicasts. On by
+	// default; the A4 ablation benchmark quantifies the difference.
+	EagerRelayRefresh bool
+}
+
+// DefaultConfig returns the Table 1 parameterisation.
+func DefaultConfig() Config {
+	return Config{
+		InvalidationTTL:   3,
+		TTN:               2 * time.Minute,
+		TTR:               90 * time.Second,
+		TTP:               4 * time.Minute,
+		PollTTL:           2,
+		PollFallbackTTL:   8,
+		PollTimeout:       150 * time.Millisecond,
+		CoeffPeriod:       time.Minute,
+		Omega:             0.2,
+		MuCAR:             0.15,
+		MuCS:              0.6,
+		MuCE:              0.6,
+		DemoteAfter:       3,
+		RepairTimeout:     10 * time.Second,
+		EagerRelayRefresh: true,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.InvalidationTTL <= 0 {
+		return fmt.Errorf("core: non-positive invalidation TTL %d", c.InvalidationTTL)
+	}
+	if c.TTN <= 0 || c.TTR <= 0 || c.TTP <= 0 {
+		return fmt.Errorf("core: non-positive timer (TTN=%v TTR=%v TTP=%v)", c.TTN, c.TTR, c.TTP)
+	}
+	if c.TTR > c.TTN {
+		return fmt.Errorf("core: TTR %v must not exceed TTN %v (a relay cannot stay authoritative past the refresh it never got)", c.TTR, c.TTN)
+	}
+	if c.PollTTL <= 0 || c.PollFallbackTTL < c.PollTTL {
+		return fmt.Errorf("core: bad poll TTLs (%d, fallback %d)", c.PollTTL, c.PollFallbackTTL)
+	}
+	if c.PollTimeout <= 0 {
+		return fmt.Errorf("core: non-positive poll timeout %v", c.PollTimeout)
+	}
+	if c.CoeffPeriod <= 0 {
+		return fmt.Errorf("core: non-positive coefficient period %v", c.CoeffPeriod)
+	}
+	if c.DemoteAfter <= 0 {
+		return fmt.Errorf("core: non-positive demotion hysteresis %d", c.DemoteAfter)
+	}
+	if c.RepairTimeout <= 0 {
+		return fmt.Errorf("core: non-positive repair timeout %v", c.RepairTimeout)
+	}
+	if c.AdaptiveTTN && c.AdaptiveTTNMax < c.TTN {
+		return fmt.Errorf("core: adaptive TTN cap %v below TTN %v", c.AdaptiveTTNMax, c.TTN)
+	}
+	if c.Omega < 0 || c.Omega > 1 {
+		return fmt.Errorf("core: omega %g outside [0,1]", c.Omega)
+	}
+	for name, mu := range map[string]float64{"muCAR": c.MuCAR, "muCS": c.MuCS, "muCE": c.MuCE} {
+		if mu <= 0 || mu > 1 {
+			return fmt.Errorf("core: threshold %s=%g outside (0,1]", name, mu)
+		}
+	}
+	return nil
+}
+
+// Role is a node's per-item protocol role (Fig 5's state diagram).
+type Role int
+
+// Roles. Values start at 1 so the zero value is detectably unset.
+const (
+	RoleNone Role = iota
+	// RoleCache is a plain cache node.
+	RoleCache
+	// RoleCandidate passes the coefficient criterion and will APPLY on
+	// the next INVALIDATION it hears.
+	RoleCandidate
+	// RoleRelay holds an APPLY_ACK from the source host.
+	RoleRelay
+)
+
+// String renders the role for traces.
+func (r Role) String() string {
+	switch r {
+	case RoleCache:
+		return "cache"
+	case RoleCandidate:
+		return "candidate"
+	case RoleRelay:
+		return "relay"
+	default:
+		return "none"
+	}
+}

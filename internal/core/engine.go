@@ -1,0 +1,560 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/manetlab/rpcc/internal/consistency"
+	"github.com/manetlab/rpcc/internal/data"
+	"github.com/manetlab/rpcc/internal/netsim"
+	"github.com/manetlab/rpcc/internal/node"
+	"github.com/manetlab/rpcc/internal/protocol"
+	"github.com/manetlab/rpcc/internal/radio"
+	"github.com/manetlab/rpcc/internal/sim"
+)
+
+// Telemetry supplies the per-node environmental signals the coefficient
+// tracker consumes. Any field may be nil: switches and moves then read as
+// zero (perfectly stable) and energy as full.
+type Telemetry struct {
+	Switches func(nd int) uint64
+	Moves    func(nd int) uint64
+	CE       func(nd int) float64
+}
+
+// itemState is one node's protocol state for one cached item.
+type itemState struct {
+	role Role
+	// lastValidated is the TTP base: the last instant this node confirmed
+	// its copy against an authority (poll ack, update, owner fetch).
+	lastValidated time.Duration
+	validatedOnce bool
+	// lastRefreshed is the TTR base (relay role): the last instant the
+	// source (or its INVALIDATION) confirmed the relay's copy.
+	lastRefreshed time.Duration
+	refreshedOnce bool
+	// invVersion/invAt remember the newest INVALIDATION heard, so a
+	// candidate promoted by APPLY_ACK knows whether its copy was already
+	// confirmed current in this interval.
+	invVersion data.Version
+	invAt      time.Duration
+	invHeard   bool
+
+	applyPending  bool
+	applySentAt   time.Duration
+	getNewPending bool
+	getNewSentAt  time.Duration
+	failingRuns   int
+	pending       []pendingPoll
+	// knownRelay is the last peer whose POLL_ACK validated this item
+	// (-1 when none): subsequent polls unicast straight to it, falling
+	// back to ring discovery when it stops answering. This is the
+	// "locating the nearest cache node" mechanism §3 assumes, learned
+	// from the protocol's own acks.
+	knownRelay int
+}
+
+// pendingPoll is a POLL a relay could not answer because its TTR had
+// expired; it is answered when the next refresh arrives (§4.3: "the relay
+// peer has to wait for the next INVALIDATION").
+type pendingPoll struct {
+	from    int
+	seq     uint64
+	version data.Version
+	at      time.Duration
+}
+
+// peerState is one node's full protocol state.
+type peerState struct {
+	// Source-host side (the node's own item).
+	relays    map[int]struct{}
+	announced data.Version
+	// ttnInterval is the current broadcast interval; it equals cfg.TTN
+	// unless AdaptiveTTN has stretched it during a quiet spell.
+	ttnInterval time.Duration
+	// Cache-node side: state per cached item.
+	items map[data.ItemID]*itemState
+}
+
+// pollRound is one cache node's in-flight validation round.
+type pollRound struct {
+	q     *node.Query
+	host  int
+	item  data.ItemID
+	stage int
+}
+
+// Engine runs RPCC over a chassis. Construct with New, wire with Start,
+// then feed OnQuery/OnUpdate from the workload generator.
+type Engine struct {
+	cfg      Config
+	ch       *node.Chassis
+	tel      Telemetry
+	peers    []*peerState
+	trackers []*CoeffTracker
+	// deliveries counts protocol messages handled per node; together with
+	// cache accesses it forms N_a, the accessibility evidence of Eq 4.2.1.
+	deliveries []uint64
+	polls      map[uint64]*pollRound
+	started    bool
+
+	// Stage usage counters (diagnostics and the A4 ablation).
+	pollDirect   uint64
+	pollRing     uint64
+	pollFallback uint64
+	relayForgets uint64
+}
+
+// New builds an RPCC engine on the shared chassis.
+func New(cfg Config, ch *node.Chassis, tel Telemetry) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if ch == nil {
+		return nil, fmt.Errorf("core: nil chassis")
+	}
+	n := ch.Net.Len()
+	e := &Engine{
+		cfg:        cfg,
+		ch:         ch,
+		tel:        tel,
+		peers:      make([]*peerState, n),
+		trackers:   make([]*CoeffTracker, n),
+		deliveries: make([]uint64, n),
+		polls:      make(map[uint64]*pollRound),
+	}
+	for i := 0; i < n; i++ {
+		e.peers[i] = &peerState{
+			relays: make(map[int]struct{}),
+			items:  make(map[data.ItemID]*itemState),
+		}
+		tr, err := NewCoeffTracker(cfg.Omega, cfg.CoeffPeriod)
+		if err != nil {
+			return nil, err
+		}
+		e.trackers[i] = tr
+	}
+	return e, nil
+}
+
+// Name identifies the strategy in reports.
+func (e *Engine) Name() string { return "rpcc" }
+
+// Chassis exposes the shared plumbing (metrics, auditor) to harnesses.
+func (e *Engine) Chassis() *node.Chassis { return e.ch }
+
+// Start installs receivers and schedules the periodic TTN and coefficient
+// ticks for every node, staggered so sources do not flood in lockstep.
+func (e *Engine) Start(k *sim.Kernel) error {
+	if e.started {
+		return fmt.Errorf("core: engine already started")
+	}
+	e.started = true
+	stagger := k.Stream("core.stagger")
+	for nd := 0; nd < e.ch.Net.Len(); nd++ {
+		nd := nd
+		if err := e.ch.Net.SetReceiver(nd, func(kk *sim.Kernel, n int, msg protocol.Message, meta netsim.Meta) {
+			e.dispatch(kk, n, msg, meta)
+		}); err != nil {
+			return err
+		}
+		k.After(time.Duration(stagger.Int63n(int64(e.cfg.TTN))), "rpcc.ttn", func(kk *sim.Kernel) {
+			e.ttnTick(kk, nd)
+		})
+		k.After(time.Duration(stagger.Int63n(int64(e.cfg.CoeffPeriod))), "rpcc.coeff", func(kk *sim.Kernel) {
+			e.coeffTick(kk, nd)
+		})
+	}
+	return nil
+}
+
+// OnUpdate commits a new version of host's own item. Per Fig 6(b) the
+// push to relay peers happens at the next TTN tick, not eagerly.
+func (e *Engine) OnUpdate(k *sim.Kernel, host int) {
+	m, err := e.ch.Reg.Master(e.ch.Reg.OwnedBy(host))
+	if err != nil {
+		return
+	}
+	// Time regression is impossible on the simulation clock; an error
+	// here is a harness bug and must not be silent.
+	if _, err := m.Update(k.Now()); err != nil {
+		panic(fmt.Sprintf("core: master update failed: %v", err))
+	}
+}
+
+// OnQuery serves one query at the given consistency level (§4.4).
+func (e *Engine) OnQuery(k *sim.Kernel, host int, item data.ItemID, level consistency.Level) {
+	q := e.ch.Begin(k, host, item, level)
+	// The owner reads its master copy locally at every level.
+	if e.ch.Reg.Owner(item) == host {
+		m, err := e.ch.Reg.Master(item)
+		if err != nil {
+			e.ch.Fail(q, "unknown-item")
+			return
+		}
+		e.ch.Answer(k, q, m.Current())
+		return
+	}
+	cp, ok := e.ch.Stores[host].Get(item)
+	if !ok {
+		e.fetchMiss(k, q)
+		return
+	}
+	st := e.itemState(host, item)
+	switch {
+	case level == consistency.LevelWeak:
+		e.ch.Answer(k, q, cp)
+	case st.role == RoleRelay && e.ttrValid(k, st):
+		// A relay with a live TTR is the validation authority other
+		// peers poll; its own copy is exactly as fresh as the answer a
+		// poll would return, so it answers locally at any level.
+		e.ch.Answer(k, q, cp)
+	case level == consistency.LevelDelta && e.ttpValid(k, st):
+		e.ch.Answer(k, q, cp)
+	default:
+		e.startPoll(k, q, cp.Version)
+	}
+}
+
+// fetchMiss resolves a query for an item the host does not cache: locate a
+// copy (expanding ring, §3's discovery substrate), cache it, then apply
+// the level rules — a copy obtained from the owner is authoritative, one
+// from a peer must still be validated for SC and expired-Δ queries.
+func (e *Engine) fetchMiss(k *sim.Kernel, q *node.Query) {
+	e.ch.FetchRing(k, q.Host, q.Item, func(kk *sim.Kernel, c data.Copy, from int, ok bool) {
+		if !ok {
+			e.ch.Fail(q, "fetch-timeout")
+			return
+		}
+		e.putCopy(kk, q.Host, c)
+		st := e.itemState(q.Host, q.Item)
+		fromOwner := from == e.ch.Reg.Owner(q.Item)
+		if fromOwner {
+			st.lastValidated = kk.Now()
+			st.validatedOnce = true
+		}
+		switch {
+		case q.Level == consistency.LevelWeak, fromOwner:
+			e.ch.Answer(kk, q, c)
+		case q.Level == consistency.LevelDelta && e.ttpValid(kk, st):
+			e.ch.Answer(kk, q, c)
+		default:
+			e.startPoll(kk, q, c.Version)
+		}
+	})
+}
+
+// putCopy stores a copy at host, tearing down relay state for whatever the
+// insertion evicted.
+func (e *Engine) putCopy(k *sim.Kernel, host int, c data.Copy) {
+	evicted, has, err := e.ch.Stores[host].PutEvict(c, k.Now())
+	if err != nil {
+		// Version regression: we already hold something newer. Keep it.
+		return
+	}
+	if has {
+		e.dropItemState(k, host, evicted)
+	}
+	if _, ok := e.peers[host].items[c.ID]; !ok {
+		e.peers[host].items[c.ID] = &itemState{role: RoleCache, knownRelay: -1}
+	}
+}
+
+// dropItemState removes per-item protocol state after an eviction,
+// cancelling the relay role with the source host if needed.
+func (e *Engine) dropItemState(k *sim.Kernel, host int, item data.ItemID) {
+	st, ok := e.peers[host].items[item]
+	if !ok {
+		return
+	}
+	if st.role == RoleRelay {
+		e.sendCancel(k, host, item)
+	}
+	delete(e.peers[host].items, item)
+}
+
+// itemState returns (creating if absent) host's state for item.
+func (e *Engine) itemState(host int, item data.ItemID) *itemState {
+	st, ok := e.peers[host].items[item]
+	if !ok {
+		st = &itemState{role: RoleCache, knownRelay: -1}
+		e.peers[host].items[item] = st
+	}
+	return st
+}
+
+// ttpValid reports whether st's copy still satisfies Δ-consistency.
+func (e *Engine) ttpValid(k *sim.Kernel, st *itemState) bool {
+	return st.validatedOnce && k.Now()-st.lastValidated < e.cfg.TTP
+}
+
+// ttrValid reports whether a relay's copy is still authoritative.
+func (e *Engine) ttrValid(k *sim.Kernel, st *itemState) bool {
+	return st.refreshedOnce && k.Now()-st.lastRefreshed < e.cfg.TTR
+}
+
+// startPoll begins a validation round. With a known relay the poll is a
+// cheap unicast straight to it; otherwise (or when it stops answering) a
+// PollTTL ring flood discovers a relay, escalating to the network-wide
+// PollFallbackTTL flood, then failing.
+func (e *Engine) startPoll(k *sim.Kernel, q *node.Query, have data.Version) {
+	r := &pollRound{q: q, host: q.Host, item: q.Item}
+	st := e.itemState(q.Host, q.Item)
+	if st.knownRelay < 0 {
+		r.stage = 1 // no known relay: go straight to ring discovery
+	}
+	e.polls[q.Seq] = r
+	e.pollStage(k, r, have)
+}
+
+// Poll stages: 0 unicast to the learned relay, 1 ring flood, 2 fallback
+// flood, 3 give up.
+func (e *Engine) pollStage(k *sim.Kernel, r *pollRound, have data.Version) {
+	if r.q.Resolved() {
+		delete(e.polls, r.q.Seq)
+		return
+	}
+	if r.stage >= 3 {
+		delete(e.polls, r.q.Seq)
+		e.ch.Fail(r.q, "poll-timeout")
+		return
+	}
+	msg := protocol.Message{
+		Kind:    protocol.KindPoll,
+		Item:    r.item,
+		Origin:  r.host,
+		Version: have,
+		Seq:     r.q.Seq,
+	}
+	st := e.itemState(r.host, r.item)
+	var err error
+	switch r.stage {
+	case 0:
+		e.pollDirect++
+		err = e.ch.Net.Unicast(r.host, st.knownRelay, msg)
+	case 1:
+		e.pollRing++
+		err = e.ch.Net.Flood(r.host, e.cfg.PollTTL, msg)
+	default:
+		e.pollFallback++
+		err = e.ch.Net.Flood(r.host, e.cfg.PollFallbackTTL, msg)
+	}
+	if err != nil {
+		delete(e.polls, r.q.Seq)
+		e.ch.Fail(r.q, "poll-send")
+		return
+	}
+	stage := r.stage
+	r.stage++
+	k.After(e.cfg.PollTimeout, "rpcc.poll.timeout", func(kk *sim.Kernel) {
+		if stage == 0 && !r.q.Resolved() {
+			// The learned relay went quiet (moved, demoted, partitioned):
+			// forget it before falling back to discovery.
+			st.knownRelay = -1
+			e.relayForgets++
+		}
+		e.pollStage(kk, r, have)
+	})
+}
+
+// ttnTick is the source host's periodic invalidation duty (Fig 6b): push
+// UPDATE to relay peers when the item changed this interval, then flood
+// INVALIDATION, then renew TTN. With AdaptiveTTN the renewal interval
+// stretches while the item is quiet and snaps back on change (§6).
+func (e *Engine) ttnTick(k *sim.Kernel, nd int) {
+	ps := e.peers[nd]
+	if ps.ttnInterval <= 0 {
+		ps.ttnInterval = e.cfg.TTN
+	}
+	defer func() {
+		k.After(ps.ttnInterval, "rpcc.ttn", func(kk *sim.Kernel) { e.ttnTick(kk, nd) })
+	}()
+
+	if e.cfg.ActiveSource != nil && !e.cfg.ActiveSource(nd) {
+		return
+	}
+	item := e.ch.Reg.OwnedBy(nd)
+	m, err := e.ch.Reg.Master(item)
+	if err != nil {
+		return
+	}
+	cur := m.Current()
+	if e.cfg.AdaptiveTTN {
+		if cur.Version > ps.announced {
+			ps.ttnInterval = e.cfg.TTN
+		} else {
+			ps.ttnInterval = ps.ttnInterval * 3 / 2
+			if ps.ttnInterval > e.cfg.AdaptiveTTNMax {
+				ps.ttnInterval = e.cfg.AdaptiveTTNMax
+			}
+		}
+	}
+
+	if cur.Version > ps.announced {
+		// MAC-layer disconnection discovery (§4.5): unreachable relay
+		// peers are dropped from the table before pushing.
+		g := e.ch.Net.Graph()
+		for relay := range ps.relays {
+			if g.Hops(nd, relay) == radio.Unreachable {
+				delete(ps.relays, relay)
+				continue
+			}
+			upd := protocol.Message{
+				Kind:    protocol.KindUpdate,
+				Item:    item,
+				Origin:  nd,
+				Version: cur.Version,
+				Copy:    cur,
+			}
+			_ = e.ch.Net.Unicast(nd, relay, upd)
+		}
+	}
+	inv := protocol.Message{
+		Kind:    protocol.KindInvalidation,
+		Item:    item,
+		Origin:  nd,
+		Version: cur.Version,
+	}
+	_ = e.ch.Net.Flood(nd, e.cfg.InvalidationTTL, inv)
+	ps.announced = cur.Version
+}
+
+// coeffTick recomputes nd's coefficients and applies the role transitions
+// of Fig 5.
+func (e *Engine) coeffTick(k *sim.Kernel, nd int) {
+	defer k.After(e.cfg.CoeffPeriod, "rpcc.coeff", func(kk *sim.Kernel) { e.coeffTick(kk, nd) })
+
+	sample := CoeffSample{
+		// Accessibility evidence: cache accesses plus all radio activity
+		// (sends, receptions, forwarding). A node that carries the
+		// network's traffic is demonstrably reachable.
+		Accesses: e.ch.Stores[nd].Accesses() + e.deliveries[nd] + e.ch.Net.Activity(nd),
+		CE:       1,
+	}
+	if e.tel.Switches != nil {
+		sample.Switches = e.tel.Switches(nd)
+	}
+	if e.tel.Moves != nil {
+		sample.Moves = e.tel.Moves(nd)
+	}
+	if e.tel.CE != nil {
+		sample.CE = e.tel.CE(nd)
+	}
+	tr := e.trackers[nd]
+	tr.Observe(sample)
+	eligible := tr.Eligible(e.cfg.MuCAR, e.cfg.MuCS, e.cfg.MuCE)
+
+	for item, st := range e.peers[nd].items {
+		// A relay that has not heard the source's INVALIDATION flood for
+		// several TTN intervals has drifted beyond the invalidation TTL:
+		// it is no longer part of the push scope and resigns (the relay
+		// tier is defined by proximity to the source, §4.2/§5.3).
+		if st.role == RoleRelay && k.Now() > 3*e.cfg.TTN && k.Now()-st.invAt > 3*e.cfg.TTN {
+			st.role = RoleCache
+			st.failingRuns = 0
+			st.pending = nil
+			e.sendCancel(k, nd, item)
+			continue
+		}
+		if eligible {
+			st.failingRuns = 0
+			if st.role == RoleCache {
+				st.role = RoleCandidate
+			}
+			continue
+		}
+		if st.role == RoleCache {
+			continue
+		}
+		// Candidates and relays step down only after DemoteAfter
+		// consecutive failing windows (hysteresis over Fig 5).
+		st.failingRuns++
+		if st.failingRuns < e.cfg.DemoteAfter {
+			continue
+		}
+		st.failingRuns = 0
+		switch st.role {
+		case RoleCandidate:
+			st.role = RoleCache
+			st.applyPending = false
+		case RoleRelay:
+			st.role = RoleCache
+			st.pending = nil
+			e.sendCancel(k, nd, item)
+		}
+	}
+}
+
+func (e *Engine) sendCancel(k *sim.Kernel, nd int, item data.ItemID) {
+	msg := protocol.Message{
+		Kind:   protocol.KindCancel,
+		Item:   item,
+		Origin: nd,
+	}
+	_ = e.ch.Net.Unicast(nd, e.ch.Reg.Owner(item), msg)
+}
+
+// Warm pre-populates host's cache with a copy and creates the protocol
+// state for it, as the paper's assumed placement substrate would. Use
+// before the simulation starts.
+func (e *Engine) Warm(k *sim.Kernel, host int, c data.Copy) {
+	e.putCopy(k, host, c)
+}
+
+// Role returns nd's current role for item (RoleNone when not cached).
+func (e *Engine) Role(nd int, item data.ItemID) Role {
+	st, ok := e.peers[nd].items[item]
+	if !ok {
+		return RoleNone
+	}
+	return st.role
+}
+
+// RelayCount returns the number of (node, item) relay registrations
+// currently held across the network, as seen by the source hosts — the
+// quantity the Fig 9 discussion ties to the invalidation TTL.
+func (e *Engine) RelayCount() int {
+	n := 0
+	for _, ps := range e.peers {
+		n += len(ps.relays)
+	}
+	return n
+}
+
+// RoleCounts returns the node-side totals of (cache, candidate, relay)
+// item-states across the network — the Fig 5 state distribution.
+func (e *Engine) RoleCounts() (cacheN, candidateN, relayN int) {
+	for _, ps := range e.peers {
+		for _, st := range ps.items {
+			switch st.role {
+			case RoleCandidate:
+				candidateN++
+			case RoleRelay:
+				relayN++
+			default:
+				cacheN++
+			}
+		}
+	}
+	return cacheN, candidateN, relayN
+}
+
+// RelayCountFor returns the number of relay peers registered with item's
+// source host.
+func (e *Engine) RelayCountFor(item data.ItemID) int {
+	owner := e.ch.Reg.Owner(item)
+	if owner < 0 || owner >= len(e.peers) {
+		return 0
+	}
+	return len(e.peers[owner].relays)
+}
+
+// PollStats reports how often each poll stage ran (direct unicast to a
+// learned relay, ring discovery flood, network-wide fallback flood) and
+// how many times a learned relay was forgotten after going quiet.
+func (e *Engine) PollStats() (direct, ring, fallback, forgets uint64) {
+	return e.pollDirect, e.pollRing, e.pollFallback, e.relayForgets
+}
+
+// Tracker exposes nd's coefficient tracker (read-only use).
+func (e *Engine) Tracker(nd int) *CoeffTracker { return e.trackers[nd] }

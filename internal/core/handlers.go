@@ -1,0 +1,378 @@
+package core
+
+import (
+	"github.com/manetlab/rpcc/internal/data"
+	"github.com/manetlab/rpcc/internal/netsim"
+	"github.com/manetlab/rpcc/internal/protocol"
+	"github.com/manetlab/rpcc/internal/sim"
+)
+
+// dispatch routes a delivered message to the appropriate side of the
+// protocol (Fig 6b–d). Every delivery also counts toward the node's
+// accessibility evidence (N_a).
+func (e *Engine) dispatch(k *sim.Kernel, nd int, msg protocol.Message, meta netsim.Meta) {
+	e.deliveries[nd]++
+	switch msg.Kind {
+	case protocol.KindInvalidation:
+		e.onInvalidation(k, nd, msg)
+	case protocol.KindUpdate:
+		e.onUpdate(k, nd, msg)
+	case protocol.KindGetNew:
+		e.onGetNew(k, nd, msg)
+	case protocol.KindSendNew:
+		e.onSendNew(k, nd, msg)
+	case protocol.KindApply:
+		e.onApply(k, nd, msg)
+	case protocol.KindApplyAck:
+		e.onApplyAck(k, nd, msg)
+	case protocol.KindCancel:
+		e.onCancel(nd, msg)
+	case protocol.KindPoll:
+		e.onPoll(k, nd, msg)
+	case protocol.KindPollAckA:
+		e.onPollAckA(k, nd, msg)
+	case protocol.KindPollAckB:
+		e.onPollAckB(k, nd, msg)
+	case protocol.KindDataRequest:
+		e.ch.HandleDataRequest(k, nd, msg)
+	case protocol.KindDataReply:
+		e.ch.HandleDataReply(k, nd, msg)
+	}
+}
+
+// onInvalidation implements the relay-peer reaction of Fig 6(c) lines 1–13
+// and the candidate APPLY trigger of §4.3: hearing an INVALIDATION proves
+// the node is within TTL hops of the source host.
+func (e *Engine) onInvalidation(k *sim.Kernel, nd int, msg protocol.Message) {
+	st, ok := e.peers[nd].items[msg.Item]
+	if !ok {
+		return // not caching this item
+	}
+	st.invVersion = msg.Version
+	st.invAt = k.Now()
+	st.invHeard = true
+	if st.knownRelay < 0 {
+		// Hearing the INVALIDATION proves the source is within TTL hops:
+		// until a closer relay answers a poll, validate against the
+		// source directly rather than flooding.
+		st.knownRelay = msg.Origin
+	}
+
+	switch st.role {
+	case RoleRelay:
+		cp, have := e.ch.Stores[nd].Peek(msg.Item)
+		if !have {
+			return
+		}
+		if cp.Version < msg.Version {
+			// Missed one or more updates (e.g. while disconnected, §4.5):
+			// repair with GET_NEW.
+			e.sendGetNew(k, nd, msg.Item, st)
+			return
+		}
+		// Copy confirmed current: renew TTR (and the copy is trivially
+		// valid for TTP purposes too), then serve any queued polls.
+		st.lastRefreshed = k.Now()
+		st.refreshedOnce = true
+		st.lastValidated = k.Now()
+		st.validatedOnce = true
+		e.flushPendingPolls(k, nd, msg.Item, st)
+	case RoleCandidate:
+		// Re-apply when the last APPLY has gone unanswered long enough
+		// that it (or its ACK) must have been lost.
+		if st.applyPending && k.Now()-st.applySentAt < e.cfg.RepairTimeout {
+			return
+		}
+		st.applyPending = true
+		st.applySentAt = k.Now()
+		ap := protocol.Message{
+			Kind:   protocol.KindApply,
+			Item:   msg.Item,
+			Origin: nd,
+		}
+		_ = e.ch.Net.Unicast(nd, e.ch.Reg.Owner(msg.Item), ap)
+	}
+}
+
+// sendGetNew issues the GET_NEW repair unless one is already outstanding
+// and fresh; a lost SEND_NEW therefore delays repair by at most
+// RepairTimeout rather than wedging the relay forever.
+func (e *Engine) sendGetNew(k *sim.Kernel, nd int, item data.ItemID, st *itemState) {
+	if st.getNewPending && k.Now()-st.getNewSentAt < e.cfg.RepairTimeout {
+		return
+	}
+	st.getNewPending = true
+	st.getNewSentAt = k.Now()
+	gn := protocol.Message{Kind: protocol.KindGetNew, Item: item, Origin: nd}
+	_ = e.ch.Net.Unicast(nd, e.ch.Reg.Owner(item), gn)
+}
+
+// onUpdate implements Fig 6(c) lines 23–25 for relays and Fig 6(d) lines
+// 27–37 for candidates (missed APPLY_ACK) and demoted cache nodes (owner
+// missed our CANCEL).
+func (e *Engine) onUpdate(k *sim.Kernel, nd int, msg protocol.Message) {
+	st, ok := e.peers[nd].items[msg.Item]
+	if !ok {
+		// The copy was evicted; the owner evidently still lists us as a
+		// relay — repeat the CANCEL it missed.
+		e.sendCancel(k, nd, msg.Item)
+		return
+	}
+	e.storeRefresh(k, nd, msg.Copy, st)
+	switch st.role {
+	case RoleRelay:
+		st.lastRefreshed = k.Now()
+		st.refreshedOnce = true
+		st.getNewPending = false
+		e.flushPendingPolls(k, nd, msg.Item, st)
+	case RoleCandidate:
+		// The APPLY_ACK was lost but the owner is pushing to us: we are a
+		// relay in its table (Fig 6d line 28–31).
+		st.role = RoleRelay
+		st.applyPending = false
+		st.lastRefreshed = k.Now()
+		st.refreshedOnce = true
+		e.flushPendingPolls(k, nd, msg.Item, st)
+	default:
+		// Plain cache node receiving UPDATE: the owner missed our CANCEL.
+		// Keep the fresh data, repeat the CANCEL (Fig 6d lines 32–35).
+		e.sendCancel(k, nd, msg.Item)
+	}
+}
+
+// storeRefresh puts an authoritative copy and renews TTP.
+func (e *Engine) storeRefresh(k *sim.Kernel, nd int, c data.Copy, st *itemState) {
+	if _, _, err := e.ch.Stores[nd].PutEvict(c, k.Now()); err == nil {
+		st.lastValidated = k.Now()
+		st.validatedOnce = true
+	}
+}
+
+// onGetNew serves a relay's repair request at the source host (Fig 6b
+// lines 9–11).
+func (e *Engine) onGetNew(k *sim.Kernel, nd int, msg protocol.Message) {
+	if e.ch.Reg.Owner(msg.Item) != nd {
+		return
+	}
+	// A GET_NEW proves the sender still acts as a relay peer; if a
+	// transient partition got it pruned from the table (§4.5 MAC-layer
+	// discovery), re-register it so it receives future UPDATE pushes.
+	e.peers[nd].relays[msg.Origin] = struct{}{}
+	m, err := e.ch.Reg.Master(msg.Item)
+	if err != nil {
+		return
+	}
+	cur := m.Current()
+	sn := protocol.Message{
+		Kind:    protocol.KindSendNew,
+		Item:    msg.Item,
+		Origin:  nd,
+		Version: cur.Version,
+		Copy:    cur,
+	}
+	_ = e.ch.Net.Unicast(nd, msg.Origin, sn)
+}
+
+// onSendNew completes the relay's repair (Fig 6c lines 19–22).
+func (e *Engine) onSendNew(k *sim.Kernel, nd int, msg protocol.Message) {
+	st, ok := e.peers[nd].items[msg.Item]
+	if !ok {
+		return
+	}
+	e.storeRefresh(k, nd, msg.Copy, st)
+	st.getNewPending = false
+	if st.role == RoleRelay {
+		st.lastRefreshed = k.Now()
+		st.refreshedOnce = true
+		e.flushPendingPolls(k, nd, msg.Item, st)
+	}
+}
+
+// onApply registers a relay candidate at the source host (Fig 6b lines
+// 12–15).
+func (e *Engine) onApply(k *sim.Kernel, nd int, msg protocol.Message) {
+	if e.ch.Reg.Owner(msg.Item) != nd {
+		return
+	}
+	e.peers[nd].relays[msg.Origin] = struct{}{}
+	ack := protocol.Message{
+		Kind:   protocol.KindApplyAck,
+		Item:   msg.Item,
+		Origin: nd,
+	}
+	_ = e.ch.Net.Unicast(nd, msg.Origin, ack)
+}
+
+// onApplyAck promotes the candidate (Fig 6d lines 24–26). If the copy was
+// already confirmed current by the INVALIDATION that triggered the APPLY,
+// the new relay is immediately authoritative; otherwise it repairs first.
+func (e *Engine) onApplyAck(k *sim.Kernel, nd int, msg protocol.Message) {
+	st, ok := e.peers[nd].items[msg.Item]
+	if !ok || st.role != RoleCandidate {
+		return
+	}
+	st.role = RoleRelay
+	st.applyPending = false
+	cp, have := e.ch.Stores[nd].Peek(msg.Item)
+	if have && st.invHeard && cp.Version == st.invVersion && k.Now()-st.invAt < e.cfg.TTR {
+		st.lastRefreshed = st.invAt
+		st.refreshedOnce = true
+		return
+	}
+	if have && st.invHeard && cp.Version < st.invVersion {
+		e.sendGetNew(k, nd, msg.Item, st)
+	}
+}
+
+// onCancel removes a resigning relay at the source host (Fig 6b 16–18).
+func (e *Engine) onCancel(nd int, msg protocol.Message) {
+	if e.ch.Reg.Owner(msg.Item) != nd {
+		return
+	}
+	delete(e.peers[nd].relays, msg.Origin)
+}
+
+// onPoll answers a cache node's validation request (Fig 6c lines 8–18).
+// The source host itself also answers, authoritatively — it is the
+// degenerate relay the fallback ring always reaches.
+func (e *Engine) onPoll(k *sim.Kernel, nd int, msg protocol.Message) {
+	if e.ch.Reg.Owner(msg.Item) == nd {
+		m, err := e.ch.Reg.Master(msg.Item)
+		if err != nil {
+			return
+		}
+		e.answerPoll(nd, msg, m.Current())
+		return
+	}
+	st, ok := e.peers[nd].items[msg.Item]
+	if !ok || st.role != RoleRelay {
+		return
+	}
+	if !e.ttrValid(k, st) {
+		// Stale relay: hold the poll until the next refresh (Fig 6c line
+		// 16). The poller's own timeout escalates in parallel, so this
+		// never stalls the query indefinitely. With eager refresh the
+		// relay repairs right away instead of waiting out the TTR gap.
+		// The queue is bounded: beyond it, older entries (whose pollers
+		// have long since escalated) are discarded first.
+		if len(st.pending) >= 64 {
+			st.pending = st.pending[1:]
+		}
+		st.pending = append(st.pending, pendingPoll{
+			from: msg.Origin, seq: msg.Seq, version: msg.Version, at: k.Now(),
+		})
+		if e.cfg.EagerRelayRefresh {
+			e.sendGetNew(k, nd, msg.Item, st)
+		}
+		return
+	}
+	cp, have := e.ch.Stores[nd].Peek(msg.Item)
+	if !have {
+		return
+	}
+	e.answerPoll(nd, msg, cp)
+}
+
+// answerPoll sends POLL_ACK_A when the poller's copy matches (or exceeds)
+// the authority's, POLL_ACK_B carrying fresh content otherwise.
+func (e *Engine) answerPoll(nd int, msg protocol.Message, authority data.Copy) {
+	if msg.Version >= authority.Version {
+		ack := protocol.Message{
+			Kind:    protocol.KindPollAckA,
+			Item:    msg.Item,
+			Origin:  nd,
+			Version: authority.Version,
+			Seq:     msg.Seq,
+		}
+		_ = e.ch.Net.Unicast(nd, msg.Origin, ack)
+		return
+	}
+	ack := protocol.Message{
+		Kind:    protocol.KindPollAckB,
+		Item:    msg.Item,
+		Origin:  nd,
+		Version: authority.Version,
+		Copy:    authority,
+		Seq:     msg.Seq,
+	}
+	_ = e.ch.Net.Unicast(nd, msg.Origin, ack)
+}
+
+// flushPendingPolls answers the polls a relay queued while its TTR was
+// expired. Entries older than TTN are dropped: their pollers have long
+// since escalated.
+func (e *Engine) flushPendingPolls(k *sim.Kernel, nd int, item data.ItemID, st *itemState) {
+	if len(st.pending) == 0 {
+		return
+	}
+	cp, have := e.ch.Stores[nd].Peek(item)
+	if !have {
+		st.pending = nil
+		return
+	}
+	for _, p := range st.pending {
+		if k.Now()-p.at > e.cfg.TTN {
+			continue
+		}
+		e.answerPoll(nd, protocol.Message{
+			Kind: protocol.KindPoll, Item: item, Origin: p.from,
+			Version: p.version, Seq: p.seq,
+		}, cp)
+	}
+	st.pending = nil
+}
+
+// learnRelay remembers the answering relay as the poll target for next
+// time. Answers from the source host itself are only learned while the
+// node holds recent INVALIDATION evidence — i.e. it is within the
+// invalidation TTL of the source. Nodes beyond the TTL therefore keep
+// flooding their polls, exactly like the simple pull baseline, which is
+// what ties RPCC's traffic to the TTL in the Fig 9 sweep.
+func (e *Engine) learnRelay(k *sim.Kernel, st *itemState, msg protocol.Message) {
+	if msg.Origin != e.ch.Reg.Owner(msg.Item) {
+		st.knownRelay = msg.Origin
+		return
+	}
+	if st.invHeard && k.Now()-st.invAt < 2*e.cfg.TTN {
+		st.knownRelay = msg.Origin
+	}
+}
+
+// onPollAckA validates the poller's copy (Fig 6d lines 12–15).
+func (e *Engine) onPollAckA(k *sim.Kernel, nd int, msg protocol.Message) {
+	r, ok := e.polls[msg.Seq]
+	if !ok || r.host != nd || r.item != msg.Item {
+		return
+	}
+	delete(e.polls, msg.Seq)
+	st := e.itemState(nd, msg.Item)
+	st.lastValidated = k.Now()
+	st.validatedOnce = true
+	e.learnRelay(k, st, msg)
+	cp, have := e.ch.Stores[nd].Peek(msg.Item)
+	if !have {
+		e.ch.Fail(r.q, "copy-lost")
+		return
+	}
+	e.ch.Answer(k, r.q, cp)
+}
+
+// onPollAckB replaces the poller's stale copy and answers (Fig 6d lines
+// 16–20).
+func (e *Engine) onPollAckB(k *sim.Kernel, nd int, msg protocol.Message) {
+	r, ok := e.polls[msg.Seq]
+	if !ok || r.host != nd || r.item != msg.Item {
+		return
+	}
+	delete(e.polls, msg.Seq)
+	st := e.itemState(nd, msg.Item)
+	e.learnRelay(k, st, msg)
+	e.storeRefresh(k, nd, msg.Copy, st)
+	// Answer with whatever is now stored — it is msg.Copy unless a newer
+	// version raced in, in which case newer is strictly better.
+	cp, have := e.ch.Stores[nd].Peek(msg.Item)
+	if !have {
+		cp = msg.Copy
+	}
+	e.ch.Answer(k, r.q, cp)
+}

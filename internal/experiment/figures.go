@@ -1,0 +1,291 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/manetlab/rpcc/internal/workload"
+)
+
+// Point is one (x, result) pair of a sweep series.
+type Point struct {
+	X      float64
+	Result Result
+}
+
+// Series is one strategy's curve in a figure.
+type Series struct {
+	Strategy StrategyKind
+	Points   []Point
+}
+
+// Figure is a fully evaluated figure: one curve per strategy.
+type Figure struct {
+	ID     string // e.g. "fig7a"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Metric extracts a figure's y-value from a run result.
+type Metric func(Result) float64
+
+// MetricTotalTx is the network-traffic metric of Fig 7 and Fig 9(a).
+func MetricTotalTx(r Result) float64 { return float64(r.TotalTx) }
+
+// MetricMeanLatencyMs is the query-latency metric of Fig 8 and Fig 9(b),
+// in milliseconds (the paper plots it in log scale).
+func MetricMeanLatencyMs(r Result) float64 {
+	return float64(r.MeanLatency) / float64(time.Millisecond)
+}
+
+// MetricRelayCount is the relay-population metric of the §5.3 discussion.
+func MetricRelayCount(r Result) float64 { return float64(r.RelayCount) }
+
+// SweepSpec describes one figure's parameter sweep.
+type SweepSpec struct {
+	ID         string
+	Title      string
+	XLabel     string
+	YLabel     string
+	Strategies []StrategyKind
+	Xs         []float64
+	// Apply sets the swept parameter (value x) on a scenario config.
+	Apply func(cfg *Config, x float64)
+	// Metric picks the y value.
+	Metric Metric
+}
+
+// RunSweep evaluates the spec: one simulation per (strategy, x) pair.
+// base supplies everything the sweep does not vary (seed, sim time, ...).
+func RunSweep(spec SweepSpec, base Config) (Figure, error) {
+	return RunSweepReplicated(spec, base, 1)
+}
+
+// RunSweepReplicated evaluates the spec with `replicas` independent seeds
+// per point (base.Seed, base.Seed+1, …) and averages every numeric metric
+// across them, tightening the single-run noise the paper's own figures
+// carry. The per-point Result is the first seed's, with the averaged
+// aggregate fields substituted.
+func RunSweepReplicated(spec SweepSpec, base Config, replicas int) (Figure, error) {
+	if replicas <= 0 {
+		return Figure{}, fmt.Errorf("experiment: replicas %d must be > 0", replicas)
+	}
+	fig := Figure{
+		ID:     spec.ID,
+		Title:  spec.Title,
+		XLabel: spec.XLabel,
+		YLabel: spec.YLabel,
+	}
+	for _, strat := range spec.Strategies {
+		s := Series{Strategy: strat, Points: make([]Point, 0, len(spec.Xs))}
+		for _, x := range spec.Xs {
+			runs := make([]Result, 0, replicas)
+			for r := 0; r < replicas; r++ {
+				cfg := base
+				cfg.Strategy = strat
+				cfg.Seed = base.Seed + int64(r)
+				spec.Apply(&cfg, x)
+				res, err := Run(cfg)
+				if err != nil {
+					return Figure{}, fmt.Errorf("experiment: %s %s x=%g seed=%d: %w", spec.ID, strat, x, cfg.Seed, err)
+				}
+				runs = append(runs, res)
+			}
+			s.Points = append(s.Points, Point{X: x, Result: averageResults(runs)})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// averageResults folds several same-scenario runs into one Result whose
+// aggregate numeric fields are the across-seed means. Non-additive fields
+// (ByKind breakdown, Config) come from the first run.
+func averageResults(runs []Result) Result {
+	if len(runs) == 1 {
+		return runs[0]
+	}
+	out := runs[0]
+	n := float64(len(runs))
+	var tx, bytes, issued, answered, failed, viol uint64
+	var lat, stale time.Duration
+	var relays int
+	var drained, hit float64
+	for _, r := range runs {
+		tx += r.TotalTx
+		bytes += r.TotalBytes
+		issued += r.Issued
+		answered += r.Answered
+		failed += r.Failed
+		viol += r.Violations
+		lat += r.MeanLatency
+		stale += r.MeanStaleness
+		relays += r.RelayCount
+		drained += r.EnergyDrained
+		hit += r.MeanHitRatio
+	}
+	out.TotalTx = uint64(float64(tx) / n)
+	out.TotalBytes = uint64(float64(bytes) / n)
+	out.Issued = uint64(float64(issued) / n)
+	out.Answered = uint64(float64(answered) / n)
+	out.Failed = uint64(float64(failed) / n)
+	out.Violations = uint64(float64(viol) / n)
+	out.MeanLatency = lat / time.Duration(len(runs))
+	out.MeanStaleness = stale / time.Duration(len(runs))
+	out.RelayCount = int(float64(relays) / n)
+	out.EnergyDrained = drained / n
+	out.MeanHitRatio = hit / n
+	if hours := out.Config.SimTime.Hours(); hours > 0 {
+		out.TxPerHour = float64(out.TotalTx) / hours
+	}
+	return out
+}
+
+// The sweeps behind each of the paper's figures. X units: minutes for
+// update intervals, seconds for query intervals, items for cache number,
+// hops for TTL.
+
+// Fig7aSpec: network traffic vs. data update interval.
+func Fig7aSpec() SweepSpec {
+	return SweepSpec{
+		ID:         "fig7a",
+		Title:      "Network traffic vs. update interval",
+		XLabel:     "update interval (min)",
+		YLabel:     "messages",
+		Strategies: AllPaperStrategies(),
+		Xs:         []float64{0.5, 1, 2, 4, 8},
+		Apply: func(cfg *Config, x float64) {
+			cfg.UpdateInterval = time.Duration(x * float64(time.Minute))
+		},
+		Metric: MetricTotalTx,
+	}
+}
+
+// Fig7bSpec: network traffic vs. query request interval.
+func Fig7bSpec() SweepSpec {
+	return SweepSpec{
+		ID:         "fig7b",
+		Title:      "Network traffic vs. request interval",
+		XLabel:     "request interval (s)",
+		YLabel:     "messages",
+		Strategies: AllPaperStrategies(),
+		Xs:         []float64{5, 10, 20, 40, 80},
+		Apply: func(cfg *Config, x float64) {
+			cfg.QueryInterval = time.Duration(x * float64(time.Second))
+		},
+		Metric: MetricTotalTx,
+	}
+}
+
+// Fig7cSpec: network traffic vs. cache number.
+func Fig7cSpec() SweepSpec {
+	return SweepSpec{
+		ID:         "fig7c",
+		Title:      "Network traffic vs. cache number",
+		XLabel:     "cache number (items)",
+		YLabel:     "messages",
+		Strategies: AllPaperStrategies(),
+		Xs:         []float64{5, 10, 15, 20, 25},
+		Apply: func(cfg *Config, x float64) {
+			cfg.CacheNum = int(x)
+		},
+		Metric: MetricTotalTx,
+	}
+}
+
+// Fig8aSpec: query latency vs. update interval (log-scale y in the paper).
+func Fig8aSpec() SweepSpec {
+	s := Fig7aSpec()
+	s.ID = "fig8a"
+	s.Title = "Query latency vs. update interval"
+	s.YLabel = "mean latency (ms)"
+	s.Metric = MetricMeanLatencyMs
+	return s
+}
+
+// Fig8bSpec: query latency vs. request interval.
+func Fig8bSpec() SweepSpec {
+	s := Fig7bSpec()
+	s.ID = "fig8b"
+	s.Title = "Query latency vs. request interval"
+	s.YLabel = "mean latency (ms)"
+	s.Metric = MetricMeanLatencyMs
+	return s
+}
+
+// Fig8cSpec: query latency vs. cache number.
+func Fig8cSpec() SweepSpec {
+	s := Fig7cSpec()
+	s.ID = "fig8c"
+	s.Title = "Query latency vs. cache number"
+	s.YLabel = "mean latency (ms)"
+	s.Metric = MetricMeanLatencyMs
+	return s
+}
+
+// fig9Strategies: the §5.3 comparison runs RPCC(SC) against the two
+// baselines on the single-hot-item scenario.
+func fig9Strategies() []StrategyKind {
+	return []StrategyKind{StrategyRPCCSC, StrategyPush, StrategyPull}
+}
+
+// applyFig9 configures the single-source scenario of §5.3 ("one peer is
+// randomly selected as the source host and its data item is cached by all
+// other peers") and sets RPCC's invalidation TTL to x. The baselines
+// ignore the invalidation TTL, giving the flat reference lines of Fig 9.
+func applyFig9(cfg *Config, x float64) {
+	cfg.Popularity = workload.PopularitySingle
+	cfg.InvalidationTTL = int(x)
+}
+
+// Fig9aSpec: network traffic vs. invalidation-message TTL.
+func Fig9aSpec() SweepSpec {
+	return SweepSpec{
+		ID:         "fig9a",
+		Title:      "Network traffic vs. invalidation TTL (single hot item)",
+		XLabel:     "invalidation TTL (hops)",
+		YLabel:     "messages",
+		Strategies: fig9Strategies(),
+		Xs:         []float64{1, 2, 3, 4, 5, 6, 7},
+		Apply:      applyFig9,
+		Metric:     MetricTotalTx,
+	}
+}
+
+// Fig9bSpec: query latency vs. invalidation-message TTL.
+func Fig9bSpec() SweepSpec {
+	s := Fig9aSpec()
+	s.ID = "fig9b"
+	s.Title = "Query latency vs. invalidation TTL (single hot item)"
+	s.YLabel = "mean latency (ms)"
+	s.Metric = MetricMeanLatencyMs
+	return s
+}
+
+// RelayCountSpec: relay population vs. invalidation TTL (the §5.3
+// discussion's explanatory variable; ablation A3 in DESIGN.md).
+func RelayCountSpec() SweepSpec {
+	return SweepSpec{
+		ID:         "relay-count",
+		Title:      "Relay peers vs. invalidation TTL (single hot item)",
+		XLabel:     "invalidation TTL (hops)",
+		YLabel:     "relay peers",
+		Strategies: []StrategyKind{StrategyRPCCSC},
+		Xs:         []float64{1, 2, 3, 4, 5, 6, 7},
+		Apply:      applyFig9,
+		Metric:     MetricRelayCount,
+	}
+}
+
+// AllFigureSpecs returns every figure sweep of the paper's evaluation in
+// presentation order.
+func AllFigureSpecs() []SweepSpec {
+	return []SweepSpec{
+		Fig7aSpec(), Fig7bSpec(), Fig7cSpec(),
+		Fig8aSpec(), Fig8bSpec(), Fig8cSpec(),
+		Fig9aSpec(), Fig9bSpec(),
+		RelayCountSpec(),
+	}
+}

@@ -1,0 +1,133 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderTable lays a figure out as an aligned text table: one row per x
+// value, one column per strategy, using the spec's metric.
+func RenderTable(fig Figure, metric Metric) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", strings.ToUpper(fig.ID), fig.Title)
+	fmt.Fprintf(&b, "y: %s\n", fig.YLabel)
+
+	header := make([]string, 0, len(fig.Series)+1)
+	header = append(header, fig.XLabel)
+	for _, s := range fig.Series {
+		header = append(header, string(s.Strategy))
+	}
+
+	rows := [][]string{header}
+	if len(fig.Series) > 0 {
+		for i, pt := range fig.Series[0].Points {
+			row := make([]string, 0, len(fig.Series)+1)
+			row = append(row, trimFloat(pt.X))
+			for _, s := range fig.Series {
+				if i < len(s.Points) {
+					row = append(row, trimFloat(metric(s.Points[i].Result)))
+				} else {
+					row = append(row, "-")
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	writeAligned(&b, rows)
+	return b.String()
+}
+
+// RenderDetail renders one result with its per-kind traffic breakdown.
+func RenderDetail(r Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "strategy        %s\n", r.Strategy)
+	fmt.Fprintf(&b, "transmissions   %d (%.0f/hour, %d bytes)\n", r.TotalTx, r.TxPerHour, r.TotalBytes)
+	fmt.Fprintf(&b, "latency         mean=%v p50<=%v p99<=%v max=%v\n",
+		r.MeanLatency, r.P50Latency, r.P99Latency, r.MaxLatency)
+	fmt.Fprintf(&b, "queries         issued=%d answered=%d failed=%d (answer rate %.1f%%)\n",
+		r.Issued, r.Answered, r.Failed, 100*r.AnswerRate())
+	fmt.Fprintf(&b, "audit           violations=%d torn=%d future=%d staleness(mean=%v max=%v)\n",
+		r.Violations, r.TornAnswers, r.FutureAnswers, r.MeanStaleness, r.MaxStaleness)
+	fmt.Fprintf(&b, "cache           mean hit ratio %.2f\n", r.MeanHitRatio)
+	fmt.Fprintf(&b, "energy          drained %.0f units, weakest battery at %.1f%%, fairness %.3f\n",
+		r.EnergyDrained, 100*r.MinBatteryCE, r.EnergyFairness)
+	if len(r.TrafficTimeline) > 0 {
+		fmt.Fprintf(&b, "traffic/time    %s\n", sparkline(r.TrafficTimeline))
+	}
+	if r.RelayCount > 0 {
+		fmt.Fprintf(&b, "relay peers     %d\n", r.RelayCount)
+	}
+	if len(r.ByKind) > 0 {
+		fmt.Fprintf(&b, "traffic by kind\n")
+		rows := [][]string{{"  message", "tx", "bytes"}}
+		for _, kc := range r.ByKind {
+			rows = append(rows, []string{
+				"  " + kc.Kind.String(),
+				fmt.Sprintf("%d", kc.Tx),
+				fmt.Sprintf("%d", kc.Bytes),
+			})
+		}
+		writeAligned(&b, rows)
+	}
+	return b.String()
+}
+
+// sparkline renders counts as a compact eight-level bar strip.
+func sparkline(xs []uint64) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	var max uint64
+	for _, x := range xs {
+		if x > max {
+			max = x
+		}
+	}
+	if max == 0 {
+		return strings.Repeat("▁", len(xs))
+	}
+	out := make([]rune, len(xs))
+	for i, x := range xs {
+		idx := int(x * uint64(len(levels)-1) / max)
+		out[i] = levels[idx]
+	}
+	return string(out)
+}
+
+// trimFloat renders a float without trailing zero noise.
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%.2f", f)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+// writeAligned writes rows with space-padded, right-aligned columns
+// (except the first, which is left-aligned).
+func writeAligned(b *strings.Builder, rows [][]string) {
+	if len(rows) == 0 {
+		return
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i == 0 {
+				fmt.Fprintf(b, "%-*s", widths[i], cell)
+			} else {
+				fmt.Fprintf(b, "  %*s", widths[i], cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+}

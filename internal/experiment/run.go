@@ -1,0 +1,427 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/manetlab/rpcc/internal/cache"
+	"github.com/manetlab/rpcc/internal/churn"
+	"github.com/manetlab/rpcc/internal/consistency"
+	"github.com/manetlab/rpcc/internal/core"
+	"github.com/manetlab/rpcc/internal/data"
+	"github.com/manetlab/rpcc/internal/energy"
+	"github.com/manetlab/rpcc/internal/geo"
+	"github.com/manetlab/rpcc/internal/mobility"
+	"github.com/manetlab/rpcc/internal/netsim"
+	"github.com/manetlab/rpcc/internal/node"
+	"github.com/manetlab/rpcc/internal/sim"
+	"github.com/manetlab/rpcc/internal/stats"
+	"github.com/manetlab/rpcc/internal/workload"
+)
+
+// Result is everything one simulation run reports.
+type Result struct {
+	Strategy StrategyKind
+	Config   Config
+
+	// Traffic (the y-axis of Fig 7 and 9a).
+	TotalTx    uint64
+	TotalBytes uint64
+	TxPerHour  float64
+	ByKind     []stats.KindCount
+
+	// Latency (the y-axis of Fig 8 and 9b).
+	MeanLatency time.Duration
+	P50Latency  time.Duration
+	P99Latency  time.Duration
+	MaxLatency  time.Duration
+
+	// Query accounting.
+	Issued   uint64
+	Answered uint64
+	Failed   uint64
+
+	// Consistency audit.
+	Violations    uint64
+	TornAnswers   uint64
+	FutureAnswers uint64
+	MeanStaleness time.Duration
+	MaxStaleness  time.Duration
+
+	// RPCC extras.
+	RelayCount   int
+	RoleCache    int
+	RoleCand     int
+	RoleRelay    int
+	PollDirect   uint64
+	PollRing     uint64
+	PollFallback uint64
+	RelayForgets uint64
+
+	// Cache behaviour.
+	MeanHitRatio float64
+
+	// Energy (the paper's §1 motivates message savings with battery
+	// life): total abstract energy units drained across all hosts, the
+	// lowest remaining battery fraction at the end of the run, and
+	// Jain's fairness index over per-host drain — the load-balance
+	// question RPCC's CE criterion exists to manage (1 = perfectly even,
+	// 1/n = one host carries everything).
+	EnergyDrained  float64
+	MinBatteryCE   float64
+	EnergyFairness float64
+
+	// TrafficTimeline is the total transmission count sampled in 60
+	// equal windows across the run — warm-up versus steady state at a
+	// glance.
+	TrafficTimeline []uint64
+}
+
+// Run executes one scenario to completion and returns its metrics.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	k := sim.NewKernel(sim.WithSeed(cfg.Seed), sim.WithHorizon(cfg.SimTime))
+
+	terrain, err := geo.NewTerrain(cfg.AreaWidth, cfg.AreaHeight)
+	if err != nil {
+		return Result{}, err
+	}
+	mobCfg := mobility.Config{
+		Terrain:    terrain,
+		MinSpeed:   cfg.MinSpeed,
+		MaxSpeed:   cfg.MaxSpeed,
+		Pause:      cfg.Pause,
+		SubnetCell: cfg.SubnetCell,
+	}
+	if cfg.RandomDirection {
+		mobCfg.Model = mobility.ModelRandomDirection
+	}
+	field, err := mobility.NewField(mobCfg, cfg.NPeers, func(i int) *rand.Rand {
+		return k.Stream(fmt.Sprintf("mobility.%d", i))
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	churnCfg := churn.Config{
+		MeanUp:   cfg.SwitchInterval,
+		MeanDown: cfg.MeanDown,
+		Disabled: cfg.ChurnDisabled,
+	}
+	churnProc, err := churn.NewProcess(churnCfg, cfg.NPeers, k)
+	if err != nil {
+		return Result{}, err
+	}
+
+	batteries := make([]*energy.Battery, cfg.NPeers)
+	for i := range batteries {
+		b, err := energy.NewBattery(energy.DefaultConfig())
+		if err != nil {
+			return Result{}, err
+		}
+		batteries[i] = b
+	}
+
+	netCfg := netsim.DefaultConfig()
+	netCfg.CommRange = cfg.CommRange
+	if cfg.UseDSRRouting {
+		netCfg.Routing = netsim.RoutingDSR
+	}
+	netCfg.LossRate = cfg.LossRate
+	netCfg.SerializeTx = cfg.SerializeTx
+	traffic := stats.NewTraffic()
+	network, err := netsim.New(netCfg, k, field, churnProc, batteries, traffic)
+	if err != nil {
+		return Result{}, err
+	}
+
+	reg, err := data.NewRegistry(cfg.NPeers)
+	if err != nil {
+		return Result{}, err
+	}
+	stores := make([]*cache.Store, cfg.NPeers)
+	for i := range stores {
+		stores[i], err = cache.NewStore(cfg.CacheNum)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+
+	// Slack: in-flight forgiveness covering flood propagation plus the
+	// poll round trip at the default hop latency.
+	aud, err := consistency.NewAuditor(reg, cfg.TTP, 5*time.Second)
+	if err != nil {
+		return Result{}, err
+	}
+	lat := stats.NewLatency()
+	chassis, err := node.NewChassis(node.DefaultConfig(), network, reg, stores, lat, aud)
+	if err != nil {
+		return Result{}, err
+	}
+
+	strat, levelFor, err := buildStrategy(cfg, k, chassis, churnProc, field, batteries)
+	if err != nil {
+		return Result{}, err
+	}
+
+	var domains [][]data.ItemID
+	if cfg.WarmCaches {
+		domains = warmCaches(k, cfg, reg, stores, strat)
+	}
+	if err := strat.Start(k); err != nil {
+		return Result{}, err
+	}
+
+	wlCfg := workload.Config{
+		Hosts:           cfg.NPeers,
+		MeanQueryEvery:  cfg.QueryInterval,
+		MeanUpdateEvery: cfg.UpdateInterval,
+		Popularity:      cfg.Popularity,
+	}
+	if cfg.Popularity == workload.PopularityCached {
+		if domains == nil {
+			return Result{}, fmt.Errorf("experiment: cached-domain workload requires WarmCaches")
+		}
+		wlCfg.Domain = func(host int) []data.ItemID { return domains[host] }
+	}
+	wl, err := workload.NewGenerator(wlCfg,
+		func(kk *sim.Kernel, host int, item data.ItemID) {
+			strat.OnQuery(kk, host, item, levelFor(host, item))
+		},
+		func(kk *sim.Kernel, host int) {
+			strat.OnUpdate(kk, host)
+		},
+	)
+	if err != nil {
+		return Result{}, err
+	}
+	wl.Start(k)
+
+	// Sample the traffic total in 60 windows for the timeline.
+	timeline := make([]uint64, 0, 60)
+	var lastTx uint64
+	if stop, err := k.Every(cfg.SimTime/60, "experiment.timeline", func(*sim.Kernel) {
+		cur := traffic.TotalTx()
+		timeline = append(timeline, cur-lastTx)
+		lastTx = cur
+	}); err == nil {
+		defer stop()
+	}
+
+	k.Run()
+
+	res := collect(cfg, strat, traffic, lat, chassis, stores)
+	res.TrafficTimeline = timeline
+	res.MinBatteryCE = 1
+	capacity := energy.DefaultConfig().Capacity
+	drains := make([]float64, 0, len(batteries))
+	for _, b := range batteries {
+		ce := b.CE(k.Now())
+		drain := capacity * (1 - ce)
+		drains = append(drains, drain)
+		res.EnergyDrained += drain
+		if ce < res.MinBatteryCE {
+			res.MinBatteryCE = ce
+		}
+	}
+	res.EnergyFairness = jainIndex(drains)
+	return res, nil
+}
+
+// jainIndex computes Jain's fairness index (Σx)²/(n·Σx²) over xs,
+// returning 1 for an empty or all-zero load.
+func jainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// buildStrategy instantiates the configured engine and the per-query
+// consistency-level selector.
+func buildStrategy(cfg Config, k *sim.Kernel, chassis *node.Chassis, churnProc *churn.Process, field *mobility.Field, batteries []*energy.Battery) (Strategy, func(host int, item data.ItemID) consistency.Level, error) {
+	fixed := func(l consistency.Level) func(int, data.ItemID) consistency.Level {
+		return func(int, data.ItemID) consistency.Level { return l }
+	}
+	switch cfg.Strategy {
+	case StrategyPull:
+		pullCfg := pullConfigFrom(cfg)
+		s, err := newPull(pullCfg, chassis)
+		return s, fixed(consistency.LevelStrong), err
+	case StrategyPush:
+		pushCfg := pushConfigFrom(cfg)
+		s, err := newPush(pushCfg, chassis)
+		return s, fixed(consistency.LevelStrong), err
+	case StrategyAdaptive:
+		s, err := newAdaptive(chassis)
+		return s, fixed(consistency.LevelDelta), err
+	case StrategyGPSCE:
+		// Audited at strong: the scheme CLAIMS validity via eager
+		// invalidation; violations measure what stale GPS positions and
+		// greedy-forwarding voids silently lose.
+		s, err := newGPSCE(chassis)
+		return s, fixed(consistency.LevelStrong), err
+	case StrategyRPCCSC, StrategyRPCCDC, StrategyRPCCWC, StrategyRPCCHY:
+		coreCfg := coreConfigFrom(cfg)
+		tel := core.Telemetry{
+			Switches: churnProc.Switches,
+			Moves:    func(nd int) uint64 { return field.Node(nd).Moves() },
+			CE:       func(nd int) float64 { return batteries[nd].CE(k.Now()) },
+		}
+		eng, err := core.New(coreCfg, chassis, tel)
+		if err != nil {
+			return nil, nil, err
+		}
+		switch cfg.Strategy {
+		case StrategyRPCCSC:
+			return eng, fixed(consistency.LevelStrong), nil
+		case StrategyRPCCDC:
+			return eng, fixed(consistency.LevelDelta), nil
+		case StrategyRPCCWC:
+			return eng, fixed(consistency.LevelWeak), nil
+		default: // hybrid: the three levels arrive with equal probability
+			rng := k.Stream("experiment.levels")
+			levels := []consistency.Level{
+				consistency.LevelStrong, consistency.LevelDelta, consistency.LevelWeak,
+			}
+			return eng, func(int, data.ItemID) consistency.Level {
+				return levels[rng.Intn(len(levels))]
+			}, nil
+		}
+	default:
+		return nil, nil, fmt.Errorf("experiment: unknown strategy %q", cfg.Strategy)
+	}
+}
+
+func coreConfigFrom(cfg Config) core.Config {
+	c := core.DefaultConfig()
+	if cfg.Popularity == workload.PopularitySingle {
+		c.ActiveSource = func(host int) bool { return host == 0 }
+	}
+	c.InvalidationTTL = cfg.InvalidationTTL
+	c.TTN = cfg.TTN
+	c.TTR = cfg.TTR
+	c.TTP = cfg.TTP
+	c.PollFallbackTTL = cfg.BroadcastTTL
+	c.Omega = cfg.Omega
+	c.MuCAR = cfg.MuCAR
+	c.MuCS = cfg.MuCS
+	c.MuCE = cfg.MuCE
+	c.EagerRelayRefresh = !cfg.DisableEagerRefresh
+	if cfg.AdaptiveTTN {
+		c.AdaptiveTTN = true
+		c.AdaptiveTTNMax = 4 * c.TTN
+	}
+	return c
+}
+
+// warmCaches pre-populates the placement the paper's model assumes — in
+// single-item mode every peer caches item 0; otherwise each node caches
+// CacheNum items drawn uniformly from the others' — and returns each
+// host's placed item set, which doubles as its query domain under
+// PopularityCached.
+func warmCaches(k *sim.Kernel, cfg Config, reg *data.Registry, stores []*cache.Store, strat Strategy) [][]data.ItemID {
+	rng := k.Stream("experiment.warm")
+	domains := make([][]data.ItemID, cfg.NPeers)
+	warm := func(host int, item data.ItemID) {
+		m, err := reg.Master(item)
+		if err != nil {
+			return
+		}
+		if w, ok := strat.(interface {
+			Warm(*sim.Kernel, int, data.Copy)
+		}); ok {
+			w.Warm(k, host, m.Current())
+		} else if err := stores[host].Put(m.Current(), 0); err != nil {
+			return
+		}
+		domains[host] = append(domains[host], item)
+	}
+	if cfg.Popularity == workload.PopularitySingle {
+		for host := 1; host < cfg.NPeers; host++ {
+			warm(host, 0)
+		}
+		return domains
+	}
+	for host := 0; host < cfg.NPeers; host++ {
+		seen := map[int]bool{host: true}
+		for len(seen) <= cfg.CacheNum && len(seen) < cfg.NPeers {
+			item := rng.Intn(cfg.NPeers)
+			if seen[item] {
+				continue
+			}
+			seen[item] = true
+			warm(host, data.ItemID(item))
+		}
+	}
+	return domains
+}
+
+func collect(cfg Config, strat Strategy, traffic *stats.Traffic, lat *stats.Latency, chassis *node.Chassis, stores []*cache.Store) Result {
+	r := Result{
+		Strategy:    cfg.Strategy,
+		Config:      cfg,
+		TotalTx:     traffic.TotalTx(),
+		TotalBytes:  traffic.TotalBytes(),
+		ByKind:      traffic.Snapshot(),
+		MeanLatency: lat.Mean(),
+		P50Latency:  lat.Quantile(0.5),
+		P99Latency:  lat.Quantile(0.99),
+		MaxLatency:  lat.Max(),
+		Issued:      chassis.Issued(),
+		Answered:    chassis.Answered(),
+		Failed:      chassis.Failed(),
+	}
+	if hours := cfg.SimTime.Hours(); hours > 0 {
+		r.TxPerHour = float64(r.TotalTx) / hours
+	}
+	aud := chassis.Auditor
+	r.Violations = aud.TotalViolations()
+	r.TornAnswers = aud.Violations(consistency.ViolationTorn)
+	r.FutureAnswers = aud.Violations(consistency.ViolationFuture)
+	r.MeanStaleness = aud.MeanStaleness()
+	r.MaxStaleness = aud.MaxStaleness()
+	if rc, ok := strat.(RelayCounter); ok {
+		r.RelayCount = rc.RelayCount()
+	}
+	if ps, ok := strat.(interface {
+		PollStats() (uint64, uint64, uint64, uint64)
+	}); ok {
+		r.PollDirect, r.PollRing, r.PollFallback, r.RelayForgets = ps.PollStats()
+	}
+	if rc, ok := strat.(interface{ RoleCounts() (int, int, int) }); ok {
+		r.RoleCache, r.RoleCand, r.RoleRelay = rc.RoleCounts()
+	}
+	var hit float64
+	for _, s := range stores {
+		hit += s.HitRatio()
+	}
+	r.MeanHitRatio = hit / float64(len(stores))
+	return r
+}
+
+// AnswerRate returns the fraction of issued queries answered.
+func (r Result) AnswerRate() float64 {
+	if r.Issued == 0 {
+		return 0
+	}
+	return float64(r.Answered) / float64(r.Issued)
+}
+
+// String summarises the result in one line.
+func (r Result) String() string {
+	return fmt.Sprintf("%s: tx=%d (%.0f/h) lat(mean=%v p99=%v) answered=%d/%d viol=%d",
+		r.Strategy, r.TotalTx, r.TxPerHour, r.MeanLatency, r.P99Latency,
+		r.Answered, r.Issued, r.Violations)
+}

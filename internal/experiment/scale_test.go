@@ -1,0 +1,35 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLargeScaleRun pushes the simulator well past the paper's 50 peers
+// to check that nothing degrades structurally at 4x scale (the paper's
+// GloMoSim was built for "large-scale wireless networks"; our substrate
+// should not be the bottleneck of any follow-up study).
+func TestLargeScaleRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale run skipped in -short mode")
+	}
+	cfg := DefaultConfig(StrategyRPCCHY, 3)
+	cfg.NPeers = 200
+	cfg.AreaWidth, cfg.AreaHeight = 3000, 3000 // same density as Table 1
+	cfg.SimTime = 10 * time.Minute
+	start := time.Now()
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("200 peers x 10min simulated in %v wall: %s", time.Since(start).Round(time.Millisecond), r)
+	if r.Answered == 0 {
+		t.Fatal("no queries answered at scale")
+	}
+	if r.TornAnswers != 0 || r.FutureAnswers != 0 {
+		t.Fatal("integrity violations at scale")
+	}
+	if r.RelayCount == 0 {
+		t.Error("no relays formed at scale")
+	}
+}

@@ -1,0 +1,251 @@
+// Package mobility implements the random-waypoint movement model used by
+// the paper's evaluation (Johnson & Maltz, 1996): each node repeatedly
+// picks a uniform destination in the terrain, travels to it in a straight
+// line at a uniform-random speed, pauses, and repeats.
+//
+// Positions are piecewise-linear in time, so the model stores only the
+// current leg (origin, destination, departure time, speed) and computes
+// PositionAt analytically. Legs are advanced lazily; no per-tick position
+// events are needed, which keeps the event queue small.
+package mobility
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/manetlab/rpcc/internal/geo"
+)
+
+// Model selects the trajectory generator.
+type Model int
+
+// Mobility models. The zero value selects random waypoint so existing
+// configurations keep their behaviour.
+const (
+	// ModelRandomWaypoint: pick a uniform destination, travel straight,
+	// pause, repeat (Johnson & Maltz; the paper's model).
+	ModelRandomWaypoint Model = iota
+	// ModelRandomDirection: pick a uniform direction, travel straight to
+	// the terrain boundary, pause, repeat. Compared with random waypoint
+	// it avoids the well-known density pile-up at the terrain centre, so
+	// it probes whether conclusions depend on the mobility model.
+	ModelRandomDirection
+)
+
+// Config parameterises the mobility model.
+type Config struct {
+	Terrain  geo.Terrain
+	Model    Model         // trajectory generator; zero = random waypoint
+	MinSpeed float64       // metres/second, > 0
+	MaxSpeed float64       // metres/second, >= MinSpeed
+	Pause    time.Duration // dwell time at each waypoint, >= 0
+	// SubnetCell is the side (metres) of the grid used to detect
+	// "movement" events for the PMR statistic (paper §4.2: N_m counts
+	// moves from one subnet to another). Zero disables move counting.
+	SubnetCell float64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Terrain.Width <= 0 || c.Terrain.Height <= 0 {
+		return fmt.Errorf("mobility: invalid terrain %gx%g", c.Terrain.Width, c.Terrain.Height)
+	}
+	if c.MinSpeed <= 0 {
+		return fmt.Errorf("mobility: MinSpeed %g must be > 0", c.MinSpeed)
+	}
+	if c.MaxSpeed < c.MinSpeed {
+		return fmt.Errorf("mobility: MaxSpeed %g < MinSpeed %g", c.MaxSpeed, c.MinSpeed)
+	}
+	if c.Pause < 0 {
+		return fmt.Errorf("mobility: negative pause %v", c.Pause)
+	}
+	if c.Model != ModelRandomWaypoint && c.Model != ModelRandomDirection {
+		return fmt.Errorf("mobility: unknown model %d", c.Model)
+	}
+	return nil
+}
+
+// leg is one straight-line movement followed by a pause.
+type leg struct {
+	from, to  geo.Point
+	departAt  time.Duration // time the node leaves `from`
+	arriveAt  time.Duration // time the node reaches `to`
+	pauseTill time.Duration // arriveAt + pause
+}
+
+// Waypoint is a single node's random-waypoint trajectory. It is advanced
+// lazily: each call with a later time rolls the trajectory forward,
+// generating new legs from the node's private random stream.
+type Waypoint struct {
+	cfg      Config
+	rng      *rand.Rand
+	cur      leg
+	moves    uint64 // subnet crossings observed so far
+	lastCell int
+	lastSeen time.Duration
+}
+
+// NewWaypoint creates a trajectory starting at a uniform-random position.
+// rng must be a stream dedicated to this node so trajectories do not
+// interleave draws.
+func NewWaypoint(cfg Config, rng *rand.Rand) (*Waypoint, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("mobility: nil rng")
+	}
+	start := cfg.Terrain.RandomPoint(rng)
+	w := &Waypoint{cfg: cfg, rng: rng}
+	w.cur = w.nextLeg(start, 0)
+	w.lastCell = cfg.Terrain.CellIndex(start, cfg.SubnetCell)
+	return w, nil
+}
+
+// nextLeg draws a fresh destination and speed, departing from `from` at
+// time `depart`. The destination comes from the configured model: a
+// uniform terrain point (random waypoint) or the boundary hit of a
+// uniform direction (random direction).
+func (w *Waypoint) nextLeg(from geo.Point, depart time.Duration) leg {
+	var to geo.Point
+	if w.cfg.Model == ModelRandomDirection {
+		to = w.boundaryHit(from)
+	} else {
+		to = w.cfg.Terrain.RandomPoint(w.rng)
+	}
+	speed := w.cfg.MinSpeed + w.rng.Float64()*(w.cfg.MaxSpeed-w.cfg.MinSpeed)
+	dist := from.Dist(to)
+	travel := time.Duration(dist / speed * float64(time.Second))
+	if travel <= 0 {
+		travel = time.Millisecond // degenerate same-point draw
+	}
+	return leg{
+		from:      from,
+		to:        to,
+		departAt:  depart,
+		arriveAt:  depart + travel,
+		pauseTill: depart + travel + w.cfg.Pause,
+	}
+}
+
+// boundaryHit returns where a ray from p in a uniform-random direction
+// leaves the terrain.
+func (w *Waypoint) boundaryHit(p geo.Point) geo.Point {
+	theta := w.rng.Float64() * 2 * math.Pi
+	dx, dy := math.Cos(theta), math.Sin(theta)
+	// Smallest positive t where p + t·(dx,dy) crosses an edge.
+	best := math.MaxFloat64
+	if dx > 0 {
+		best = math.Min(best, (w.cfg.Terrain.Width-p.X)/dx)
+	} else if dx < 0 {
+		best = math.Min(best, -p.X/dx)
+	}
+	if dy > 0 {
+		best = math.Min(best, (w.cfg.Terrain.Height-p.Y)/dy)
+	} else if dy < 0 {
+		best = math.Min(best, -p.Y/dy)
+	}
+	if best == math.MaxFloat64 || best < 0 {
+		// Degenerate direction (numerically zero): stay put this leg.
+		return p
+	}
+	return w.cfg.Terrain.Clamp(geo.Point{X: p.X + best*dx, Y: p.Y + best*dy})
+}
+
+// advance rolls the trajectory forward so the current leg covers time t.
+// t must be monotonically non-decreasing across calls (enforced).
+func (w *Waypoint) advance(t time.Duration) {
+	if t < w.lastSeen {
+		// Queries must come from the simulation clock, which never goes
+		// backwards; treat a regression as a caller bug but stay safe.
+		t = w.lastSeen
+	}
+	for t > w.cur.pauseTill {
+		w.cur = w.nextLeg(w.cur.to, w.cur.pauseTill)
+	}
+}
+
+// PositionAt returns the node position at virtual time t. Calls must use
+// non-decreasing t (the simulation clock); earlier times return the
+// position at the latest time already observed.
+func (w *Waypoint) PositionAt(t time.Duration) geo.Point {
+	w.advance(t)
+	p := w.positionOnLeg(t)
+	if w.cfg.SubnetCell > 0 && t >= w.lastSeen {
+		cell := w.cfg.Terrain.CellIndex(p, w.cfg.SubnetCell)
+		if cell != w.lastCell {
+			w.moves++
+			w.lastCell = cell
+		}
+	}
+	if t > w.lastSeen {
+		w.lastSeen = t
+	}
+	return p
+}
+
+func (w *Waypoint) positionOnLeg(t time.Duration) geo.Point {
+	l := w.cur
+	switch {
+	case t <= l.departAt:
+		return l.from
+	case t >= l.arriveAt:
+		return l.to
+	default:
+		frac := float64(t-l.departAt) / float64(l.arriveAt-l.departAt)
+		return l.from.Lerp(l.to, frac)
+	}
+}
+
+// Moves returns the cumulative number of subnet crossings (the paper's
+// N_m input to the peer moving rate). Crossings are detected at query
+// times, so callers that sample positions periodically get a periodic
+// moving-rate signal, mirroring how a real node would observe itself.
+func (w *Waypoint) Moves() uint64 { return w.moves }
+
+// Field is the collection of all node trajectories; it answers the batch
+// position queries the radio model issues every topology tick.
+type Field struct {
+	nodes []*Waypoint
+}
+
+// NewField builds n independent trajectories. The stream function must
+// return a distinct deterministic RNG per node index.
+func NewField(cfg Config, n int, stream func(i int) *rand.Rand) (*Field, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("mobility: need at least one node, got %d", n)
+	}
+	if stream == nil {
+		return nil, fmt.Errorf("mobility: nil stream function")
+	}
+	nodes := make([]*Waypoint, n)
+	for i := range nodes {
+		w, err := NewWaypoint(cfg, stream(i))
+		if err != nil {
+			return nil, fmt.Errorf("mobility: node %d: %w", i, err)
+		}
+		nodes[i] = w
+	}
+	return &Field{nodes: nodes}, nil
+}
+
+// Len returns the number of nodes in the field.
+func (f *Field) Len() int { return len(f.nodes) }
+
+// Node returns the trajectory of node i.
+func (f *Field) Node(i int) *Waypoint { return f.nodes[i] }
+
+// PositionsAt fills dst with every node's position at time t, allocating
+// when dst is too small, and returns the slice.
+func (f *Field) PositionsAt(t time.Duration, dst []geo.Point) []geo.Point {
+	if cap(dst) < len(f.nodes) {
+		dst = make([]geo.Point, len(f.nodes))
+	}
+	dst = dst[:len(f.nodes)]
+	for i, w := range f.nodes {
+		dst[i] = w.PositionAt(t)
+	}
+	return dst
+}

@@ -1,0 +1,232 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"github.com/manetlab/rpcc/internal/churn"
+	"github.com/manetlab/rpcc/internal/geo"
+	"github.com/manetlab/rpcc/internal/protocol"
+	"github.com/manetlab/rpcc/internal/sim"
+	"github.com/manetlab/rpcc/internal/stats"
+)
+
+// newDSRHarness wires a DSR-routed network over a static chain.
+func newDSRHarness(t *testing.T, n int, withChurn bool) *harness {
+	t.Helper()
+	k := sim.NewKernel(sim.WithSeed(42))
+	var cp *churn.Process
+	var err error
+	if withChurn {
+		cp, err = churn.NewProcess(churn.Config{Disabled: true}, n, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.Routing = RoutingDSR
+	net, err := New(cfg, k, chain(n), cp, nil, stats.NewTraffic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &harness{k: k, net: net, churn: cp}
+	for i := 0; i < n; i++ {
+		if err := net.SetReceiver(i, func(_ *sim.Kernel, node int, msg protocol.Message, meta Meta) {
+			h.got = append(h.got, delivery{node: node, msg: msg, meta: meta})
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return h
+}
+
+func TestDSRConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Routing = RoutingMode(99)
+	if cfg.Validate() == nil {
+		t.Fatal("bogus routing mode accepted")
+	}
+	cfg.Routing = RoutingDSR
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDSRDeliversAcrossChain(t *testing.T) {
+	h := newDSRHarness(t, 5, false)
+	if err := h.net.Unicast(0, 4, testMsg(protocol.KindApply)); err != nil {
+		t.Fatal(err)
+	}
+	h.k.Run()
+	if len(h.got) != 1 || h.got[0].node != 4 {
+		t.Fatalf("deliveries = %+v, want one at node 4", h.got)
+	}
+	if h.got[0].meta.Hops != 4 {
+		t.Errorf("hops = %d, want 4", h.got[0].meta.Hops)
+	}
+	tr := h.net.Traffic()
+	// Discovery overhead must be visible: an RREQ flood and an RREP.
+	if tr.Tx(protocol.KindRREQ) == 0 {
+		t.Error("no RREQ transmissions recorded")
+	}
+	if tr.Tx(protocol.KindRREP) == 0 {
+		t.Error("no RREP transmissions recorded")
+	}
+	if got := tr.Tx(protocol.KindApply); got != 4 {
+		t.Errorf("data transmissions = %d, want 4", got)
+	}
+}
+
+func TestDSRSecondSendUsesCachedRoute(t *testing.T) {
+	h := newDSRHarness(t, 5, false)
+	h.net.Unicast(0, 4, testMsg(protocol.KindApply))
+	h.k.Run()
+	rreqAfterFirst := h.net.Traffic().Tx(protocol.KindRREQ)
+	// Second unicast within the route lifetime: no new discovery.
+	h.net.Unicast(0, 4, testMsg(protocol.KindPoll))
+	h.k.Run()
+	if len(h.got) != 2 {
+		t.Fatalf("deliveries = %d, want 2", len(h.got))
+	}
+	if got := h.net.Traffic().Tx(protocol.KindRREQ); got != rreqAfterFirst {
+		t.Errorf("second send re-flooded RREQ (%d -> %d)", rreqAfterFirst, got)
+	}
+}
+
+func TestDSRRouteExpires(t *testing.T) {
+	h := newDSRHarness(t, 4, false)
+	h.net.Unicast(0, 3, testMsg(protocol.KindApply))
+	h.k.Run()
+	first := h.net.Traffic().Tx(protocol.KindRREQ)
+	// Let the cached route age out, then send again.
+	h.k.RunUntil(h.k.Now() + dsrRouteLifetime + time.Second)
+	h.net.Unicast(0, 3, testMsg(protocol.KindPoll))
+	h.k.Run()
+	if got := h.net.Traffic().Tx(protocol.KindRREQ); got <= first {
+		t.Error("expired route did not trigger rediscovery")
+	}
+	if len(h.got) != 2 {
+		t.Fatalf("deliveries = %d, want 2", len(h.got))
+	}
+}
+
+func TestDSRDiscoveryFailsAcrossPartition(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := DefaultConfig()
+	cfg.Routing = RoutingDSR
+	pts := []geo.Point{{X: 0}, {X: 9000}}
+	net, err := New(cfg, k, &staticSource{pts: pts}, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := false
+	net.SetReceiver(1, func(*sim.Kernel, int, protocol.Message, Meta) { delivered = true })
+	if err := net.Unicast(0, 1, testMsg(protocol.KindPoll)); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if delivered {
+		t.Fatal("message crossed partition under DSR")
+	}
+	if got := net.Traffic().Dropped(protocol.KindPoll); got != 1 {
+		t.Errorf("dropped = %d, want 1 after discovery timeout", got)
+	}
+}
+
+func TestDSRBrokenLinkTriggersRERRAndPurge(t *testing.T) {
+	h := newDSRHarness(t, 5, true)
+	// Establish a route 0 -> 4.
+	h.net.Unicast(0, 4, testMsg(protocol.KindApply))
+	h.k.Run()
+	if len(h.got) != 1 {
+		t.Fatalf("setup delivery failed: %+v", h.got)
+	}
+	// Break the chain mid-route, then send along the now-stale route.
+	if err := h.churn.ForceState(h.k, 3, churn.StateDisconnected); err != nil {
+		t.Fatal(err)
+	}
+	h.net.Unicast(0, 4, testMsg(protocol.KindPoll))
+	h.k.Run()
+	if len(h.got) != 1 {
+		t.Fatal("message delivered across broken link")
+	}
+	if h.net.Traffic().Originated(protocol.KindRERR) == 0 {
+		t.Error("no RERR generated for mid-route break")
+	}
+	// The stale route must be purged: the next send rediscovers.
+	rreqBefore := h.net.Traffic().Tx(protocol.KindRREQ)
+	h.churn.ForceState(h.k, 3, churn.StateConnected)
+	h.net.Unicast(0, 4, testMsg(protocol.KindPoll))
+	h.k.Run()
+	if got := h.net.Traffic().Tx(protocol.KindRREQ); got <= rreqBefore {
+		t.Error("stale route not purged after RERR")
+	}
+	if len(h.got) != 2 {
+		t.Fatalf("recovery delivery failed (got %d deliveries)", len(h.got))
+	}
+}
+
+func TestDSRPendingQueueBounded(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := DefaultConfig()
+	cfg.Routing = RoutingDSR
+	pts := []geo.Point{{X: 0}, {X: 9000}}
+	net, err := New(cfg, k, &staticSource{pts: pts}, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < dsrMaxPending+10; i++ {
+		net.Unicast(0, 1, testMsg(protocol.KindPoll))
+	}
+	k.Run()
+	// Every message is eventually dropped (either overflow or discovery
+	// timeout), none delivered; the queue cap bounds memory.
+	if got := net.Traffic().Dropped(protocol.KindPoll); got != uint64(dsrMaxPending+10) {
+		t.Errorf("dropped = %d, want %d", got, dsrMaxPending+10)
+	}
+}
+
+func TestDSRFloodUnaffected(t *testing.T) {
+	h := newDSRHarness(t, 5, false)
+	if err := h.net.Flood(0, 8, testMsg(protocol.KindIR)); err != nil {
+		t.Fatal(err)
+	}
+	h.k.Run()
+	reached := map[int]bool{}
+	for _, d := range h.got {
+		reached[d.node] = true
+	}
+	for nd := 1; nd <= 4; nd++ {
+		if !reached[nd] {
+			t.Errorf("flood missed node %d under DSR mode", nd)
+		}
+	}
+	if h.net.Traffic().Tx(protocol.KindRREQ) != 0 {
+		t.Error("flooding triggered route discovery")
+	}
+}
+
+func TestDSRSelfDeliveryFree(t *testing.T) {
+	h := newDSRHarness(t, 3, false)
+	h.net.Unicast(1, 1, testMsg(protocol.KindPoll))
+	h.k.Run()
+	if len(h.got) != 1 || h.got[0].meta.Hops != 0 {
+		t.Fatalf("self delivery = %+v", h.got)
+	}
+	if h.net.Traffic().TotalTx() != 0 {
+		t.Error("self unicast transmitted")
+	}
+}
+
+func TestReversePath(t *testing.T) {
+	got := reversePath([]int{1, 2, 3})
+	want := []int{3, 2, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("reversePath = %v", got)
+		}
+	}
+	if len(reversePath(nil)) != 0 {
+		t.Error("reversePath(nil) not empty")
+	}
+}

@@ -1,0 +1,98 @@
+package netsim
+
+import (
+	"github.com/manetlab/rpcc/internal/geo"
+	"github.com/manetlab/rpcc/internal/protocol"
+	"github.com/manetlab/rpcc/internal/sim"
+)
+
+// Position returns node's current coordinates — the "GPS reading" a
+// location-aided protocol (GPSCE-style, [Lim04] in the paper's related
+// work) is assumed to have for free from dedicated hardware.
+func (n *Network) Position(node int) geo.Point {
+	pts := n.field.PositionsAt(n.k.Now(), nil)
+	if node < 0 || node >= len(pts) {
+		return geo.Point{}
+	}
+	return pts[node]
+}
+
+// GeoUnicast forwards msg greedily by geography: each hop hands the
+// message to its neighbour closest to the target position, delivering
+// when it reaches dst. This is GPSR-style greedy forwarding without the
+// perimeter fallback, so a local minimum (a "void" with no neighbour
+// closer to the target) drops the message — the real failure mode that
+// makes location-aided schemes cheap but lossy under mobility. The
+// caller supplies the position it BELIEVES dst is at; a stale belief
+// strands the message near the old position.
+func (n *Network) GeoUnicast(from, dst int, target geo.Point, msg protocol.Message) error {
+	if err := msg.Validate(); err != nil {
+		return err
+	}
+	if from < 0 || from >= n.Len() || dst < 0 || dst >= n.Len() {
+		return errOutOfRange(from, dst)
+	}
+	n.traffic.RecordOriginated(msg.Kind)
+	if from == dst {
+		n.deliver(dst, msg, Meta{Hops: 0, At: n.k.Now()})
+		return nil
+	}
+	if !n.Up(from) {
+		n.traffic.RecordDropped(msg.Kind)
+		return nil
+	}
+	n.geoForward(from, dst, target, msg, 0)
+	return nil
+}
+
+func errOutOfRange(from, to int) error {
+	return &rangeError{from: from, to: to}
+}
+
+// rangeError keeps the hot path free of fmt allocations.
+type rangeError struct{ from, to int }
+
+func (e *rangeError) Error() string {
+	return "netsim: geo unicast endpoint out of range"
+}
+
+// geoForward transmits one greedy hop.
+func (n *Network) geoForward(cur, dst int, target geo.Point, msg protocol.Message, hops int) {
+	if hops >= n.cfg.MaxRouteHops {
+		n.traffic.RecordDropped(msg.Kind)
+		return
+	}
+	g := n.Graph()
+	pts := n.field.PositionsAt(n.k.Now(), nil)
+	// Direct delivery when the destination is a neighbour.
+	next := -1
+	if g.Connected(cur, dst) {
+		next = dst
+	} else {
+		// Greedy: strictly closer to the target than we are, else void.
+		best := pts[cur].Dist(target)
+		for _, v := range g.Neighbors(cur) {
+			if d := pts[v].Dist(target); d < best {
+				best, next = d, v
+			}
+		}
+	}
+	if next < 0 {
+		n.traffic.RecordDropped(msg.Kind) // local minimum: void
+		return
+	}
+	n.traffic.RecordTx(msg.Kind, msg.Size())
+	n.spendTx(cur)
+	n.k.After(n.txDelay(cur, msg.Size()), "netsim.geohop", func(*sim.Kernel) {
+		if !n.Up(next) || n.lost() {
+			n.traffic.RecordDropped(msg.Kind)
+			return
+		}
+		n.spendRx(next)
+		if next == dst {
+			n.deliver(dst, msg, Meta{Hops: hops + 1, At: n.k.Now()})
+			return
+		}
+		n.geoForward(next, dst, target, msg, hops+1)
+	})
+}

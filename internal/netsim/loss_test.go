@@ -1,0 +1,119 @@
+package netsim
+
+import (
+	"testing"
+
+	"github.com/manetlab/rpcc/internal/protocol"
+	"github.com/manetlab/rpcc/internal/sim"
+	"github.com/manetlab/rpcc/internal/stats"
+)
+
+func TestLossRateValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LossRate = -0.1
+	if cfg.Validate() == nil {
+		t.Error("negative loss rate accepted")
+	}
+	cfg.LossRate = 1
+	if cfg.Validate() == nil {
+		t.Error("loss rate 1 accepted (nothing would ever arrive)")
+	}
+	cfg.LossRate = 0.3
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroLossDeliversEverything(t *testing.T) {
+	k := sim.NewKernel(sim.WithSeed(1))
+	net, err := New(DefaultConfig(), k, chain(4), nil, nil, stats.NewTraffic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	net.SetReceiver(3, func(*sim.Kernel, int, protocol.Message, Meta) { got++ })
+	for i := 0; i < 50; i++ {
+		net.Unicast(0, 3, testMsg(protocol.KindPoll))
+	}
+	k.Run()
+	if got != 50 {
+		t.Fatalf("delivered %d of 50 on a clean channel", got)
+	}
+}
+
+func TestLossDropsSomeDeliveries(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LossRate = 0.2
+	k := sim.NewKernel(sim.WithSeed(2))
+	net, err := New(cfg, k, chain(4), nil, nil, stats.NewTraffic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	net.SetReceiver(3, func(*sim.Kernel, int, protocol.Message, Meta) { got++ })
+	const sends = 200
+	for i := 0; i < sends; i++ {
+		net.Unicast(0, 3, testMsg(protocol.KindPoll))
+	}
+	k.Run()
+	// 3 hops, 20% loss per reception: P(delivery) = 0.8^3 = 51.2%.
+	if got == sends {
+		t.Fatal("lossy channel delivered everything")
+	}
+	if got < sends/4 || got > sends*3/4 {
+		t.Errorf("delivered %d of %d, want roughly half (0.8^3)", got, sends)
+	}
+	if net.Traffic().Dropped(protocol.KindPoll) == 0 {
+		t.Error("losses not recorded as drops")
+	}
+}
+
+func TestLossAffectsFloodCoverage(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LossRate = 0.5
+	k := sim.NewKernel(sim.WithSeed(3))
+	net, err := New(cfg, k, chain(8), nil, nil, stats.NewTraffic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reach := make([]int, 8)
+	for i := 0; i < 8; i++ {
+		i := i
+		net.SetReceiver(i, func(*sim.Kernel, int, protocol.Message, Meta) { reach[i]++ })
+	}
+	const floods = 100
+	for i := 0; i < floods; i++ {
+		net.Flood(0, 8, testMsg(protocol.KindIR))
+	}
+	k.Run()
+	// With 50% per-hop loss on a chain, far nodes hear far fewer floods
+	// than near ones.
+	if reach[1] <= reach[7] {
+		t.Errorf("loss did not attenuate with distance: 1-hop %d vs 7-hop %d", reach[1], reach[7])
+	}
+	if reach[7] == floods {
+		t.Error("7-hop node heard every flood at 50%% loss")
+	}
+}
+
+func TestLossDeterministic(t *testing.T) {
+	run := func() int {
+		cfg := DefaultConfig()
+		cfg.LossRate = 0.3
+		k := sim.NewKernel(sim.WithSeed(9))
+		net, err := New(cfg, k, chain(5), nil, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := 0
+		net.SetReceiver(4, func(*sim.Kernel, int, protocol.Message, Meta) { got++ })
+		for i := 0; i < 100; i++ {
+			net.Unicast(0, 4, testMsg(protocol.KindPoll))
+		}
+		k.Run()
+		return got
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same-seed lossy runs diverged: %d vs %d", a, b)
+	}
+}

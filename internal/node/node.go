@@ -1,0 +1,333 @@
+// Package node provides the per-strategy plumbing that every consistency
+// strategy (RPCC and the push/pull baselines) shares: query lifecycle
+// bookkeeping (issue → answer/fail, with latency recording and consistency
+// auditing) and the cooperative-caching fetch machinery that locates a
+// copy of a missing item (the "independent mechanism for replica placement
+// and for locating the nearest cache node" the paper assumes in §3).
+package node
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/manetlab/rpcc/internal/cache"
+	"github.com/manetlab/rpcc/internal/consistency"
+	"github.com/manetlab/rpcc/internal/data"
+	"github.com/manetlab/rpcc/internal/netsim"
+	"github.com/manetlab/rpcc/internal/protocol"
+	"github.com/manetlab/rpcc/internal/sim"
+	"github.com/manetlab/rpcc/internal/stats"
+)
+
+// Query is one in-flight query request.
+type Query struct {
+	Seq      uint64
+	Host     int
+	Item     data.ItemID
+	Level    consistency.Level
+	IssuedAt time.Duration
+	resolved bool
+}
+
+// Resolved reports whether the query has been answered or failed.
+func (q *Query) Resolved() bool { return q.resolved }
+
+// FetchCallback receives the outcome of a fetch: the copy, the node that
+// supplied it, and true on success; a zero copy, -1 and false when every
+// attempt timed out. Strategies use `from` to decide how much to trust the
+// copy (a reply from the item's owner is authoritative).
+type FetchCallback func(k *sim.Kernel, c data.Copy, from int, ok bool)
+
+// fetch tracks one in-flight copy search.
+type fetch struct {
+	host int
+	item data.ItemID
+	cb   FetchCallback
+	done bool
+}
+
+// Config tunes the shared fetch machinery.
+type Config struct {
+	// RingTTLs is the expanding-ring search schedule for cooperative
+	// fetches; each ring floods DATA_REQUEST with the given TTL and waits
+	// RingTimeout before escalating.
+	RingTTLs    []int
+	RingTimeout time.Duration
+	// DirectTimeout bounds a unicast fetch from the owner.
+	DirectTimeout time.Duration
+}
+
+// DefaultConfig returns the fetch schedule used in the experiments: a
+// local 4-hop ring, then the network-wide 8-hop flood (TTL_BR in Table 1).
+func DefaultConfig() Config {
+	return Config{
+		RingTTLs:      []int{4, 8},
+		RingTimeout:   500 * time.Millisecond,
+		DirectTimeout: time.Second,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if len(c.RingTTLs) == 0 {
+		return fmt.Errorf("node: empty ring schedule")
+	}
+	for _, ttl := range c.RingTTLs {
+		if ttl <= 0 {
+			return fmt.Errorf("node: non-positive ring TTL %d", ttl)
+		}
+	}
+	if c.RingTimeout <= 0 {
+		return fmt.Errorf("node: non-positive ring timeout %v", c.RingTimeout)
+	}
+	if c.DirectTimeout <= 0 {
+		return fmt.Errorf("node: non-positive direct timeout %v", c.DirectTimeout)
+	}
+	return nil
+}
+
+// Chassis bundles the shared state. One chassis serves one strategy
+// instance (one simulation run).
+type Chassis struct {
+	cfg     Config
+	Net     *netsim.Network
+	Reg     *data.Registry
+	Stores  []*cache.Store
+	Latency *stats.Latency
+	Auditor *consistency.Auditor
+
+	seq     uint64
+	fetches map[uint64]*fetch
+
+	issued      uint64
+	answered    uint64
+	failed      uint64
+	failReasons map[string]uint64
+	violations  uint64
+}
+
+// NewChassis wires the shared plumbing. All dependencies are required.
+func NewChassis(cfg Config, net *netsim.Network, reg *data.Registry, stores []*cache.Store, lat *stats.Latency, aud *consistency.Auditor) (*Chassis, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if net == nil || reg == nil || lat == nil || aud == nil {
+		return nil, fmt.Errorf("node: nil dependency")
+	}
+	if len(stores) != net.Len() {
+		return nil, fmt.Errorf("node: %d stores for %d nodes", len(stores), net.Len())
+	}
+	if reg.Len() != net.Len() {
+		return nil, fmt.Errorf("node: %d items for %d nodes (paper model is m=n)", reg.Len(), net.Len())
+	}
+	return &Chassis{
+		cfg:         cfg,
+		Net:         net,
+		Reg:         reg,
+		Stores:      stores,
+		Latency:     lat,
+		Auditor:     aud,
+		fetches:     make(map[uint64]*fetch),
+		failReasons: make(map[string]uint64),
+	}, nil
+}
+
+// NextSeq hands out process-wide unique sequence numbers for protocol
+// rounds.
+func (c *Chassis) NextSeq() uint64 {
+	c.seq++
+	return c.seq
+}
+
+// Begin registers a new query issued by host for item at the current time.
+func (c *Chassis) Begin(k *sim.Kernel, host int, item data.ItemID, level consistency.Level) *Query {
+	c.issued++
+	return &Query{
+		Seq:      c.NextSeq(),
+		Host:     host,
+		Item:     item,
+		Level:    level,
+		IssuedAt: k.Now(),
+	}
+}
+
+// Answer resolves q with the served copy: it records latency, audits the
+// answer against ground truth, and stores nothing (callers decide about
+// caching). Double resolution is ignored so racing reply paths are safe.
+func (c *Chassis) Answer(k *sim.Kernel, q *Query, served data.Copy) {
+	if q == nil || q.resolved {
+		return
+	}
+	q.resolved = true
+	c.answered++
+	c.Latency.Record(k.Now() - q.IssuedAt)
+	v, err := c.Auditor.Check(consistency.Answer{
+		Host:       q.Host,
+		Item:       q.Item,
+		Level:      q.Level,
+		IssuedAt:   q.IssuedAt,
+		AnsweredAt: k.Now(),
+		Served:     served,
+	})
+	if err != nil {
+		// Audit errors indicate simulation bugs (unknown item, bad
+		// level); surface them in the failure ledger loudly.
+		c.failReasons["audit-error:"+err.Error()]++
+		return
+	}
+	if v != consistency.ViolationNone {
+		c.violations++
+	}
+}
+
+// Fail resolves q unanswered, recording the reason. Queries that a
+// strategy abandons (partition, timeout cascade) land here and are
+// reported separately from latency so they cannot flatter the mean.
+func (c *Chassis) Fail(q *Query, reason string) {
+	if q == nil || q.resolved {
+		return
+	}
+	q.resolved = true
+	c.failed++
+	c.failReasons[reason]++
+}
+
+// Issued returns the number of queries begun.
+func (c *Chassis) Issued() uint64 { return c.issued }
+
+// Answered returns the number of queries answered.
+func (c *Chassis) Answered() uint64 { return c.answered }
+
+// Failed returns the number of queries that failed.
+func (c *Chassis) Failed() uint64 { return c.failed }
+
+// AuditViolations returns how many answers violated their level.
+func (c *Chassis) AuditViolations() uint64 { return c.violations }
+
+// FailReasons returns failure reasons sorted by name.
+func (c *Chassis) FailReasons() []ReasonCount {
+	out := make([]ReasonCount, 0, len(c.failReasons))
+	for r, n := range c.failReasons {
+		out = append(out, ReasonCount{Reason: r, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Reason < out[j].Reason })
+	return out
+}
+
+// ReasonCount is one failure-reason tally.
+type ReasonCount struct {
+	Reason string
+	Count  uint64
+}
+
+// FetchRing searches for a copy of item with expanding-ring DATA_REQUEST
+// floods from host, invoking cb exactly once with the first reply or with
+// ok=false after the last ring times out.
+func (c *Chassis) FetchRing(k *sim.Kernel, host int, item data.ItemID, cb FetchCallback) {
+	f := &fetch{host: host, item: item, cb: cb}
+	seq := c.NextSeq()
+	c.fetches[seq] = f
+	c.ring(k, f, seq, 0)
+}
+
+func (c *Chassis) ring(k *sim.Kernel, f *fetch, seq uint64, idx int) {
+	if f.done {
+		return
+	}
+	if idx >= len(c.cfg.RingTTLs) {
+		f.done = true
+		delete(c.fetches, seq)
+		f.cb(k, data.Copy{}, -1, false)
+		return
+	}
+	msg := protocol.Message{
+		Kind:   protocol.KindDataRequest,
+		Item:   f.item,
+		Origin: f.host,
+		Seq:    seq,
+	}
+	if err := c.Net.Flood(f.host, c.cfg.RingTTLs[idx], msg); err != nil {
+		f.done = true
+		delete(c.fetches, seq)
+		f.cb(k, data.Copy{}, -1, false)
+		return
+	}
+	k.After(c.cfg.RingTimeout, "node.fetch.ring", func(kk *sim.Kernel) {
+		c.ring(kk, f, seq, idx+1)
+	})
+}
+
+// FetchDirect asks the owner of item for its master copy with a unicast
+// DATA_REQUEST, invoking cb once with the reply or with ok=false on
+// timeout.
+func (c *Chassis) FetchDirect(k *sim.Kernel, host int, item data.ItemID, cb FetchCallback) {
+	f := &fetch{host: host, item: item, cb: cb}
+	seq := c.NextSeq()
+	c.fetches[seq] = f
+	msg := protocol.Message{
+		Kind:   protocol.KindDataRequest,
+		Item:   item,
+		Origin: host,
+		Seq:    seq,
+	}
+	owner := c.Reg.Owner(item)
+	if err := c.Net.Unicast(host, owner, msg); err != nil {
+		f.done = true
+		delete(c.fetches, seq)
+		cb(k, data.Copy{}, -1, false)
+		return
+	}
+	k.After(c.cfg.DirectTimeout, "node.fetch.direct", func(kk *sim.Kernel) {
+		if f.done {
+			return
+		}
+		f.done = true
+		delete(c.fetches, seq)
+		cb(kk, data.Copy{}, -1, false)
+	})
+}
+
+// HandleDataRequest serves a DATA_REQUEST arriving at node: owners answer
+// with the master copy, cache holders with their cached copy. Strategies
+// route KindDataRequest deliveries here.
+func (c *Chassis) HandleDataRequest(k *sim.Kernel, node int, msg protocol.Message) {
+	var served data.Copy
+	if c.Reg.Owner(msg.Item) == node {
+		m, err := c.Reg.Master(msg.Item)
+		if err != nil {
+			return
+		}
+		served = m.Current()
+	} else if cp, ok := c.Stores[node].Peek(msg.Item); ok {
+		served = cp
+	} else {
+		return // nothing to offer
+	}
+	reply := protocol.Message{
+		Kind:    protocol.KindDataReply,
+		Item:    msg.Item,
+		Origin:  node,
+		Version: served.Version,
+		Copy:    served,
+		Seq:     msg.Seq,
+	}
+	// Best-effort: a failed unicast surfaces via the requester's timeout.
+	_ = c.Net.Unicast(node, msg.Origin, reply)
+}
+
+// HandleDataReply resolves the pending fetch matching the reply's Seq.
+// Later duplicate replies (multiple holders answered the flood) are
+// dropped. Strategies route KindDataReply deliveries here.
+func (c *Chassis) HandleDataReply(k *sim.Kernel, node int, msg protocol.Message) {
+	f, ok := c.fetches[msg.Seq]
+	if !ok || f.done || f.host != node || f.item != msg.Item {
+		return
+	}
+	f.done = true
+	delete(c.fetches, msg.Seq)
+	f.cb(k, msg.Copy, msg.Origin, true)
+}
+
+// PendingFetches returns the number of unresolved fetches (diagnostic).
+func (c *Chassis) PendingFetches() int { return len(c.fetches) }

@@ -1,0 +1,214 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/manetlab/rpcc/internal/data"
+	"github.com/manetlab/rpcc/internal/geo"
+)
+
+// timeDuration converts the wire integer back to the virtual timestamp.
+func timeDuration(v int64) time.Duration { return time.Duration(v) }
+
+// Wire format. The simulator itself passes Message values in memory; this
+// codec exists so the protocol can cross a real transport (UDP broadcast,
+// Bluetooth L2CAP) unchanged, and so tests can assert that every field
+// survives a round trip. Layout, all integers varint-encoded unless
+// noted:
+//
+//	magic byte 0xRC | version byte | kind | flags | item | origin |
+//	version | seq | path(len + entries) |
+//	[pos: 2 × float64 LE, if flagPos] |
+//	[copy: id, version, writtenAt, value(len + bytes), if flagCopy]
+const (
+	wireMagic   = 0xAC
+	wireVersion = 1
+
+	flagPos  = 1 << 0
+	flagMiss = 1 << 1
+	flagCopy = 1 << 2
+)
+
+// Marshal encodes m into the binary wire format.
+func Marshal(m Message) ([]byte, error) {
+	if !m.Kind.Valid() {
+		return nil, fmt.Errorf("protocol: marshal of invalid kind %v", m.Kind)
+	}
+	buf := make([]byte, 0, m.Size()+16)
+	buf = append(buf, wireMagic, wireVersion, byte(m.Kind))
+
+	var flags byte
+	if m.HasPos {
+		flags |= flagPos
+	}
+	if m.Miss {
+		flags |= flagMiss
+	}
+	hasCopy := m.Copy != (data.Copy{})
+	if hasCopy {
+		flags |= flagCopy
+	}
+	buf = append(buf, flags)
+
+	buf = binary.AppendVarint(buf, int64(m.Item))
+	buf = binary.AppendVarint(buf, int64(m.Origin))
+	buf = binary.AppendUvarint(buf, uint64(m.Version))
+	buf = binary.AppendUvarint(buf, m.Seq)
+
+	buf = binary.AppendUvarint(buf, uint64(len(m.Path)))
+	for _, hop := range m.Path {
+		buf = binary.AppendVarint(buf, int64(hop))
+	}
+	if m.HasPos {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m.Pos.X))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m.Pos.Y))
+	}
+	if hasCopy {
+		buf = binary.AppendVarint(buf, int64(m.Copy.ID))
+		buf = binary.AppendUvarint(buf, uint64(m.Copy.Version))
+		buf = binary.AppendVarint(buf, int64(m.Copy.WrittenAt))
+		buf = binary.AppendUvarint(buf, uint64(len(m.Copy.Value)))
+		buf = append(buf, m.Copy.Value...)
+	}
+	return buf, nil
+}
+
+// decoder walks a wire buffer with error-latching reads.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.buf) {
+		d.err = fmt.Errorf("protocol: truncated message at byte %d", d.off)
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.err = fmt.Errorf("protocol: bad varint at byte %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.err = fmt.Errorf("protocol: bad uvarint at byte %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) float64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.buf) {
+		d.err = fmt.Errorf("protocol: truncated float at byte %d", d.off)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.off:]))
+	d.off += 8
+	return v
+}
+
+func (d *decoder) bytes(n uint64) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if uint64(d.off)+n > uint64(len(d.buf)) {
+		d.err = fmt.Errorf("protocol: truncated bytes at byte %d", d.off)
+		return nil
+	}
+	out := d.buf[d.off : d.off+int(n)]
+	d.off += int(n)
+	return out
+}
+
+// maxWirePath bounds decoded path lengths; no MANET source route is
+// longer, and the cap stops a hostile length prefix from allocating
+// gigabytes.
+const maxWirePath = 256
+
+// maxWireValue bounds decoded payload lengths (1 MiB).
+const maxWireValue = 1 << 20
+
+// Unmarshal decodes a wire buffer back into a Message.
+func Unmarshal(buf []byte) (Message, error) {
+	d := &decoder{buf: buf}
+	if d.byte() != wireMagic {
+		return Message{}, fmt.Errorf("protocol: bad magic")
+	}
+	if v := d.byte(); v != wireVersion && d.err == nil {
+		return Message{}, fmt.Errorf("protocol: unsupported wire version %d", v)
+	}
+	var m Message
+	m.Kind = Kind(d.byte())
+	flags := d.byte()
+	if flags&^(byte(flagPos|flagMiss|flagCopy)) != 0 && d.err == nil {
+		return Message{}, fmt.Errorf("protocol: unknown flag bits %#x", flags)
+	}
+	m.Item = data.ItemID(d.varint())
+	m.Origin = int(d.varint())
+	m.Version = data.Version(d.uvarint())
+	m.Seq = d.uvarint()
+
+	pathLen := d.uvarint()
+	if d.err == nil && pathLen > maxWirePath {
+		return Message{}, fmt.Errorf("protocol: path length %d exceeds cap", pathLen)
+	}
+	if pathLen > 0 && d.err == nil {
+		m.Path = make([]int, pathLen)
+		for i := range m.Path {
+			m.Path[i] = int(d.varint())
+		}
+	}
+	if flags&flagPos != 0 {
+		m.HasPos = true
+		m.Pos = geo.Point{X: d.float64(), Y: d.float64()}
+	}
+	m.Miss = flags&flagMiss != 0
+	if flags&flagCopy != 0 {
+		m.Copy.ID = data.ItemID(d.varint())
+		m.Copy.Version = data.Version(d.uvarint())
+		m.Copy.WrittenAt = timeDuration(d.varint())
+		n := d.uvarint()
+		if d.err == nil && n > maxWireValue {
+			return Message{}, fmt.Errorf("protocol: value length %d exceeds cap", n)
+		}
+		m.Copy.Value = string(d.bytes(n))
+	}
+	if d.err != nil {
+		return Message{}, d.err
+	}
+	if d.off != len(buf) {
+		return Message{}, fmt.Errorf("protocol: %d trailing bytes", len(buf)-d.off)
+	}
+	if !m.Kind.Valid() {
+		return Message{}, fmt.Errorf("protocol: decoded invalid kind %d", m.Kind)
+	}
+	return m, nil
+}

@@ -1,0 +1,107 @@
+package protocol
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/manetlab/rpcc/internal/data"
+)
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		k    Kind
+		want string
+	}{
+		{KindInvalidation, "INVALIDATION"},
+		{KindUpdate, "UPDATE"},
+		{KindGetNew, "GET_NEW"},
+		{KindSendNew, "SEND_NEW"},
+		{KindApply, "APPLY"},
+		{KindApplyAck, "APPLY_ACK"},
+		{KindCancel, "CANCEL"},
+		{KindPoll, "POLL"},
+		{KindPollAckA, "POLL_ACK_A"},
+		{KindPollAckB, "POLL_ACK_B"},
+		{KindDataRequest, "DATA_REQUEST"},
+		{KindDataReply, "DATA_REPLY"},
+		{KindIR, "IR"},
+		{KindPullPoll, "PULL_POLL"},
+		{KindPullReply, "PULL_REPLY"},
+		{KindPullAck, "PULL_ACK"},
+	}
+	for _, tt := range tests {
+		if got := tt.k.String(); got != tt.want {
+			t.Errorf("Kind %d String = %q, want %q", tt.k, got, tt.want)
+		}
+		if !tt.k.Valid() {
+			t.Errorf("Kind %v reported invalid", tt.k)
+		}
+	}
+}
+
+func TestInvalidKind(t *testing.T) {
+	if KindInvalid.Valid() {
+		t.Error("KindInvalid reported valid")
+	}
+	if Kind(999).Valid() {
+		t.Error("Kind(999) reported valid")
+	}
+	if s := Kind(999).String(); !strings.Contains(s, "999") {
+		t.Errorf("unknown kind String = %q", s)
+	}
+}
+
+func TestNumKindsCoversAllNames(t *testing.T) {
+	for k := Kind(1); int(k) < NumKinds; k++ {
+		if kindNames[k] == "" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+}
+
+func TestSize(t *testing.T) {
+	control := Message{Kind: KindPoll, Item: 1}
+	content := Message{Kind: KindUpdate, Item: 1, Copy: data.Copy{ID: 1, Version: 2, Value: data.ValueFor(1, 2)}}
+	if control.Size() >= content.Size() {
+		t.Errorf("control %d >= content %d bytes", control.Size(), content.Size())
+	}
+	if control.Size() != headerBytes {
+		t.Errorf("control size = %d, want %d", control.Size(), headerBytes)
+	}
+	if content.Size() != headerBytes+payloadBytes {
+		t.Errorf("content size = %d", content.Size())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := data.Copy{ID: 3, Version: 5, Value: data.ValueFor(3, 5)}
+	tests := []struct {
+		name string
+		m    Message
+		ok   bool
+	}{
+		{"control ok", Message{Kind: KindInvalidation, Item: 3, Version: 5}, true},
+		{"content ok", Message{Kind: KindUpdate, Item: 3, Version: 5, Copy: good}, true},
+		{"zero kind", Message{Item: 3}, false},
+		{"wrong item in copy", Message{Kind: KindUpdate, Item: 4, Copy: good}, false},
+		{"torn copy", Message{Kind: KindSendNew, Item: 3, Copy: data.Copy{ID: 3, Version: 5, Value: "garbage"}}, false},
+		{"poll ack B needs payload", Message{Kind: KindPollAckB, Item: 3, Copy: data.Copy{ID: 3}}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.m.Validate(); (err == nil) != tt.ok {
+				t.Errorf("Validate() = %v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestMessageString(t *testing.T) {
+	m := Message{Kind: KindUpdate, Item: 3, Version: 7, Origin: 2}
+	got := m.String()
+	for _, want := range []string{"UPDATE", "D3", "v7", "M2"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("String = %q, missing %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package pushpull
+
+import (
+	"testing"
+	"time"
+
+	"github.com/manetlab/rpcc/internal/consistency"
+	"github.com/manetlab/rpcc/internal/data"
+	"github.com/manetlab/rpcc/internal/protocol"
+)
+
+// warmGPSCE places the current master copy with the placement rendezvous.
+func warmGPSCE(t *testing.T, e *env, g *GPSCE, host int, item data.ItemID) {
+	t.Helper()
+	m, err := e.reg.Master(item)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Warm(e.k, host, m.Current())
+}
+
+func TestGPSCEConfigValidate(t *testing.T) {
+	if err := DefaultGPSCEConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultGPSCEConfig()
+	bad.ReRegisterEvery = 0
+	if bad.Validate() == nil {
+		t.Error("zero re-register period accepted")
+	}
+	bad = DefaultGPSCEConfig()
+	bad.FetchTimeout = 0
+	if bad.Validate() == nil {
+		t.Error("zero fetch timeout accepted")
+	}
+}
+
+func TestGPSCEValidCopyAnswersImmediately(t *testing.T) {
+	e := newEnv(t, 4)
+	g, err := NewGPSCE(DefaultGPSCEConfig(), e.ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmGPSCE(t, e, g, 0, 2)
+	if err := g.Start(e.k); err != nil {
+		t.Fatal(err)
+	}
+	before := e.net.Traffic().TotalTx()
+	g.OnQuery(e.k, 0, 2, consistency.LevelStrong)
+	if e.ch.Answered() != 1 {
+		t.Fatal("valid copy not answered synchronously")
+	}
+	if e.net.Traffic().TotalTx() != before {
+		t.Error("valid-copy answer generated traffic")
+	}
+}
+
+func TestGPSCEEagerInvalidationThenRefetch(t *testing.T) {
+	e := newEnv(t, 4)
+	g, _ := NewGPSCE(DefaultGPSCEConfig(), e.ch)
+	warmGPSCE(t, e, g, 0, 2)
+	g.Start(e.k)
+	// The source updates: a GEO_INV reaches the registered cache node.
+	g.OnUpdate(e.k, 2)
+	e.k.RunUntil(5 * time.Second)
+	if e.net.Traffic().Delivered(protocol.KindGeoInv) == 0 {
+		t.Fatal("no GEO_INV delivered after update")
+	}
+	// The copy is now invalid: the next strong query refetches.
+	g.OnQuery(e.k, 0, 2, consistency.LevelStrong)
+	e.k.RunUntil(e.k.Now() + 10*time.Second)
+	if e.ch.Answered() != 1 {
+		t.Fatalf("refetch query unanswered; reasons=%v", e.ch.FailReasons())
+	}
+	cp, _ := e.stores[0].Peek(2)
+	if cp.Version != 1 {
+		t.Errorf("copy after refetch = v%d, want v1", cp.Version)
+	}
+	if e.ch.AuditViolations() != 0 {
+		t.Error("refetched strong answer flagged stale")
+	}
+}
+
+func TestGPSCEOwnerAnswersLocally(t *testing.T) {
+	e := newEnv(t, 3)
+	g, _ := NewGPSCE(DefaultGPSCEConfig(), e.ch)
+	g.Start(e.k)
+	g.OnQuery(e.k, 1, 1, consistency.LevelStrong)
+	if e.ch.Answered() != 1 {
+		t.Fatal("owner query not local")
+	}
+}
+
+func TestGPSCEMissFetchesAndRegisters(t *testing.T) {
+	e := newEnv(t, 4)
+	g, _ := NewGPSCE(DefaultGPSCEConfig(), e.ch)
+	g.Start(e.k)
+	g.OnQuery(e.k, 0, 2, consistency.LevelStrong)
+	e.k.RunUntil(10 * time.Second)
+	if e.ch.Answered() != 1 {
+		t.Fatalf("miss unanswered; reasons=%v", e.ch.FailReasons())
+	}
+	if !e.stores[0].Contains(2) {
+		t.Error("miss not cached")
+	}
+	// The owner answered the ring fetch, so the node registered.
+	if _, registered := g.registry[2][0]; !registered {
+		t.Error("owner-served miss did not register the cache node")
+	}
+}
+
+func TestGPSCEReRegistrationRefreshesPositions(t *testing.T) {
+	e := newEnv(t, 4)
+	g, _ := NewGPSCE(DefaultGPSCEConfig(), e.ch)
+	warmGPSCE(t, e, g, 0, 2)
+	g.Start(e.k)
+	e.k.RunUntil(10 * time.Minute)
+	if e.net.Traffic().Delivered(protocol.KindRegister) == 0 {
+		t.Fatal("no REGISTER messages delivered over 10 minutes")
+	}
+	// Registration acks double as validations: GEO_INV flows even with
+	// no updates.
+	if e.net.Traffic().Delivered(protocol.KindGeoInv) == 0 {
+		t.Error("no GEO_INV acks for registrations")
+	}
+}
+
+func TestGPSCEControlPlaneNeverFloods(t *testing.T) {
+	e := newEnv(t, 4)
+	g, _ := NewGPSCE(DefaultGPSCEConfig(), e.ch)
+	for host := 1; host < 4; host++ {
+		warmGPSCE(t, e, g, host, 0)
+	}
+	g.Start(e.k)
+	for i := 0; i < 5; i++ {
+		g.OnUpdate(e.k, 0)
+		e.k.RunUntil(e.k.Now() + 2*time.Minute)
+	}
+	tr := e.net.Traffic()
+	for _, kind := range []protocol.Kind{protocol.KindIR, protocol.KindInvalidation, protocol.KindPullPoll} {
+		if tr.Tx(kind) != 0 {
+			t.Errorf("location-aided control plane used flooding kind %v", kind)
+		}
+	}
+	if tr.Delivered(protocol.KindGeoInv) == 0 {
+		t.Error("no geo invalidations flowed")
+	}
+}
+
+func TestGPSCEDoubleStartRejected(t *testing.T) {
+	e := newEnv(t, 3)
+	g, _ := NewGPSCE(DefaultGPSCEConfig(), e.ch)
+	g.Start(e.k)
+	if g.Start(e.k) == nil {
+		t.Error("double start accepted")
+	}
+}

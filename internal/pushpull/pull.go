@@ -1,0 +1,207 @@
+package pushpull
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/manetlab/rpcc/internal/consistency"
+	"github.com/manetlab/rpcc/internal/data"
+	"github.com/manetlab/rpcc/internal/netsim"
+	"github.com/manetlab/rpcc/internal/node"
+	"github.com/manetlab/rpcc/internal/protocol"
+	"github.com/manetlab/rpcc/internal/sim"
+)
+
+// PullConfig parameterises the simple pull baseline.
+type PullConfig struct {
+	// BroadcastTTL is the poll flood scope (Table 1 TTL_BR: 8 hops).
+	BroadcastTTL int
+	// PollTimeout bounds one poll round before the query fails.
+	PollTimeout time.Duration
+}
+
+// DefaultPullConfig follows Table 1.
+func DefaultPullConfig() PullConfig {
+	return PullConfig{
+		BroadcastTTL: 8,
+		PollTimeout:  2 * time.Second,
+	}
+}
+
+// Validate reports configuration errors.
+func (c PullConfig) Validate() error {
+	if c.BroadcastTTL <= 0 {
+		return fmt.Errorf("pushpull: non-positive broadcast TTL %d", c.BroadcastTTL)
+	}
+	if c.PollTimeout <= 0 {
+		return fmt.Errorf("pushpull: non-positive poll timeout %v", c.PollTimeout)
+	}
+	return nil
+}
+
+// Pull is the simple pull baseline: every query floods a poll that only
+// the item's source host answers. Heavy on traffic, light on latency —
+// exactly the trade-off Fig 7/8 show.
+type Pull struct {
+	cfg     PullConfig
+	ch      *node.Chassis
+	rounds  map[uint64]*node.Query
+	started bool
+}
+
+// NewPull builds the baseline on the shared chassis.
+func NewPull(cfg PullConfig, ch *node.Chassis) (*Pull, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if ch == nil {
+		return nil, fmt.Errorf("pushpull: nil chassis")
+	}
+	return &Pull{cfg: cfg, ch: ch, rounds: make(map[uint64]*node.Query)}, nil
+}
+
+// Name identifies the strategy.
+func (p *Pull) Name() string { return "pull" }
+
+// Chassis exposes shared metrics.
+func (p *Pull) Chassis() *node.Chassis { return p.ch }
+
+// Start installs receivers. Pull has no periodic duties.
+func (p *Pull) Start(k *sim.Kernel) error {
+	if p.started {
+		return fmt.Errorf("pushpull: pull already started")
+	}
+	p.started = true
+	for nd := 0; nd < p.ch.Net.Len(); nd++ {
+		if err := p.ch.Net.SetReceiver(nd, func(kk *sim.Kernel, n int, msg protocol.Message, meta netsim.Meta) {
+			p.dispatch(kk, n, msg)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OnUpdate commits a new version at host's master. Pull sources never
+// push anything; cache nodes discover updates by polling.
+func (p *Pull) OnUpdate(k *sim.Kernel, host int) {
+	m, err := p.ch.Reg.Master(p.ch.Reg.OwnedBy(host))
+	if err != nil {
+		return
+	}
+	if _, err := m.Update(k.Now()); err != nil {
+		panic(fmt.Sprintf("pushpull: master update failed: %v", err))
+	}
+}
+
+// OnQuery serves one query by polling the source host, whatever the
+// requested level — simple pull validates every request.
+func (p *Pull) OnQuery(k *sim.Kernel, host int, item data.ItemID, level consistency.Level) {
+	q := p.ch.Begin(k, host, item, level)
+	if p.ch.Reg.Owner(item) == host {
+		m, err := p.ch.Reg.Master(item)
+		if err != nil {
+			p.ch.Fail(q, "unknown-item")
+			return
+		}
+		p.ch.Answer(k, q, m.Current())
+		return
+	}
+	var have data.Version
+	miss := true
+	if cp, ok := p.ch.Stores[host].Get(item); ok {
+		have = cp.Version
+		miss = false
+	}
+	p.rounds[q.Seq] = q
+	poll := protocol.Message{
+		Kind:    protocol.KindPullPoll,
+		Item:    item,
+		Origin:  host,
+		Version: have,
+		Seq:     q.Seq,
+		Miss:    miss,
+	}
+	if err := p.ch.Net.Flood(host, p.cfg.BroadcastTTL, poll); err != nil {
+		delete(p.rounds, q.Seq)
+		p.ch.Fail(q, "poll-send")
+		return
+	}
+	k.After(p.cfg.PollTimeout, "pull.timeout", func(*sim.Kernel) {
+		if _, open := p.rounds[q.Seq]; open {
+			delete(p.rounds, q.Seq)
+			p.ch.Fail(q, "poll-timeout")
+		}
+	})
+}
+
+func (p *Pull) dispatch(k *sim.Kernel, nd int, msg protocol.Message) {
+	switch msg.Kind {
+	case protocol.KindPullPoll:
+		p.onPoll(k, nd, msg)
+	case protocol.KindPullAck:
+		p.onAck(k, nd, msg)
+	case protocol.KindPullReply:
+		p.onReply(k, nd, msg)
+	case protocol.KindDataRequest:
+		p.ch.HandleDataRequest(k, nd, msg)
+	case protocol.KindDataReply:
+		p.ch.HandleDataReply(k, nd, msg)
+	}
+}
+
+// onPoll answers at the source host only.
+func (p *Pull) onPoll(k *sim.Kernel, nd int, msg protocol.Message) {
+	if p.ch.Reg.Owner(msg.Item) != nd {
+		return
+	}
+	m, err := p.ch.Reg.Master(msg.Item)
+	if err != nil {
+		return
+	}
+	cur := m.Current()
+	if !msg.Miss && msg.Version >= cur.Version {
+		ack := protocol.Message{
+			Kind:    protocol.KindPullAck,
+			Item:    msg.Item,
+			Origin:  nd,
+			Version: cur.Version,
+			Seq:     msg.Seq,
+		}
+		_ = p.ch.Net.Unicast(nd, msg.Origin, ack)
+		return
+	}
+	reply := protocol.Message{
+		Kind:    protocol.KindPullReply,
+		Item:    msg.Item,
+		Origin:  nd,
+		Version: cur.Version,
+		Copy:    cur,
+		Seq:     msg.Seq,
+	}
+	_ = p.ch.Net.Unicast(nd, msg.Origin, reply)
+}
+
+func (p *Pull) onAck(k *sim.Kernel, nd int, msg protocol.Message) {
+	q, open := p.rounds[msg.Seq]
+	if !open || q.Host != nd {
+		return
+	}
+	delete(p.rounds, msg.Seq)
+	cp, have := p.ch.Stores[nd].Peek(msg.Item)
+	if !have {
+		p.ch.Fail(q, "copy-lost")
+		return
+	}
+	p.ch.Answer(k, q, cp)
+}
+
+func (p *Pull) onReply(k *sim.Kernel, nd int, msg protocol.Message) {
+	q, open := p.rounds[msg.Seq]
+	if !open || q.Host != nd {
+		return
+	}
+	delete(p.rounds, msg.Seq)
+	_ = p.ch.Stores[nd].Put(msg.Copy, k.Now())
+	p.ch.Answer(k, q, msg.Copy)
+}

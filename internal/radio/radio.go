@@ -1,0 +1,189 @@
+// Package radio models wireless connectivity as a unit-disk graph: two
+// hosts can exchange frames iff their Euclidean distance is at most the
+// communication range (250 m in the paper's Table 1). The package produces
+// adjacency snapshots from node positions and answers the connectivity
+// queries the network layer needs: neighbour sets, BFS hop distances, and
+// next-hop selection for hop-by-hop unicast routing.
+package radio
+
+import (
+	"fmt"
+
+	"github.com/manetlab/rpcc/internal/geo"
+)
+
+// Graph is an undirected connectivity snapshot over n nodes. Nodes marked
+// down (disconnected by churn or depleted battery) have no edges.
+type Graph struct {
+	n     int
+	adj   [][]int
+	down  []bool
+	rng   float64 // communication range, metres
+	stamp uint64  // snapshot generation, for cache invalidation upstream
+}
+
+// NewGraph builds a snapshot from positions. down may be nil (all up) or a
+// slice of the same length flagging unreachable nodes. The builder is
+// O(n^2), fine for the paper's 50-node field and for the few-hundred-node
+// stress tests.
+func NewGraph(pos []geo.Point, down []bool, commRange float64, stamp uint64) (*Graph, error) {
+	if commRange <= 0 {
+		return nil, fmt.Errorf("radio: non-positive range %g", commRange)
+	}
+	if down != nil && len(down) != len(pos) {
+		return nil, fmt.Errorf("radio: down length %d != positions %d", len(down), len(pos))
+	}
+	n := len(pos)
+	g := &Graph{
+		n:     n,
+		adj:   make([][]int, n),
+		down:  make([]bool, n),
+		rng:   commRange,
+		stamp: stamp,
+	}
+	if down != nil {
+		copy(g.down, down)
+	}
+	r2 := commRange * commRange
+	for i := 0; i < n; i++ {
+		if g.down[i] {
+			continue
+		}
+		for j := i + 1; j < n; j++ {
+			if g.down[j] {
+				continue
+			}
+			if pos[i].DistSq(pos[j]) <= r2 {
+				g.adj[i] = append(g.adj[i], j)
+				g.adj[j] = append(g.adj[j], i)
+			}
+		}
+	}
+	return g, nil
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return g.n }
+
+// Stamp returns the snapshot generation counter supplied at build time.
+func (g *Graph) Stamp() uint64 { return g.stamp }
+
+// Range returns the communication range used to build the snapshot.
+func (g *Graph) Range() float64 { return g.rng }
+
+// Up reports whether node i was up when the snapshot was taken.
+func (g *Graph) Up(i int) bool { return i >= 0 && i < g.n && !g.down[i] }
+
+// Neighbors returns the nodes within range of i. The returned slice is
+// owned by the graph; callers must not mutate it.
+func (g *Graph) Neighbors(i int) []int {
+	if i < 0 || i >= g.n {
+		return nil
+	}
+	return g.adj[i]
+}
+
+// Connected reports whether i and j share an edge.
+func (g *Graph) Connected(i, j int) bool {
+	for _, v := range g.Neighbors(i) {
+		if v == j {
+			return true
+		}
+	}
+	return false
+}
+
+// Unreachable is the hop distance reported for unreachable pairs.
+const Unreachable = -1
+
+// HopsFrom runs BFS from src and returns the hop distance to every node
+// (Unreachable where no path exists, 0 for src itself). A down source
+// yields all-Unreachable.
+func (g *Graph) HopsFrom(src int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	if src < 0 || src >= g.n || g.down[src] {
+		return dist
+	}
+	dist[src] = 0
+	queue := make([]int, 0, g.n)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] == Unreachable {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Hops returns the BFS hop distance from src to dst, or Unreachable.
+func (g *Graph) Hops(src, dst int) int {
+	if src == dst {
+		if g.Up(src) {
+			return 0
+		}
+		return Unreachable
+	}
+	return g.HopsFrom(src)[dst]
+}
+
+// NextHop returns the neighbour of src that lies on a shortest path to
+// dst, or Unreachable when dst cannot be reached. Ties break toward the
+// lowest node id so routing is deterministic. This is the hop-by-hop
+// forwarding primitive: each relay re-invokes it on the current snapshot,
+// which lets in-flight messages adapt to topology changes the way a
+// reactive MANET routing protocol would after a route repair.
+func (g *Graph) NextHop(src, dst int) int {
+	if src == dst || !g.Up(src) || !g.Up(dst) {
+		return Unreachable
+	}
+	// BFS from dst: the neighbour of src with the smallest distance to
+	// dst is the next hop.
+	dist := g.HopsFrom(dst)
+	best, bestDist := Unreachable, int(^uint(0)>>1)
+	for _, v := range g.adj[src] {
+		if d := dist[v]; d != Unreachable && d < bestDist {
+			best, bestDist = v, d
+		}
+	}
+	return best
+}
+
+// WithinTTL returns every node whose hop distance from src is between 1
+// and ttl inclusive — the set a TTL-scoped flood from src can reach.
+func (g *Graph) WithinTTL(src, ttl int) []int {
+	if ttl <= 0 {
+		return nil
+	}
+	dist := g.HopsFrom(src)
+	var out []int
+	for i, d := range dist {
+		if i != src && d != Unreachable && d <= ttl {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ComponentOf returns all nodes in src's connected component, including
+// src itself. A down src yields nil.
+func (g *Graph) ComponentOf(src int) []int {
+	dist := g.HopsFrom(src)
+	var out []int
+	for i, d := range dist {
+		if d != Unreachable {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Degree returns the number of neighbours of i.
+func (g *Graph) Degree(i int) int { return len(g.Neighbors(i)) }

@@ -1,0 +1,272 @@
+package replica
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/manetlab/rpcc/internal/churn"
+	"github.com/manetlab/rpcc/internal/geo"
+	"github.com/manetlab/rpcc/internal/netsim"
+	"github.com/manetlab/rpcc/internal/sim"
+	"github.com/manetlab/rpcc/internal/stats"
+)
+
+// staticSource pins nodes on a 200m chain.
+type staticSource struct{ pts []geo.Point }
+
+func (s *staticSource) Len() int { return len(s.pts) }
+func (s *staticSource) PositionsAt(_ time.Duration, dst []geo.Point) []geo.Point {
+	if cap(dst) < len(s.pts) {
+		dst = make([]geo.Point, len(s.pts))
+	}
+	dst = dst[:len(s.pts)]
+	copy(dst, s.pts)
+	return dst
+}
+
+func chain(n int) *staticSource {
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = geo.Point{X: float64(i) * 200}
+	}
+	return &staticSource{pts: pts}
+}
+
+type env struct {
+	k     *sim.Kernel
+	net   *netsim.Network
+	mgr   *Manager
+	churn *churn.Process
+}
+
+func newEnv(t *testing.T, n int, seed int64) *env {
+	t.Helper()
+	k := sim.NewKernel(sim.WithSeed(seed))
+	cp, err := churn.NewProcess(churn.Config{Disabled: true}, n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := netsim.New(netsim.DefaultConfig(), k, chain(n), cp, nil, stats.NewTraffic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := NewManager(DefaultConfig(), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &env{k: k, net: net, mgr: mgr, churn: cp}
+}
+
+func TestValueOrdering(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Value
+		want bool // a.Newer(b)
+	}{
+		{"higher clock wins", Value{Clock: 2}, Value{Clock: 1}, true},
+		{"lower clock loses", Value{Clock: 1}, Value{Clock: 2}, false},
+		{"tie broken by writer", Value{Clock: 1, Writer: 5}, Value{Clock: 1, Writer: 3}, true},
+		{"equal is not newer", Value{Clock: 1, Writer: 3}, Value{Clock: 1, Writer: 3}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Newer(tt.b); got != tt.want {
+				t.Errorf("Newer = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestValueOrderingTotalProperty(t *testing.T) {
+	// Exactly one of a.Newer(b), b.Newer(a), a==b holds.
+	f := func(c1, c2 uint32, w1, w2 uint8) bool {
+		a := Value{Clock: uint64(c1), Writer: int(w1)}
+		b := Value{Clock: uint64(c2), Writer: int(w2)}
+		n1, n2, eq := a.Newer(b), b.Newer(a), a.Clock == b.Clock && a.Writer == b.Writer
+		count := 0
+		for _, v := range []bool{n1, n2, eq} {
+			if v {
+				count++
+			}
+		}
+		return count == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if (Config{PushTTL: 0, AntiEntropyEvery: time.Second}).Validate() == nil {
+		t.Error("zero TTL accepted")
+	}
+	if (Config{PushTTL: 8}).Validate() == nil {
+		t.Error("zero anti-entropy period accepted")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	e := newEnv(t, 4, 1)
+	if e.mgr.Register(1, []int{0}) == nil {
+		t.Error("single holder accepted")
+	}
+	if e.mgr.Register(1, []int{0, 99}) == nil {
+		t.Error("out-of-range holder accepted")
+	}
+	if e.mgr.Register(1, []int{0, 0}) == nil {
+		t.Error("duplicate holder accepted")
+	}
+	if err := e.mgr.Register(1, []int{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if e.mgr.Register(1, []int{0, 1}) == nil {
+		t.Error("duplicate replica id accepted")
+	}
+	if err := e.mgr.Start(e.k); err != nil {
+		t.Fatal(err)
+	}
+	if e.mgr.Register(2, []int{0, 1}) == nil {
+		t.Error("register after start accepted")
+	}
+	if e.mgr.Start(e.k) == nil {
+		t.Error("double start accepted")
+	}
+}
+
+func TestWritePropagatesEagerly(t *testing.T) {
+	e := newEnv(t, 4, 2)
+	if err := e.mgr.Register(7, []int{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.mgr.Start(e.k); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.mgr.Write(e.k, 0, 7, "hello"); err != nil {
+		t.Fatal(err)
+	}
+	e.k.RunUntil(5 * time.Second)
+	for h := 0; h < 4; h++ {
+		v, err := e.mgr.Read(h, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Data != "hello" {
+			t.Errorf("holder %d = %q, want hello", h, v.Data)
+		}
+	}
+}
+
+func TestAnyHolderMayWrite(t *testing.T) {
+	e := newEnv(t, 4, 3)
+	e.mgr.Register(1, []int{0, 2, 3})
+	e.mgr.Start(e.k)
+	// Node 2 is NOT the "owner" of anything — it can still write.
+	if err := e.mgr.Write(e.k, 2, 1, "from-two"); err != nil {
+		t.Fatal(err)
+	}
+	// Non-holders cannot.
+	if e.mgr.Write(e.k, 1, 1, "nope") == nil {
+		t.Error("non-holder write accepted")
+	}
+	e.k.RunUntil(5 * time.Second)
+	if v, _ := e.mgr.Read(0, 1); v.Data != "from-two" {
+		t.Errorf("holder 0 = %q", v.Data)
+	}
+}
+
+func TestLastWriterWinsUnderConcurrency(t *testing.T) {
+	e := newEnv(t, 4, 4)
+	e.mgr.Register(1, []int{0, 1, 2, 3})
+	e.mgr.Start(e.k)
+	// Two writes at the same instant from different writers: same clock,
+	// writer id breaks the tie deterministically everywhere.
+	e.mgr.Write(e.k, 0, 1, "zero")
+	e.mgr.Write(e.k, 3, 1, "three")
+	e.k.RunUntil(10 * time.Second)
+	want, ok := e.mgr.Converged(1)
+	if !ok {
+		t.Fatal("replicas did not converge")
+	}
+	if want.Data != "three" { // writer 3 > writer 0 at equal clocks
+		t.Errorf("converged to %q, want three (highest writer at equal clock)", want.Data)
+	}
+}
+
+func TestAntiEntropyHealsPartition(t *testing.T) {
+	e := newEnv(t, 4, 5)
+	e.mgr.Register(1, []int{0, 1, 2, 3})
+	e.mgr.Start(e.k)
+	// Node 3 drops off; node 0 writes; the eager flood misses node 3.
+	if err := e.churn.ForceState(e.k, 3, churn.StateDisconnected); err != nil {
+		t.Fatal(err)
+	}
+	e.mgr.Write(e.k, 0, 1, "v1")
+	e.k.RunUntil(10 * time.Second)
+	if v, _ := e.mgr.Read(3, 1); v.Data == "v1" {
+		t.Fatal("disconnected node received the flood")
+	}
+	// Reconnect: anti-entropy repairs within a few periods.
+	e.churn.ForceState(e.k, 3, churn.StateConnected)
+	e.k.RunUntil(e.k.Now() + 5*DefaultConfig().AntiEntropyEvery)
+	if v, _ := e.mgr.Read(3, 1); v.Data != "v1" {
+		t.Fatalf("anti-entropy did not repair: %q", v.Data)
+	}
+	_, _, syncs := e.mgr.Stats()
+	if syncs == 0 {
+		t.Error("no anti-entropy syncs recorded")
+	}
+}
+
+func TestConvergenceProperty(t *testing.T) {
+	// Property: whatever the (bounded) write schedule, once writes stop
+	// and anti-entropy runs, all holders converge to one value.
+	f := func(schedule []uint8) bool {
+		e := newEnv(t, 5, int64(len(schedule))+100)
+		e.mgr.Register(1, []int{0, 1, 2, 3, 4})
+		if err := e.mgr.Start(e.k); err != nil {
+			return false
+		}
+		for i, b := range schedule {
+			writer := int(b) % 5
+			at := time.Duration(i) * 3 * time.Second
+			i := i
+			e.k.At(at, "write", func(kk *sim.Kernel) {
+				_ = e.mgr.Write(kk, writer, 1, fmt.Sprintf("w%d", i))
+			})
+		}
+		quiet := time.Duration(len(schedule))*3*time.Second + 10*DefaultConfig().AntiEntropyEvery
+		e.k.RunUntil(quiet)
+		_, converged := e.mgr.Converged(1)
+		return converged
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadWriteValidation(t *testing.T) {
+	e := newEnv(t, 3, 6)
+	e.mgr.Register(1, []int{0, 1})
+	if e.mgr.Write(e.k, 0, 1, "early") == nil {
+		t.Error("write before start accepted")
+	}
+	e.mgr.Start(e.k)
+	if _, err := e.mgr.Read(2, 1); err == nil {
+		t.Error("read from non-holder accepted")
+	}
+	if _, err := e.mgr.Read(-1, 1); err == nil {
+		t.Error("read from negative node accepted")
+	}
+}
+
+func TestConvergedOnUnknownReplica(t *testing.T) {
+	e := newEnv(t, 3, 7)
+	if _, ok := e.mgr.Converged(42); ok {
+		t.Error("unknown replica reported converged")
+	}
+}

@@ -1,0 +1,294 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel is the substrate every other simulation package builds on. It
+// owns a virtual clock, a priority queue of pending events, and a family of
+// deterministic random number streams derived from a single root seed.
+// Nothing in this package (or in any package built on it) reads wall-clock
+// time: two runs constructed with the same seed and the same schedule of
+// events produce byte-identical results.
+//
+// Time is represented as time.Duration measured from the start of the
+// simulation (t = 0). Events scheduled for the same instant fire in the
+// order they were scheduled (FIFO tie-breaking via a monotonic sequence
+// number), which keeps protocol traces stable across runs.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Handler is the callback invoked when an event fires. It receives the
+// kernel so it can schedule follow-up events and read the current time.
+type Handler func(k *Kernel)
+
+// Event is a scheduled callback. The zero value is inert; events are
+// created via Kernel.At / Kernel.After.
+type Event struct {
+	when   time.Duration
+	seq    uint64
+	fn     Handler
+	label  string
+	index  int // heap index, -1 once popped or cancelled
+	fired  bool
+	cancel bool
+}
+
+// When returns the virtual time at which the event is (or was) due.
+func (e *Event) When() time.Duration { return e.when }
+
+// Label returns the diagnostic label supplied at scheduling time.
+func (e *Event) Label() string { return e.label }
+
+// Cancelled reports whether Cancel was called before the event fired.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+// Fired reports whether the event's handler has run.
+func (e *Event) Fired() bool { return e.fired }
+
+// eventQueue implements heap.Interface ordered by (when, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Kernel is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; all simulated components run inside event handlers on the
+// kernel's goroutine, which is the standard structure for deterministic
+// network simulation (GloMoSim, ns-2 and friends are organised the same
+// way).
+type Kernel struct {
+	now     time.Duration
+	queue   eventQueue
+	seq     uint64
+	root    int64
+	streams map[string]*rand.Rand
+	stopped bool
+	horizon time.Duration
+	events  uint64 // total events fired
+}
+
+// Option configures a Kernel.
+type Option func(*Kernel)
+
+// WithSeed sets the root seed from which all named random streams derive.
+// The default seed is 1.
+func WithSeed(seed int64) Option {
+	return func(k *Kernel) { k.root = seed }
+}
+
+// WithHorizon caps the virtual time of the run; events scheduled beyond the
+// horizon are accepted but never fire. A zero horizon (the default) means
+// "no cap": Run executes until the queue drains or Stop is called.
+func WithHorizon(h time.Duration) Option {
+	return func(k *Kernel) { k.horizon = h }
+}
+
+// NewKernel constructs an empty kernel at t = 0.
+func NewKernel(opts ...Option) *Kernel {
+	k := &Kernel{
+		root:    1,
+		streams: make(map[string]*rand.Rand),
+	}
+	for _, opt := range opts {
+		opt(k)
+	}
+	return k
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// Horizon returns the configured run horizon (zero when uncapped).
+func (k *Kernel) Horizon() time.Duration { return k.horizon }
+
+// EventsFired returns the number of events whose handlers have executed.
+func (k *Kernel) EventsFired() uint64 { return k.events }
+
+// Pending returns the number of events waiting in the queue.
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// ErrPastEvent is returned when an event is scheduled before Now.
+var ErrPastEvent = errors.New("sim: event scheduled in the past")
+
+// At schedules fn to run at absolute virtual time t. The label appears in
+// diagnostics only. Scheduling strictly in the past is rejected; scheduling
+// at exactly Now is allowed and runs after the current handler returns.
+func (k *Kernel) At(t time.Duration, label string, fn Handler) (*Event, error) {
+	if t < k.now {
+		return nil, fmt.Errorf("%w: at=%v now=%v label=%q", ErrPastEvent, t, k.now, label)
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("sim: nil handler for event %q", label)
+	}
+	e := &Event{when: t, seq: k.seq, fn: fn, label: label}
+	k.seq++
+	heap.Push(&k.queue, e)
+	return e, nil
+}
+
+// After schedules fn to run d from now. Negative d is clamped to zero so
+// callers can pass small jittered offsets without pre-checking the sign.
+func (k *Kernel) After(d time.Duration, label string, fn Handler) *Event {
+	if d < 0 {
+		d = 0
+	}
+	e, err := k.At(k.now+d, label, fn)
+	if err != nil {
+		// Unreachable: now+d >= now and fn nil-ness is the only other
+		// failure; guard it loudly anyway.
+		panic(fmt.Sprintf("sim: After failed: %v", err))
+	}
+	return e
+}
+
+// Every schedules fn to run every period, starting one period from now,
+// until the returned stop function is called or the run ends. Period must
+// be positive.
+func (k *Kernel) Every(period time.Duration, label string, fn Handler) (stop func(), err error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("sim: non-positive period %v for %q", period, label)
+	}
+	stopped := false
+	var tick Handler
+	tick = func(kk *Kernel) {
+		if stopped {
+			return
+		}
+		fn(kk)
+		if !stopped {
+			kk.After(period, label, tick)
+		}
+	}
+	k.After(period, label, tick)
+	return func() { stopped = true }, nil
+}
+
+// Cancel marks the event so its handler will not run. Cancelling an event
+// that already fired is a no-op and returns false.
+func (k *Kernel) Cancel(e *Event) bool {
+	if e == nil || e.fired || e.cancel {
+		return false
+	}
+	e.cancel = true
+	return true
+}
+
+// Stop halts Run after the current handler returns. Pending events remain
+// queued (useful for inspecting what was outstanding).
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes events in order until the queue is empty, Stop is called, or
+// the horizon is exceeded. It returns the final virtual time.
+func (k *Kernel) Run() time.Duration {
+	k.stopped = false
+	for len(k.queue) > 0 && !k.stopped {
+		e := heap.Pop(&k.queue).(*Event)
+		if e.cancel {
+			continue
+		}
+		if k.horizon > 0 && e.when > k.horizon {
+			// Past the horizon: the run is over. Advance the clock to the
+			// horizon so metrics normalised by elapsed time are exact.
+			k.now = k.horizon
+			return k.now
+		}
+		k.now = e.when
+		e.fired = true
+		k.events++
+		e.fn(k)
+	}
+	if k.horizon > 0 && k.now < k.horizon && len(k.queue) == 0 {
+		k.now = k.horizon
+	}
+	return k.now
+}
+
+// RunUntil executes events with due time <= t, then returns. It is the
+// stepping primitive used by tests that interleave assertions with
+// simulated time.
+func (k *Kernel) RunUntil(t time.Duration) {
+	for len(k.queue) > 0 && !k.stopped {
+		e := k.queue[0]
+		if e.when > t {
+			break
+		}
+		heap.Pop(&k.queue)
+		if e.cancel {
+			continue
+		}
+		k.now = e.when
+		e.fired = true
+		k.events++
+		e.fn(k)
+	}
+	if k.now < t {
+		k.now = t
+	}
+}
+
+// Stream returns the named deterministic random stream, creating it on
+// first use. Streams are derived from the root seed and the name, so adding
+// a new consumer of randomness does not perturb existing streams — a
+// property that keeps A/B comparisons between strategies honest.
+func (k *Kernel) Stream(name string) *rand.Rand {
+	if r, ok := k.streams[name]; ok {
+		return r
+	}
+	r := rand.New(rand.NewSource(deriveSeed(k.root, name)))
+	k.streams[name] = r
+	return r
+}
+
+// deriveSeed mixes the root seed with a name using FNV-1a so distinct names
+// yield decorrelated streams.
+func deriveSeed(root int64, name string) int64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < 8; i++ {
+		h ^= uint64(root>>(8*i)) & 0xff
+		h *= prime64
+	}
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	if h == 0 {
+		h = offset64
+	}
+	return int64(h & 0x7fffffffffffffff)
+}

@@ -1,0 +1,336 @@
+// Package stats collects the metrics the paper's evaluation reports:
+// network traffic (message transmissions, per type and total, plus bytes)
+// and query latency (the figures plot it in log scale, so the recorder
+// keeps logarithmic buckets alongside exact moments). A staleness recorder
+// backs the consistency auditor.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/manetlab/rpcc/internal/protocol"
+)
+
+// Traffic accumulates message counters. One "transmission" is one
+// link-level send: each hop of a unicast and each node's rebroadcast
+// during a flood count once, matching how GloMoSim-era studies report
+// "number of messages". Safe for concurrent reads while the (single
+// threaded) simulation writes.
+type Traffic struct {
+	mu         sync.Mutex
+	tx         [protocol.NumKinds]uint64
+	bytes      [protocol.NumKinds]uint64
+	originated [protocol.NumKinds]uint64
+	delivered  [protocol.NumKinds]uint64
+	dropped    [protocol.NumKinds]uint64
+}
+
+// NewTraffic returns an empty traffic ledger.
+func NewTraffic() *Traffic { return &Traffic{} }
+
+func idx(k protocol.Kind) int {
+	if !k.Valid() {
+		return 0 // the KindInvalid slot catches accounting bugs visibly
+	}
+	return int(k)
+}
+
+// RecordTx records one link-level transmission of size bytes.
+func (t *Traffic) RecordTx(k protocol.Kind, bytes int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.tx[idx(k)]++
+	t.bytes[idx(k)] += uint64(bytes)
+}
+
+// RecordOriginated records a message entering the network at its origin.
+func (t *Traffic) RecordOriginated(k protocol.Kind) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.originated[idx(k)]++
+}
+
+// RecordDelivered records a message reaching a destination handler.
+func (t *Traffic) RecordDelivered(k protocol.Kind) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.delivered[idx(k)]++
+}
+
+// RecordDropped records a message abandoned in flight (no route, TTL
+// expiry without delivery, or receiver down).
+func (t *Traffic) RecordDropped(k protocol.Kind) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.dropped[idx(k)]++
+}
+
+// Tx returns the transmission count for one kind.
+func (t *Traffic) Tx(k protocol.Kind) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.tx[idx(k)]
+}
+
+// TotalTx returns the total link-level transmissions across all kinds —
+// the y-axis of Fig 7 and Fig 9(a).
+func (t *Traffic) TotalTx() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var sum uint64
+	for _, v := range t.tx {
+		sum += v
+	}
+	return sum
+}
+
+// TotalBytes returns total bytes transmitted.
+func (t *Traffic) TotalBytes() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var sum uint64
+	for _, v := range t.bytes {
+		sum += v
+	}
+	return sum
+}
+
+// Delivered returns the delivery count for one kind.
+func (t *Traffic) Delivered(k protocol.Kind) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.delivered[idx(k)]
+}
+
+// Originated returns the origination count for one kind.
+func (t *Traffic) Originated(k protocol.Kind) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.originated[idx(k)]
+}
+
+// Dropped returns the drop count for one kind.
+func (t *Traffic) Dropped(k protocol.Kind) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped[idx(k)]
+}
+
+// Snapshot returns per-kind transmission counts for every kind that saw
+// traffic, sorted by kind, for reports.
+func (t *Traffic) Snapshot() []KindCount {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []KindCount
+	for k := 1; k < protocol.NumKinds; k++ {
+		if t.tx[k] > 0 {
+			out = append(out, KindCount{Kind: protocol.Kind(k), Tx: t.tx[k], Bytes: t.bytes[k]})
+		}
+	}
+	return out
+}
+
+// KindCount is one row of a traffic snapshot.
+type KindCount struct {
+	Kind  protocol.Kind
+	Tx    uint64
+	Bytes uint64
+}
+
+// String renders the snapshot compactly for traces and reports.
+func (t *Traffic) String() string {
+	snap := t.Snapshot()
+	parts := make([]string, 0, len(snap))
+	for _, kc := range snap {
+		parts = append(parts, fmt.Sprintf("%v=%d", kc.Kind, kc.Tx))
+	}
+	return fmt.Sprintf("total=%d [%s]", t.TotalTx(), strings.Join(parts, " "))
+}
+
+// Latency records a duration distribution with exact moments plus
+// logarithmic buckets (powers of two from 1 ms), because Fig 8 plots
+// latency on a log scale spanning milliseconds to minutes.
+type Latency struct {
+	mu      sync.Mutex
+	count   uint64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+	buckets [nBuckets]uint64
+}
+
+const nBuckets = 32 // 1ms * 2^31 ≈ 24 days: more than any query waits
+
+// NewLatency returns an empty recorder.
+func NewLatency() *Latency { return &Latency{min: math.MaxInt64} }
+
+func bucketFor(d time.Duration) int {
+	ms := d.Milliseconds()
+	b := 0
+	for ms > 0 && b < nBuckets-1 {
+		ms >>= 1
+		b++
+	}
+	return b
+}
+
+// Record adds one sample. Negative samples are clamped to zero (they can
+// only arise from caller bugs; clamping keeps the ledger usable while the
+// auditor flags the bug separately).
+func (l *Latency) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.count++
+	l.sum += d
+	if d < l.min {
+		l.min = d
+	}
+	if d > l.max {
+		l.max = d
+	}
+	l.buckets[bucketFor(d)]++
+}
+
+// Count returns the number of samples.
+func (l *Latency) Count() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.count
+}
+
+// Mean returns the mean sample, or zero with no samples.
+func (l *Latency) Mean() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.count == 0 {
+		return 0
+	}
+	return l.sum / time.Duration(l.count)
+}
+
+// Min returns the smallest sample, or zero with no samples.
+func (l *Latency) Min() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.count == 0 {
+		return 0
+	}
+	return l.min
+}
+
+// Max returns the largest sample.
+func (l *Latency) Max() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.max
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1) from the
+// log buckets: the upper edge of the bucket containing the q-th sample.
+func (l *Latency) Quantile(q float64) time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(l.count)))
+	var cum uint64
+	for b, n := range l.buckets {
+		cum += n
+		if cum >= target {
+			if b == 0 {
+				return time.Millisecond
+			}
+			return time.Duration(int64(1)<<uint(b)) * time.Millisecond
+		}
+	}
+	return l.max
+}
+
+// String summarises the distribution.
+func (l *Latency) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50<=%v p99<=%v max=%v",
+		l.Count(), l.Mean(), l.Quantile(0.5), l.Quantile(0.99), l.Max())
+}
+
+// Staleness records, for every answered query, how stale the served copy
+// was (zero for up-to-date answers), grouped for the consistency auditor.
+type Staleness struct {
+	mu       sync.Mutex
+	samples  []time.Duration // staleness per answer; kept for exact quantiles
+	nonFresh uint64
+}
+
+// NewStaleness returns an empty recorder.
+func NewStaleness() *Staleness { return &Staleness{} }
+
+// Record adds one answer's staleness (0 = served the current version).
+func (s *Staleness) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.samples = append(s.samples, d)
+	if d > 0 {
+		s.nonFresh++
+	}
+}
+
+// Count returns the number of answers recorded.
+func (s *Staleness) Count() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return uint64(len(s.samples))
+}
+
+// NonFresh returns how many answers served a stale (but committed) value.
+func (s *Staleness) NonFresh() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nonFresh
+}
+
+// Max returns the worst staleness served.
+func (s *Staleness) Max() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var m time.Duration
+	for _, d := range s.samples {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Quantile returns the exact q-quantile of staleness.
+func (s *Staleness) Quantile(q float64) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.samples) == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	sorted := make([]time.Duration, len(s.samples))
+	copy(sorted, s.samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return sorted[i]
+}

@@ -1,0 +1,206 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/manetlab/rpcc/internal/protocol"
+)
+
+func TestTrafficCounters(t *testing.T) {
+	tr := NewTraffic()
+	tr.RecordOriginated(protocol.KindPoll)
+	tr.RecordTx(protocol.KindPoll, 32)
+	tr.RecordTx(protocol.KindPoll, 32)
+	tr.RecordTx(protocol.KindUpdate, 1056)
+	tr.RecordDelivered(protocol.KindPoll)
+	tr.RecordDropped(protocol.KindUpdate)
+
+	if got := tr.Tx(protocol.KindPoll); got != 2 {
+		t.Errorf("Tx(POLL) = %d, want 2", got)
+	}
+	if got := tr.TotalTx(); got != 3 {
+		t.Errorf("TotalTx = %d, want 3", got)
+	}
+	if got := tr.TotalBytes(); got != 32+32+1056 {
+		t.Errorf("TotalBytes = %d", got)
+	}
+	if got := tr.Originated(protocol.KindPoll); got != 1 {
+		t.Errorf("Originated = %d", got)
+	}
+	if got := tr.Delivered(protocol.KindPoll); got != 1 {
+		t.Errorf("Delivered = %d", got)
+	}
+	if got := tr.Dropped(protocol.KindUpdate); got != 1 {
+		t.Errorf("Dropped = %d", got)
+	}
+}
+
+func TestTrafficSnapshotSortedAndFiltered(t *testing.T) {
+	tr := NewTraffic()
+	tr.RecordTx(protocol.KindPollAckA, 32)
+	tr.RecordTx(protocol.KindInvalidation, 32)
+	snap := tr.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("Snapshot len = %d, want 2", len(snap))
+	}
+	if snap[0].Kind != protocol.KindInvalidation || snap[1].Kind != protocol.KindPollAckA {
+		t.Errorf("Snapshot order = %v,%v", snap[0].Kind, snap[1].Kind)
+	}
+	if !strings.Contains(tr.String(), "INVALIDATION=1") {
+		t.Errorf("String = %q", tr.String())
+	}
+}
+
+func TestTrafficInvalidKindGoesToSentinel(t *testing.T) {
+	tr := NewTraffic()
+	tr.RecordTx(protocol.KindInvalid, 10)
+	if got := tr.TotalTx(); got != 1 {
+		t.Errorf("TotalTx = %d, want 1 (sentinel slot)", got)
+	}
+	if snap := tr.Snapshot(); len(snap) != 0 {
+		t.Errorf("Snapshot exposed sentinel slot: %v", snap)
+	}
+}
+
+func TestLatencyEmpty(t *testing.T) {
+	l := NewLatency()
+	if l.Count() != 0 || l.Mean() != 0 || l.Min() != 0 || l.Max() != 0 {
+		t.Error("empty recorder returned non-zero summary")
+	}
+	if l.Quantile(0.5) != 0 {
+		t.Error("empty quantile non-zero")
+	}
+}
+
+func TestLatencyMoments(t *testing.T) {
+	l := NewLatency()
+	for _, d := range []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond} {
+		l.Record(d)
+	}
+	if got := l.Mean(); got != 20*time.Millisecond {
+		t.Errorf("Mean = %v, want 20ms", got)
+	}
+	if got := l.Min(); got != 10*time.Millisecond {
+		t.Errorf("Min = %v", got)
+	}
+	if got := l.Max(); got != 30*time.Millisecond {
+		t.Errorf("Max = %v", got)
+	}
+	if got := l.Count(); got != 3 {
+		t.Errorf("Count = %d", got)
+	}
+}
+
+func TestLatencyNegativeClamped(t *testing.T) {
+	l := NewLatency()
+	l.Record(-time.Second)
+	if got := l.Min(); got != 0 {
+		t.Errorf("Min = %v, want 0", got)
+	}
+}
+
+func TestLatencyQuantileBounds(t *testing.T) {
+	l := NewLatency()
+	for i := 0; i < 99; i++ {
+		l.Record(time.Millisecond)
+	}
+	l.Record(time.Minute)
+	p50 := l.Quantile(0.5)
+	p995 := l.Quantile(0.995)
+	if p50 > 2*time.Millisecond {
+		t.Errorf("p50 = %v, want ~1ms", p50)
+	}
+	if p995 < time.Minute/2 {
+		t.Errorf("p99.5 = %v, want >= 30s", p995)
+	}
+	if got := l.Quantile(2); got < p995 {
+		t.Errorf("Quantile(2) = %v below p99.5", got)
+	}
+}
+
+func TestLatencyQuantileUpperBoundProperty(t *testing.T) {
+	// Property: Quantile(1) is an upper bound of every recorded sample's
+	// bucket edge, and quantiles are monotone in q.
+	f := func(ms []uint16) bool {
+		if len(ms) == 0 {
+			return true
+		}
+		l := NewLatency()
+		var max time.Duration
+		for _, m := range ms {
+			d := time.Duration(m) * time.Millisecond
+			l.Record(d)
+			if d > max {
+				max = d
+			}
+		}
+		q1 := l.Quantile(1)
+		if q1 < max/2 {
+			return false
+		}
+		return l.Quantile(0.25) <= l.Quantile(0.5) && l.Quantile(0.5) <= l.Quantile(0.99)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketForMonotone(t *testing.T) {
+	prev := -1
+	for _, d := range []time.Duration{0, time.Millisecond, 2 * time.Millisecond, time.Second, time.Minute, time.Hour} {
+		b := bucketFor(d)
+		if b < prev {
+			t.Fatalf("bucketFor not monotone at %v", d)
+		}
+		if b >= nBuckets {
+			t.Fatalf("bucket %d out of range for %v", b, d)
+		}
+		prev = b
+	}
+}
+
+func TestStaleness(t *testing.T) {
+	s := NewStaleness()
+	s.Record(0)
+	s.Record(3 * time.Second)
+	s.Record(time.Second)
+	s.Record(-time.Second) // clamped
+	if got := s.Count(); got != 4 {
+		t.Errorf("Count = %d", got)
+	}
+	if got := s.NonFresh(); got != 2 {
+		t.Errorf("NonFresh = %d, want 2", got)
+	}
+	if got := s.Max(); got != 3*time.Second {
+		t.Errorf("Max = %v", got)
+	}
+	// Sorted samples: [0, 0, 1s, 3s]; the q-th sample is at index
+	// ceil(q·n)−1, so the median lands on the second zero.
+	if got := s.Quantile(0.5); got != 0 {
+		t.Errorf("median = %v, want 0", got)
+	}
+	if got := s.Quantile(0.75); got != time.Second {
+		t.Errorf("p75 = %v, want 1s", got)
+	}
+	if got := s.Quantile(1); got != 3*time.Second {
+		t.Errorf("p100 = %v", got)
+	}
+}
+
+func TestStalenessEmpty(t *testing.T) {
+	s := NewStaleness()
+	if s.Count() != 0 || s.Max() != 0 || s.Quantile(0.9) != 0 {
+		t.Error("empty staleness returned non-zero")
+	}
+}
+
+func TestLatencyString(t *testing.T) {
+	l := NewLatency()
+	l.Record(time.Second)
+	if got := l.String(); !strings.Contains(got, "n=1") {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,158 @@
+// Package trace records protocol message deliveries for post-hoc
+// inspection: a bounded ring buffer of typed events with filtering and
+// formatting helpers. It plugs into the network layer's Tracer hook, so
+// any simulation — a unit test chasing a protocol bug, or cmd/rpcctrace —
+// can capture exactly what crossed the air and when.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/manetlab/rpcc/internal/data"
+	"github.com/manetlab/rpcc/internal/netsim"
+	"github.com/manetlab/rpcc/internal/protocol"
+)
+
+// Event is one recorded message delivery.
+type Event struct {
+	At      time.Duration
+	Node    int // receiving node
+	Origin  int // message originator
+	Kind    protocol.Kind
+	Item    data.ItemID
+	Version data.Version
+	Hops    int
+	Flood   bool
+}
+
+// String renders the event as one trace line.
+func (e Event) String() string {
+	via := "unicast"
+	if e.Flood {
+		via = "flood"
+	}
+	return fmt.Sprintf("%12v  M%-2d <- %-12v %v v%-3d from M%-2d (%d hops, %s)",
+		e.At.Truncate(time.Millisecond), e.Node, e.Kind, e.Item, e.Version, e.Origin, e.Hops, via)
+}
+
+// Recorder keeps the most recent events in a fixed-capacity ring.
+// Recorder is not safe for concurrent use; it lives inside the
+// single-threaded simulation loop like everything else.
+type Recorder struct {
+	ring  []Event
+	next  int
+	full  bool
+	total uint64
+	keep  func(Event) bool
+}
+
+// NewRecorder builds a recorder holding at most capacity events (older
+// events are overwritten once the ring is full).
+func NewRecorder(capacity int) (*Recorder, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("trace: capacity %d must be > 0", capacity)
+	}
+	return &Recorder{ring: make([]Event, capacity)}, nil
+}
+
+// SetFilter restricts recording to events the predicate accepts. A nil
+// predicate (the default) records everything.
+func (r *Recorder) SetFilter(keep func(Event) bool) { r.keep = keep }
+
+// KindFilter builds a predicate accepting only the given message kinds.
+func KindFilter(kinds ...protocol.Kind) func(Event) bool {
+	set := make(map[protocol.Kind]bool, len(kinds))
+	for _, k := range kinds {
+		set[k] = true
+	}
+	return func(e Event) bool { return set[e.Kind] }
+}
+
+// ItemFilter builds a predicate accepting only events about one item.
+func ItemFilter(item data.ItemID) func(Event) bool {
+	return func(e Event) bool { return e.Item == item }
+}
+
+// Record adds one event (subject to the filter).
+func (r *Recorder) Record(e Event) {
+	if r.keep != nil && !r.keep(e) {
+		return
+	}
+	r.total++
+	r.ring[r.next] = e
+	r.next++
+	if r.next == len(r.ring) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Tracer adapts the recorder to the network layer's hook.
+func (r *Recorder) Tracer() netsim.Tracer {
+	return func(at time.Duration, node int, msg protocol.Message, meta netsim.Meta) {
+		r.Record(Event{
+			At:      at,
+			Node:    node,
+			Origin:  msg.Origin,
+			Kind:    msg.Kind,
+			Item:    msg.Item,
+			Version: msg.Version,
+			Hops:    meta.Hops,
+			Flood:   meta.Flood,
+		})
+	}
+}
+
+// Len returns the number of events currently retained.
+func (r *Recorder) Len() int {
+	if r.full {
+		return len(r.ring)
+	}
+	return r.next
+}
+
+// Total returns the number of events ever recorded (>= Len once the ring
+// wraps).
+func (r *Recorder) Total() uint64 { return r.total }
+
+// Events returns the retained events in chronological order.
+func (r *Recorder) Events() []Event {
+	out := make([]Event, 0, r.Len())
+	if r.full {
+		out = append(out, r.ring[r.next:]...)
+	}
+	out = append(out, r.ring[:r.next]...)
+	return out
+}
+
+// Where returns the retained events matching pred, chronologically.
+func (r *Recorder) Where(pred func(Event) bool) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if pred(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// CountByKind tallies retained events per message kind.
+func (r *Recorder) CountByKind() map[protocol.Kind]int {
+	out := make(map[protocol.Kind]int)
+	for _, e := range r.Events() {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// Format renders events one per line.
+func Format(events []Event) string {
+	var b strings.Builder
+	for _, e := range events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

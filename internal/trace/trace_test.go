@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/manetlab/rpcc/internal/geo"
+	"github.com/manetlab/rpcc/internal/netsim"
+	"github.com/manetlab/rpcc/internal/protocol"
+	"github.com/manetlab/rpcc/internal/sim"
+	"github.com/manetlab/rpcc/internal/stats"
+)
+
+func ev(at time.Duration, kind protocol.Kind) Event {
+	return Event{At: at, Kind: kind, Node: 1, Origin: 0, Item: 2, Version: 3}
+}
+
+func TestNewRecorderValidation(t *testing.T) {
+	if _, err := NewRecorder(0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := NewRecorder(-1); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+func TestRecordAndEvents(t *testing.T) {
+	r, err := NewRecorder(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		r.Record(ev(time.Duration(i)*time.Second, protocol.KindPoll))
+	}
+	if r.Len() != 3 || r.Total() != 3 {
+		t.Fatalf("Len=%d Total=%d, want 3,3", r.Len(), r.Total())
+	}
+	events := r.Events()
+	for i := 1; i < len(events); i++ {
+		if events[i].At < events[i-1].At {
+			t.Fatal("events not chronological")
+		}
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	r, _ := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Record(ev(time.Duration(i)*time.Second, protocol.KindPoll))
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want capacity 4", r.Len())
+	}
+	if r.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", r.Total())
+	}
+	events := r.Events()
+	if events[0].At != 6*time.Second || events[3].At != 9*time.Second {
+		t.Fatalf("retained window wrong: %v .. %v", events[0].At, events[3].At)
+	}
+}
+
+func TestFilters(t *testing.T) {
+	r, _ := NewRecorder(16)
+	r.SetFilter(KindFilter(protocol.KindUpdate, protocol.KindInvalidation))
+	r.Record(ev(1, protocol.KindPoll))         // filtered out
+	r.Record(ev(2, protocol.KindUpdate))       // kept
+	r.Record(ev(3, protocol.KindInvalidation)) // kept
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 after kind filter", r.Len())
+	}
+	counts := r.CountByKind()
+	if counts[protocol.KindUpdate] != 1 || counts[protocol.KindPoll] != 0 {
+		t.Fatalf("CountByKind = %v", counts)
+	}
+}
+
+func TestItemFilterAndWhere(t *testing.T) {
+	r, _ := NewRecorder(16)
+	a := ev(1, protocol.KindPoll)
+	b := ev(2, protocol.KindPoll)
+	b.Item = 9
+	r.Record(a)
+	r.Record(b)
+	got := r.Where(ItemFilter(9))
+	if len(got) != 1 || got[0].Item != 9 {
+		t.Fatalf("Where(item 9) = %v", got)
+	}
+}
+
+func TestEventStringAndFormat(t *testing.T) {
+	e := Event{At: 1500 * time.Millisecond, Node: 4, Origin: 2, Kind: protocol.KindUpdate, Item: 3, Version: 7, Hops: 2}
+	s := e.String()
+	for _, want := range []string{"M4", "UPDATE", "D3", "v7", "M2", "2 hops", "unicast"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String = %q missing %q", s, want)
+		}
+	}
+	e.Flood = true
+	if !strings.Contains(e.String(), "flood") {
+		t.Error("flood event not labelled")
+	}
+	out := Format([]Event{e, e})
+	if strings.Count(out, "\n") != 2 {
+		t.Errorf("Format newlines = %d", strings.Count(out, "\n"))
+	}
+}
+
+// staticSource for the end-to-end tracer test.
+type staticSource struct{ pts []geo.Point }
+
+func (s *staticSource) Len() int { return len(s.pts) }
+func (s *staticSource) PositionsAt(_ time.Duration, dst []geo.Point) []geo.Point {
+	if cap(dst) < len(s.pts) {
+		dst = make([]geo.Point, len(s.pts))
+	}
+	dst = dst[:len(s.pts)]
+	copy(dst, s.pts)
+	return dst
+}
+
+func TestTracerCapturesNetworkDeliveries(t *testing.T) {
+	k := sim.NewKernel()
+	pts := []geo.Point{{X: 0}, {X: 200}, {X: 400}}
+	net, err := netsim.New(netsim.DefaultConfig(), k, &staticSource{pts: pts}, nil, nil, stats.NewTraffic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRecorder(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.SetTracer(r.Tracer())
+	msg := protocol.Message{Kind: protocol.KindApply, Item: 1, Origin: 0, Version: 5}
+	if err := net.Unicast(0, 2, msg); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Flood(0, 2, protocol.Message{Kind: protocol.KindIR, Item: 1, Origin: 0}); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	events := r.Events()
+	if len(events) == 0 {
+		t.Fatal("tracer captured nothing")
+	}
+	var sawUnicast, sawFlood bool
+	for _, e := range events {
+		if e.Kind == protocol.KindApply && !e.Flood && e.Node == 2 && e.Hops == 2 {
+			sawUnicast = true
+		}
+		if e.Kind == protocol.KindIR && e.Flood {
+			sawFlood = true
+		}
+	}
+	if !sawUnicast {
+		t.Error("unicast delivery not captured with hop count")
+	}
+	if !sawFlood {
+		t.Error("flood delivery not captured")
+	}
+}

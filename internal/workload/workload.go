@@ -1,0 +1,185 @@
+// Package workload drives the simulation's demand: each mobile host
+// generates an independent stream of updates to its own source data and of
+// query requests for other hosts' items, both with exponentially
+// distributed intervals (paper §5: I_Update mean 2 minutes, I_Query mean
+// 20 seconds). Item popularity for queries is uniform by default with an
+// optional Zipf mode for skewed-demand experiments.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/manetlab/rpcc/internal/data"
+	"github.com/manetlab/rpcc/internal/sim"
+)
+
+// QueryFunc is invoked when a host issues a query for an item.
+type QueryFunc func(k *sim.Kernel, host int, item data.ItemID)
+
+// UpdateFunc is invoked when a host updates its own source data.
+type UpdateFunc func(k *sim.Kernel, host int)
+
+// Popularity selects which item a host queries.
+type Popularity int
+
+// Popularity models. Values start at 1 so the zero value is invalid.
+const (
+	PopularityInvalid Popularity = iota
+	// PopularityUniform picks uniformly among all items except the
+	// querying host's own (the paper's setup).
+	PopularityUniform
+	// PopularityZipf skews demand toward low-numbered items with
+	// exponent ~1 (used by the skewed-demand ablation).
+	PopularityZipf
+	// PopularitySingle directs every query at item 0 — the Fig 9 scenario
+	// where one randomly chosen source's item is cached by all peers.
+	PopularitySingle
+	// PopularityCached picks uniformly among a fixed per-host item set
+	// (the host's placed cache contents) supplied via Config.Domain. This
+	// matches the paper's model, where placement is an assumed substrate
+	// and queries exercise the consistency protocol on cached items.
+	PopularityCached
+)
+
+// Config parameterises the generators.
+type Config struct {
+	Hosts           int
+	MeanQueryEvery  time.Duration // I_Query
+	MeanUpdateEvery time.Duration // I_Update
+	Popularity      Popularity
+	// Domain returns the items host may query; required for (and only
+	// consulted by) PopularityCached. Hosts with an empty domain issue no
+	// queries.
+	Domain func(host int) []data.ItemID
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Hosts <= 0 {
+		return fmt.Errorf("workload: hosts %d must be > 0", c.Hosts)
+	}
+	if c.MeanQueryEvery <= 0 {
+		return fmt.Errorf("workload: mean query interval %v must be > 0", c.MeanQueryEvery)
+	}
+	if c.MeanUpdateEvery <= 0 {
+		return fmt.Errorf("workload: mean update interval %v must be > 0", c.MeanUpdateEvery)
+	}
+	switch c.Popularity {
+	case PopularityUniform, PopularityZipf, PopularitySingle:
+	case PopularityCached:
+		if c.Domain == nil {
+			return fmt.Errorf("workload: PopularityCached requires a Domain function")
+		}
+	default:
+		return fmt.Errorf("workload: invalid popularity %d", c.Popularity)
+	}
+	return nil
+}
+
+// Generator schedules the query and update streams on a kernel.
+type Generator struct {
+	cfg      Config
+	rng      *rand.Rand
+	zipf     *rand.Zipf
+	onQuery  QueryFunc
+	onUpdate UpdateFunc
+	queries  uint64
+	updates  uint64
+}
+
+// NewGenerator builds a generator; Start attaches it to a kernel.
+func NewGenerator(cfg Config, onQuery QueryFunc, onUpdate UpdateFunc) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if onQuery == nil || onUpdate == nil {
+		return nil, fmt.Errorf("workload: nil callback")
+	}
+	return &Generator{cfg: cfg, onQuery: onQuery, onUpdate: onUpdate}, nil
+}
+
+// Start schedules every host's first events on k. Call once.
+func (g *Generator) Start(k *sim.Kernel) {
+	g.rng = k.Stream("workload")
+	if g.cfg.Popularity == PopularityZipf {
+		// s=1.1, v=1 over [0, Hosts-1]; NewZipf needs s > 1.
+		g.zipf = rand.NewZipf(k.Stream("workload.zipf"), 1.1, 1, uint64(g.cfg.Hosts-1))
+	}
+	for host := 0; host < g.cfg.Hosts; host++ {
+		host := host
+		// Deterministic uniform stagger for the first event of each
+		// stream, then exponential gaps.
+		k.After(g.uniform(g.cfg.MeanQueryEvery), "workload.query", func(kk *sim.Kernel) {
+			g.queryTick(kk, host)
+		})
+		k.After(g.uniform(g.cfg.MeanUpdateEvery), "workload.update", func(kk *sim.Kernel) {
+			g.updateTick(kk, host)
+		})
+	}
+}
+
+func (g *Generator) uniform(mean time.Duration) time.Duration {
+	return time.Duration(g.rng.Int63n(int64(mean)))
+}
+
+func (g *Generator) exp(mean time.Duration) time.Duration {
+	d := time.Duration(g.rng.ExpFloat64() * float64(mean))
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+func (g *Generator) queryTick(k *sim.Kernel, host int) {
+	// A host never queries its own item (it reads the master copy
+	// locally; in particular Fig 9's source host issues no queries), and
+	// a cached-domain host with nothing cached has nothing to ask for.
+	if item, ok := g.pickItem(host); ok && int(item) != host {
+		g.queries++
+		g.onQuery(k, host, item)
+	}
+	k.After(g.exp(g.cfg.MeanQueryEvery), "workload.query", func(kk *sim.Kernel) {
+		g.queryTick(kk, host)
+	})
+}
+
+func (g *Generator) updateTick(k *sim.Kernel, host int) {
+	g.updates++
+	g.onUpdate(k, host)
+	k.After(g.exp(g.cfg.MeanUpdateEvery), "workload.update", func(kk *sim.Kernel) {
+		g.updateTick(kk, host)
+	})
+}
+
+// pickItem selects the item host queries, never its own (a host reads its
+// own master copy directly; such reads generate no protocol traffic).
+func (g *Generator) pickItem(host int) (data.ItemID, bool) {
+	switch g.cfg.Popularity {
+	case PopularitySingle:
+		return 0, true
+	case PopularityCached:
+		domain := g.cfg.Domain(host)
+		if len(domain) == 0 {
+			return 0, false
+		}
+		return domain[g.rng.Intn(len(domain))], true
+	case PopularityZipf:
+		for {
+			id := data.ItemID(g.zipf.Uint64())
+			if int(id) != host {
+				return id, true
+			}
+		}
+	default: // PopularityUniform
+		id := g.rng.Intn(g.cfg.Hosts - 1)
+		if id >= host {
+			id++
+		}
+		return data.ItemID(id), true
+	}
+}
+
+// Counts returns the number of queries and updates issued so far.
+func (g *Generator) Counts() (queries, updates uint64) { return g.queries, g.updates }

@@ -1,0 +1,264 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/manetlab/rpcc/internal/data"
+	"github.com/manetlab/rpcc/internal/sim"
+)
+
+func testConfig() Config {
+	return Config{
+		Hosts:           50,
+		MeanQueryEvery:  20 * time.Second,
+		MeanUpdateEvery: 2 * time.Minute,
+		Popularity:      PopularityUniform,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+		ok     bool
+	}{
+		{"valid", func(*Config) {}, true},
+		{"zero hosts", func(c *Config) { c.Hosts = 0 }, false},
+		{"zero query interval", func(c *Config) { c.MeanQueryEvery = 0 }, false},
+		{"zero update interval", func(c *Config) { c.MeanUpdateEvery = 0 }, false},
+		{"zero popularity", func(c *Config) { c.Popularity = PopularityInvalid }, false},
+		{"zipf ok", func(c *Config) { c.Popularity = PopularityZipf }, true},
+		{"single ok", func(c *Config) { c.Popularity = PopularitySingle }, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := testConfig()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); (err == nil) != tt.ok {
+				t.Errorf("Validate() = %v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestNewGeneratorRejectsNilCallbacks(t *testing.T) {
+	if _, err := NewGenerator(testConfig(), nil, func(*sim.Kernel, int) {}); err == nil {
+		t.Error("nil query callback accepted")
+	}
+	if _, err := NewGenerator(testConfig(), func(*sim.Kernel, int, data.ItemID) {}, nil); err == nil {
+		t.Error("nil update callback accepted")
+	}
+}
+
+func runGenerator(t *testing.T, cfg Config, horizon time.Duration) (queries map[int][]data.ItemID, updates map[int]int, g *Generator) {
+	t.Helper()
+	queries = make(map[int][]data.ItemID)
+	updates = make(map[int]int)
+	g, err := NewGenerator(cfg,
+		func(_ *sim.Kernel, host int, item data.ItemID) {
+			queries[host] = append(queries[host], item)
+		},
+		func(_ *sim.Kernel, host int) { updates[host]++ },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKernel(sim.WithSeed(5), sim.WithHorizon(horizon))
+	g.Start(k)
+	k.Run()
+	return queries, updates, g
+}
+
+func TestRatesRoughlyMatchMeans(t *testing.T) {
+	cfg := testConfig()
+	queries, updates, g := runGenerator(t, cfg, time.Hour)
+	var nq, nu int
+	for _, q := range queries {
+		nq += len(q)
+	}
+	for _, u := range updates {
+		nu += u
+	}
+	// Expected: 50 hosts * 3600s / 20s = 9000 queries; / 120s = 1500 updates.
+	if math.Abs(float64(nq)-9000) > 900 {
+		t.Errorf("queries = %d, want ~9000", nq)
+	}
+	if math.Abs(float64(nu)-1500) > 225 {
+		t.Errorf("updates = %d, want ~1500", nu)
+	}
+	gq, gu := g.Counts()
+	if int(gq) != nq || int(gu) != nu {
+		t.Errorf("Counts() = %d,%d, observed %d,%d", gq, gu, nq, nu)
+	}
+}
+
+func TestEveryHostParticipates(t *testing.T) {
+	queries, updates, _ := runGenerator(t, testConfig(), time.Hour)
+	for host := 0; host < 50; host++ {
+		if len(queries[host]) == 0 {
+			t.Errorf("host %d issued no queries in an hour", host)
+		}
+		if updates[host] == 0 {
+			t.Errorf("host %d issued no updates in an hour", host)
+		}
+	}
+}
+
+func TestUniformNeverQueriesOwnItem(t *testing.T) {
+	queries, _, _ := runGenerator(t, testConfig(), time.Hour)
+	for host, items := range queries {
+		for _, item := range items {
+			if int(item) == host {
+				t.Fatalf("host %d queried its own item", host)
+			}
+			if int(item) < 0 || int(item) >= 50 {
+				t.Fatalf("host %d queried out-of-range item %v", host, item)
+			}
+		}
+	}
+}
+
+func TestUniformCoversItemSpace(t *testing.T) {
+	queries, _, _ := runGenerator(t, testConfig(), time.Hour)
+	seen := make(map[data.ItemID]bool)
+	for _, items := range queries {
+		for _, item := range items {
+			seen[item] = true
+		}
+	}
+	if len(seen) < 45 {
+		t.Errorf("only %d of 50 items ever queried in an hour", len(seen))
+	}
+}
+
+func TestZipfSkewsDemand(t *testing.T) {
+	cfg := testConfig()
+	cfg.Popularity = PopularityZipf
+	queries, _, _ := runGenerator(t, cfg, time.Hour)
+	counts := make([]int, cfg.Hosts)
+	total := 0
+	for _, items := range queries {
+		for _, item := range items {
+			counts[item]++
+			total++
+		}
+	}
+	top := counts[0] + counts[1] + counts[2]
+	if float64(top) < 0.4*float64(total) {
+		t.Errorf("zipf top-3 share = %d/%d, want >= 40%%", top, total)
+	}
+}
+
+func TestSingleModeTargetsItemZero(t *testing.T) {
+	cfg := testConfig()
+	cfg.Popularity = PopularitySingle
+	queries, _, _ := runGenerator(t, cfg, 30*time.Minute)
+	if len(queries[0]) != 0 {
+		t.Errorf("source host of the single item issued %d queries", len(queries[0]))
+	}
+	for host, items := range queries {
+		for _, item := range items {
+			if item != 0 {
+				t.Fatalf("host %d queried %v in single mode", host, item)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() uint64 {
+		g, err := NewGenerator(testConfig(),
+			func(*sim.Kernel, int, data.ItemID) {}, func(*sim.Kernel, int) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := sim.NewKernel(sim.WithSeed(11), sim.WithHorizon(time.Hour))
+		g.Start(k)
+		k.Run()
+		q, u := g.Counts()
+		return q*1_000_000 + u
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same-seed runs diverged: %d vs %d", a, b)
+	}
+}
+
+func TestCachedDomainRequiresDomain(t *testing.T) {
+	cfg := testConfig()
+	cfg.Popularity = PopularityCached
+	if cfg.Validate() == nil {
+		t.Fatal("PopularityCached without Domain accepted")
+	}
+	cfg.Domain = func(host int) []data.ItemID { return nil }
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCachedDomainQueriesStayInDomain(t *testing.T) {
+	cfg := testConfig()
+	cfg.Popularity = PopularityCached
+	domains := make([][]data.ItemID, cfg.Hosts)
+	for h := range domains {
+		for j := 1; j <= 3; j++ {
+			domains[h] = append(domains[h], data.ItemID((h+j)%cfg.Hosts))
+		}
+	}
+	cfg.Domain = func(host int) []data.ItemID { return domains[host] }
+	queries := map[int][]data.ItemID{}
+	g, err := NewGenerator(cfg,
+		func(_ *sim.Kernel, host int, item data.ItemID) {
+			queries[host] = append(queries[host], item)
+		},
+		func(*sim.Kernel, int) {},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKernel(sim.WithSeed(3), sim.WithHorizon(30*time.Minute))
+	g.Start(k)
+	k.Run()
+	for host, items := range queries {
+		allowed := map[data.ItemID]bool{}
+		for _, it := range domains[host] {
+			allowed[it] = true
+		}
+		for _, it := range items {
+			if !allowed[it] {
+				t.Fatalf("host %d queried %v outside its domain %v", host, it, domains[host])
+			}
+		}
+	}
+}
+
+func TestCachedDomainEmptyDomainHostIsSilent(t *testing.T) {
+	cfg := testConfig()
+	cfg.Hosts = 4
+	cfg.Popularity = PopularityCached
+	cfg.Domain = func(host int) []data.ItemID {
+		if host == 2 {
+			return nil // host 2 caches nothing
+		}
+		return []data.ItemID{data.ItemID((host + 1) % 4)}
+	}
+	silent := true
+	g, err := NewGenerator(cfg,
+		func(_ *sim.Kernel, host int, _ data.ItemID) {
+			if host == 2 {
+				silent = false
+			}
+		},
+		func(*sim.Kernel, int) {},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKernel(sim.WithSeed(5), sim.WithHorizon(20*time.Minute))
+	g.Start(k)
+	k.Run()
+	if !silent {
+		t.Fatal("empty-domain host issued queries")
+	}
+}

@@ -1,0 +1,139 @@
+package rpcc
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/manetlab/rpcc/internal/churn"
+	"github.com/manetlab/rpcc/internal/geo"
+	"github.com/manetlab/rpcc/internal/mobility"
+	"github.com/manetlab/rpcc/internal/netsim"
+	"github.com/manetlab/rpcc/internal/replica"
+	"github.com/manetlab/rpcc/internal/sim"
+	"github.com/manetlab/rpcc/internal/stats"
+)
+
+// ReplicaValue is one replica's state: the payload and its ordering tag
+// (Lamport clock + writer id, which totally order all writes).
+type ReplicaValue = replica.Value
+
+// ReplicaSimulation runs the paper's §6 future-work replica model over
+// the MANET substrate: unlike the cache model, where only an item's
+// source host may write, ANY peer holding a replica may modify it.
+// Writes propagate eagerly by flooding and are repaired by periodic
+// anti-entropy; replicas merge by last-writer-wins over the
+// (clock, writer) order and converge once writers go quiet.
+type ReplicaSimulation struct {
+	k       *sim.Kernel
+	net     *netsim.Network
+	mgr     *replica.Manager
+	proc    *churn.Process
+	started bool
+}
+
+// NewReplicaSimulation builds a replica deployment over the same mobile
+// field geometry as NewSimulation. The Protocol and cache knobs of
+// SimOptions are ignored — the replica tier has its own protocol.
+func NewReplicaSimulation(opts SimOptions) (*ReplicaSimulation, error) {
+	if opts.Peers <= 1 {
+		return nil, fmt.Errorf("rpcc: need at least 2 peers, got %d", opts.Peers)
+	}
+	k := sim.NewKernel(sim.WithSeed(opts.Seed))
+	terrain, err := geo.NewTerrain(opts.AreaMeters, opts.AreaMeters)
+	if err != nil {
+		return nil, err
+	}
+	field, err := mobility.NewField(mobility.Config{
+		Terrain:    terrain,
+		MinSpeed:   opts.MinSpeed,
+		MaxSpeed:   opts.MaxSpeed,
+		Pause:      opts.Pause,
+		SubnetCell: opts.AreaMeters / 2,
+	}, opts.Peers, func(i int) *rand.Rand { return k.Stream(fmt.Sprintf("mobility.%d", i)) })
+	if err != nil {
+		return nil, err
+	}
+	proc, err := churn.NewProcess(churn.Config{
+		MeanUp:   opts.MeanUp,
+		MeanDown: opts.MeanDown,
+		Disabled: !opts.EnableChurn,
+	}, opts.Peers, k)
+	if err != nil {
+		return nil, err
+	}
+	netCfg := netsim.DefaultConfig()
+	netCfg.CommRange = opts.RadioRange
+	network, err := netsim.New(netCfg, k, field, proc, nil, stats.NewTraffic())
+	if err != nil {
+		return nil, err
+	}
+	mgr, err := replica.NewManager(replica.DefaultConfig(), network)
+	if err != nil {
+		return nil, err
+	}
+	return &ReplicaSimulation{k: k, net: network, mgr: mgr, proc: proc}, nil
+}
+
+// Register creates replica id on the given holder nodes. Call before the
+// first Write or RunFor.
+func (s *ReplicaSimulation) Register(id int, holders []int) error {
+	return s.mgr.Register(id, holders)
+}
+
+// start lazily begins the protocol on first use.
+func (s *ReplicaSimulation) start() error {
+	if s.started {
+		return nil
+	}
+	if err := s.mgr.Start(s.k); err != nil {
+		return err
+	}
+	s.started = true
+	return nil
+}
+
+// Write applies a write at node (any holder may write) and propagates it.
+func (s *ReplicaSimulation) Write(node, id int, payload string) error {
+	if err := s.start(); err != nil {
+		return err
+	}
+	return s.mgr.Write(s.k, node, id, payload)
+}
+
+// Read returns node's current view of replica id.
+func (s *ReplicaSimulation) Read(node, id int) (ReplicaValue, error) {
+	return s.mgr.Read(node, id)
+}
+
+// Disconnect forces node off the network until Reconnect.
+func (s *ReplicaSimulation) Disconnect(node int) error {
+	if err := s.start(); err != nil {
+		return err
+	}
+	return s.proc.ForceState(s.k, node, churn.StateDisconnected)
+}
+
+// Reconnect brings a disconnected node back.
+func (s *ReplicaSimulation) Reconnect(node int) error {
+	return s.proc.ForceState(s.k, node, churn.StateConnected)
+}
+
+// RunFor advances the simulation clock by d.
+func (s *ReplicaSimulation) RunFor(d time.Duration) error {
+	if err := s.start(); err != nil {
+		return err
+	}
+	s.k.RunUntil(s.k.Now() + d)
+	return nil
+}
+
+// Converged reports whether every holder of id sees the same value.
+func (s *ReplicaSimulation) Converged(id int) (ReplicaValue, bool) {
+	return s.mgr.Converged(id)
+}
+
+// Transmissions returns the total link-level transmissions so far.
+func (s *ReplicaSimulation) Transmissions() uint64 {
+	return s.net.Traffic().TotalTx()
+}
