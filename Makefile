@@ -1,0 +1,38 @@
+# Build/test entry points. `make check` is the tier-1 gate; `make race`
+# is the concurrency-safety audit behind the fleet orchestrator.
+
+GO ?= go
+
+.PHONY: all build test race vet check bench figures clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the packages that exercise concurrency: the
+# fleet orchestrator (real simulations on parallel workers), the kernel
+# isolation audit, and the stats merge.
+race:
+	$(GO) test -race ./internal/fleet/ ./internal/sim/ ./internal/stats/ ./internal/experiment/
+
+vet:
+	$(GO) vet ./...
+
+check: build vet test
+
+# Regenerate the committed orchestrator benchmark (BENCH_fleet.json):
+# the full 9-figure suite at 5 simulated minutes per run, all cores.
+bench:
+	$(GO) run ./cmd/figures -simtime 5m -format csv -bench BENCH_fleet.json > /dev/null
+
+# Full paper reproduction (5 simulated hours per run), journaled so an
+# interrupted sweep resumes with `make figures` again.
+figures:
+	$(GO) run ./cmd/figures -simtime 5h -journal runs.jsonl -resume -bench BENCH_fleet.json
+
+clean:
+	rm -f runs.jsonl

@@ -1,28 +1,37 @@
 // Command figures regenerates every figure of the paper's evaluation
 // section (Fig 7a–c, 8a–c, 9a–b, plus the §5.3 relay-count series) as
-// aligned text tables: one simulation per (strategy, sweep-point) pair.
+// aligned text tables. Simulations are dispatched through the fleet
+// orchestrator: all (strategy, sweep-point, replica) scenarios across
+// the selected figures are deduplicated (fig7a/fig8a share one
+// simulation matrix) and run concurrently, one worker per core by
+// default. Results are identical to a serial run for the same seed.
 //
-// A full 5-hour Table 1 reproduction:
+// A full 5-hour Table 1 reproduction on all cores, journaled so it can
+// be interrupted and resumed:
 //
-//	figures -simtime 5h
+//	figures -simtime 5h -parallel 8 -journal runs.jsonl
+//	figures -simtime 5h -parallel 8 -journal runs.jsonl -resume
 //
-// A quick pass (about a minute of wall time):
+// A quick pass (seconds of wall time):
 //
 //	figures -simtime 30m
 //
-// Single figure:
+// Single figure, serial reference mode:
 //
-//	figures -only fig9a
+//	figures -only fig9a -parallel 1
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
 	"github.com/manetlab/rpcc/internal/experiment"
+	"github.com/manetlab/rpcc/internal/fleet"
 )
 
 func main() {
@@ -39,10 +48,18 @@ func run() error {
 		only     = flag.String("only", "", "run a single figure (fig7a..fig9b, relay-count)")
 		format   = flag.String("format", "table", "output format: table | csv")
 		replicas = flag.Int("replicas", 1, "independent seeds per point, averaged")
+		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = all cores); results are identical for any value")
+		journal  = flag.String("journal", "", "append-only JSONL run journal (one record per completed/failed run)")
+		resume   = flag.Bool("resume", false, "reuse successful runs already in -journal; retry failures")
+		timeout  = flag.Duration("timeout", 0, "per-run wall-clock timeout (0 = none)")
+		bench    = flag.String("bench", "", "write a machine-readable wall-time/throughput record (e.g. BENCH_fleet.json)")
 	)
 	flag.Parse()
 	if *format != "table" && *format != "csv" {
 		return fmt.Errorf("unknown format %q", *format)
+	}
+	if *resume && *journal == "" {
+		return fmt.Errorf("-resume requires -journal")
 	}
 
 	specs := experiment.AllFigureSpecs()
@@ -59,21 +76,74 @@ func run() error {
 		specs = filtered
 	}
 
+	base := experiment.DefaultConfig(experiment.StrategyRPCCSC, *seed)
+	base.SimTime = *simTime
+
+	// One job list across every selected figure; the fleet runs each
+	// distinct scenario once even when figures share a sweep matrix.
+	var jobs []fleet.Job
 	for _, spec := range specs {
-		base := experiment.DefaultConfig(experiment.StrategyRPCCSC, *seed)
-		base.SimTime = *simTime
-		start := time.Now()
-		fig, err := experiment.RunSweepReplicated(spec, base, *replicas)
+		sweep, err := experiment.SweepJobs(spec, base, *replicas)
 		if err != nil {
 			return err
+		}
+		for _, j := range sweep {
+			jobs = append(jobs, fleet.Job{Key: j.Key, Config: j.Config})
+		}
+	}
+
+	opts := fleet.Options{
+		Parallel: *parallel,
+		Timeout:  *timeout,
+		Progress: os.Stderr,
+	}
+	if *journal != "" {
+		jl, err := fleet.OpenJournal(*journal, *resume)
+		if err != nil {
+			return err
+		}
+		defer jl.Close()
+		opts.Journal = jl
+	}
+
+	// Ctrl-C cancels the context; the fleet drains in-flight runs into
+	// the journal and we exit with the partial report recorded.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	rep, runErr := fleet.Run(ctx, jobs, opts)
+
+	if *bench != "" {
+		if err := fleet.WriteBench(*bench, rep.Bench()); err != nil {
+			return err
+		}
+	}
+	if runErr != nil {
+		return fmt.Errorf("sweep interrupted (%d/%d runs journaled): %w", rep.Executed+rep.Resumed, len(rep.Records), runErr)
+	}
+
+	var failedFigures []string
+	for _, spec := range specs {
+		fig, err := experiment.AssembleFigure(spec, base, *replicas, rep.Result)
+		if err != nil {
+			failedFigures = append(failedFigures, spec.ID)
+			fmt.Fprintf(os.Stderr, "figures: %s incomplete: %v\n", spec.ID, err)
+			continue
 		}
 		if *format == "csv" {
 			fmt.Print(renderCSV(fig, spec))
 		} else {
 			fmt.Print(experiment.RenderTable(fig, spec.Metric))
-			fmt.Printf("(%d runs, %v wall time)\n", len(spec.Strategies)*len(spec.Xs)**replicas, time.Since(start).Round(time.Millisecond))
 		}
 		fmt.Println()
+	}
+
+	fmt.Fprintf(os.Stderr, "%d runs (%d resumed, %d failed) on %d workers in %v (%.2f runs/s)\n",
+		len(rep.Records), rep.Resumed, rep.Failed, rep.Workers, rep.Wall.Round(time.Millisecond), rep.RunsPerSec())
+
+	if len(failedFigures) > 0 {
+		return fmt.Errorf("%d run(s) failed; incomplete figures: %s (see the journal for stacks)",
+			rep.Failed, strings.Join(failedFigures, ", "))
 	}
 	return nil
 }

@@ -2,20 +2,29 @@
 // prints its metrics. Every Table 1 parameter of the paper is exposed as
 // a flag; the defaults reproduce the paper's setup.
 //
+// With -replicas N the scenario runs N times with seeds seed..seed+N-1
+// (concurrently, through the fleet orchestrator) and the report adds
+// across-seed means with standard deviations and 95% confidence
+// intervals.
+//
 // Examples:
 //
 //	rpccsim -strategy rpcc-sc
 //	rpccsim -strategy pull -simtime 1h -seed 3
 //	rpccsim -strategy rpcc-sc -invttl 7 -single
+//	rpccsim -strategy rpcc-sc -simtime 1h -replicas 8 -parallel 8
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"github.com/manetlab/rpcc/internal/experiment"
+	"github.com/manetlab/rpcc/internal/fleet"
 	"github.com/manetlab/rpcc/internal/workload"
 )
 
@@ -49,6 +58,8 @@ func run() error {
 		useDSR   = flag.Bool("dsr", false, "route unicasts with DSR-style discovery instead of the oracle")
 		loss     = flag.Float64("loss", 0, "per-reception link loss probability [0,1)")
 		adaptTTN = flag.Bool("adaptivettn", false, "enable RPCC's adaptive invalidation interval (§6)")
+		replicas = flag.Int("replicas", 1, "independent seeds (seed..seed+N-1), run concurrently and aggregated")
+		parallel = flag.Int("parallel", 0, "concurrent replica runs (0 = all cores)")
 	)
 	flag.Parse()
 
@@ -72,6 +83,10 @@ func run() error {
 	cfg.LossRate = *loss
 	cfg.AdaptiveTTN = *adaptTTN
 
+	if *replicas > 1 {
+		return runReplicated(cfg, *replicas, *parallel)
+	}
+
 	start := time.Now()
 	res, err := experiment.Run(cfg)
 	if err != nil {
@@ -82,6 +97,58 @@ func run() error {
 		fmt.Print(experiment.RenderDetail(res))
 	} else {
 		fmt.Println(res)
+	}
+	return nil
+}
+
+// runReplicated runs the scenario once per seed on the fleet and prints
+// per-seed one-liners plus the across-seed aggregate with spread.
+func runReplicated(base experiment.Config, replicas, parallel int) error {
+	jobs := make([]fleet.Job, replicas)
+	for i := range jobs {
+		cfg := base
+		cfg.Seed = base.Seed + int64(i)
+		jobs[i] = fleet.Job{Key: cfg.Key(), Config: cfg}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	rep, err := fleet.Run(ctx, jobs, fleet.Options{Parallel: parallel, Progress: os.Stderr})
+	if err != nil {
+		return err
+	}
+
+	results := make([]experiment.Result, 0, replicas)
+	for _, rec := range rep.Records {
+		if rec.Status != fleet.StatusOK {
+			fmt.Fprintf(os.Stderr, "rpccsim: seed %d %s: %s\n", rec.Seed, rec.Status, rec.Error)
+			continue
+		}
+		res, _ := rep.Result(rec.Key)
+		fmt.Printf("seed %-3d %v\n", rec.Seed, res)
+		results = append(results, res)
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("all %d replicas failed", replicas)
+	}
+
+	s := experiment.Aggregate(results)
+	fmt.Printf("\nsimulated %v of %d peers × %d seeds on %d workers in %v wall time (%.2f runs/s)\n\n",
+		base.SimTime, base.NPeers, len(results), rep.Workers, rep.Wall.Round(time.Millisecond), rep.RunsPerSec())
+	fmt.Printf("across seeds (mean ± stddev, ±95%% CI):\n")
+	printDist := func(name, unit string, d experiment.Dist) {
+		fmt.Printf("  %-16s %12.1f ± %-10.1f (±%.1f) %s\n", name, d.Mean, d.Stddev, d.CI95, unit)
+	}
+	printDist("traffic", "msgs", s.TotalTx)
+	printDist("bytes", "B", s.TotalBytes)
+	printDist("latency", "ms", s.MeanLatencyMs)
+	printDist("answer rate", "", s.AnswerRate)
+	printDist("violations", "", s.Violations)
+	printDist("relay peers", "", s.RelayCount)
+	printDist("energy drain", "units", s.EnergyDrained)
+	printDist("hit ratio", "", s.MeanHitRatio)
+	if rep.Failed > 0 {
+		return fmt.Errorf("%d of %d replicas failed", rep.Failed, replicas)
 	}
 	return nil
 }

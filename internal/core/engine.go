@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"github.com/manetlab/rpcc/internal/consistency"
@@ -394,7 +395,7 @@ func (e *Engine) ttnTick(k *sim.Kernel, nd int) {
 		// MAC-layer disconnection discovery (§4.5): unreachable relay
 		// peers are dropped from the table before pushing.
 		g := e.ch.Net.Graph()
-		for relay := range ps.relays {
+		for _, relay := range sortedRelays(ps.relays) {
 			if g.Hops(nd, relay) == radio.Unreachable {
 				delete(ps.relays, relay)
 				continue
@@ -444,7 +445,8 @@ func (e *Engine) coeffTick(k *sim.Kernel, nd int) {
 	tr.Observe(sample)
 	eligible := tr.Eligible(e.cfg.MuCAR, e.cfg.MuCS, e.cfg.MuCE)
 
-	for item, st := range e.peers[nd].items {
+	for _, item := range sortedItems(e.peers[nd].items) {
+		st := e.peers[nd].items[item]
 		// A relay that has not heard the source's INVALIDATION flood for
 		// several TTN intervals has drifted beyond the invalidation TTL:
 		// it is no longer part of the push scope and resigns (the relay
@@ -558,3 +560,27 @@ func (e *Engine) PollStats() (direct, ring, fallback, forgets uint64) {
 
 // Tracker exposes nd's coefficient tracker (read-only use).
 func (e *Engine) Tracker(nd int) *CoeffTracker { return e.trackers[nd] }
+
+// sortedRelays returns the relay node ids in ascending order. Go map
+// iteration order varies between runs; anything that sends messages per
+// relay must walk a sorted copy so the event sequence — and therefore the
+// whole simulation — is a pure function of the seed.
+func sortedRelays(relays map[int]struct{}) []int {
+	out := make([]int, 0, len(relays))
+	for r := range relays {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// sortedItems returns the item ids of a per-peer state map in ascending
+// order, for the same determinism reason as sortedRelays.
+func sortedItems(items map[data.ItemID]*itemState) []data.ItemID {
+	out := make([]data.ItemID, 0, len(items))
+	for id := range items {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,137 @@
+package experiment
+
+import (
+	"math"
+	"time"
+)
+
+// Dist summarises one metric's distribution across replica runs: the
+// across-seed mean, the sample standard deviation, and the half-width of
+// the 95% confidence interval on the mean (normal approximation,
+// 1.96·s/√n; zero when n < 2). The paper's own figures carry single-run
+// noise — replication plus these intervals is how the reproduction
+// tightens them.
+type Dist struct {
+	Mean   float64
+	Stddev float64
+	CI95   float64
+}
+
+// distOf folds one metric's per-run samples into a Dist.
+func distOf(xs []float64) Dist {
+	n := float64(len(xs))
+	if n == 0 {
+		return Dist{}
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	d := Dist{Mean: sum / n}
+	if len(xs) < 2 {
+		return d
+	}
+	var ss float64
+	for _, x := range xs {
+		ss += (x - d.Mean) * (x - d.Mean)
+	}
+	d.Stddev = math.Sqrt(ss / (n - 1))
+	d.CI95 = 1.96 * d.Stddev / math.Sqrt(n)
+	return d
+}
+
+// Summary is the cross-replica aggregate of several same-scenario runs:
+// a representative mean Result (the figures plot it) plus per-metric
+// distributions (mean/stddev/CI) for reports that want error bars.
+type Summary struct {
+	N int
+
+	// Mean is the first run with every aggregate numeric field replaced
+	// by the across-seed mean — exactly what the figure tables plot.
+	// Non-additive fields (ByKind breakdown, Config) come from the first
+	// run.
+	Mean Result
+
+	TotalTx       Dist
+	TotalBytes    Dist
+	MeanLatencyMs Dist
+	AnswerRate    Dist
+	Violations    Dist
+	RelayCount    Dist
+	EnergyDrained Dist
+	MeanHitRatio  Dist
+}
+
+// Aggregate folds several same-scenario runs (one per replica seed) into
+// one Summary. It is the single replica-averaging implementation shared
+// by the serial sweep driver (RunSweepReplicated), the fleet
+// orchestrator, and the multi-replica CLI mode. Aggregate is pure: it
+// reads its inputs and touches no global state, so it is safe to call
+// from concurrent fleet workers. An empty input yields a zero Summary.
+func Aggregate(results []Result) Summary {
+	s := Summary{N: len(results)}
+	if len(results) == 0 {
+		return s
+	}
+	s.Mean = meanResult(results)
+
+	samples := func(f func(Result) float64) Dist {
+		xs := make([]float64, len(results))
+		for i, r := range results {
+			xs[i] = f(r)
+		}
+		return distOf(xs)
+	}
+	s.TotalTx = samples(func(r Result) float64 { return float64(r.TotalTx) })
+	s.TotalBytes = samples(func(r Result) float64 { return float64(r.TotalBytes) })
+	s.MeanLatencyMs = samples(MetricMeanLatencyMs)
+	s.AnswerRate = samples(Result.AnswerRate)
+	s.Violations = samples(func(r Result) float64 { return float64(r.Violations) })
+	s.RelayCount = samples(MetricRelayCount)
+	s.EnergyDrained = samples(func(r Result) float64 { return r.EnergyDrained })
+	s.MeanHitRatio = samples(func(r Result) float64 { return r.MeanHitRatio })
+	return s
+}
+
+// meanResult folds several same-scenario runs into one Result whose
+// aggregate numeric fields are the across-seed means. Non-additive fields
+// (ByKind breakdown, Config) come from the first run.
+func meanResult(runs []Result) Result {
+	if len(runs) == 1 {
+		return runs[0]
+	}
+	out := runs[0]
+	n := float64(len(runs))
+	var tx, bytes, issued, answered, failed, viol uint64
+	var lat, stale time.Duration
+	var relays int
+	var drained, hit float64
+	for _, r := range runs {
+		tx += r.TotalTx
+		bytes += r.TotalBytes
+		issued += r.Issued
+		answered += r.Answered
+		failed += r.Failed
+		viol += r.Violations
+		lat += r.MeanLatency
+		stale += r.MeanStaleness
+		relays += r.RelayCount
+		drained += r.EnergyDrained
+		hit += r.MeanHitRatio
+	}
+	out.TotalTx = uint64(float64(tx) / n)
+	out.TotalBytes = uint64(float64(bytes) / n)
+	out.Issued = uint64(float64(issued) / n)
+	out.Answered = uint64(float64(answered) / n)
+	out.Failed = uint64(float64(failed) / n)
+	out.Violations = uint64(float64(viol) / n)
+	out.MeanLatency = lat / time.Duration(len(runs))
+	out.MeanStaleness = stale / time.Duration(len(runs))
+	out.RelayCount = int(float64(relays) / n)
+	out.EnergyDrained = drained / n
+	out.MeanHitRatio = hit / n
+	if hours := out.Config.SimTime.Hours(); hours > 0 {
+		out.TxPerHour = float64(out.TotalTx) / hours
+	}
+	return out
+}

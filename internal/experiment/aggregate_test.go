@@ -1,0 +1,92 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// syntheticResult builds a Result with distinctive aggregate fields so
+// averaging is checkable without running a simulation.
+func syntheticResult(scale uint64) Result {
+	cfg := DefaultConfig(StrategyRPCCSC, 1)
+	cfg.SimTime = time.Hour
+	return Result{
+		Strategy:      StrategyRPCCSC,
+		Config:        cfg,
+		TotalTx:       100 * scale,
+		TotalBytes:    1000 * scale,
+		Issued:        10 * scale,
+		Answered:      8 * scale,
+		Failed:        2 * scale,
+		Violations:    scale,
+		MeanLatency:   time.Duration(scale) * 10 * time.Millisecond,
+		MeanStaleness: time.Duration(scale) * time.Second,
+		RelayCount:    int(scale),
+		EnergyDrained: float64(scale),
+		MeanHitRatio:  0.1 * float64(scale),
+	}
+}
+
+func TestAggregateEmptyAndSingle(t *testing.T) {
+	if s := Aggregate(nil); s.N != 0 {
+		t.Fatalf("empty aggregate: N = %d, want 0", s.N)
+	}
+	r := syntheticResult(3)
+	s := Aggregate([]Result{r})
+	if s.N != 1 {
+		t.Fatalf("N = %d, want 1", s.N)
+	}
+	if s.Mean.TotalTx != r.TotalTx || s.Mean.MeanLatency != r.MeanLatency {
+		t.Fatalf("single-run mean mutated the result: %+v", s.Mean)
+	}
+	if s.TotalTx.Stddev != 0 || s.TotalTx.CI95 != 0 {
+		t.Fatalf("single run must have zero spread, got %+v", s.TotalTx)
+	}
+	if s.TotalTx.Mean != float64(r.TotalTx) {
+		t.Fatalf("TotalTx mean = %g, want %d", s.TotalTx.Mean, r.TotalTx)
+	}
+}
+
+func TestAggregateMeansAndSpread(t *testing.T) {
+	runs := []Result{syntheticResult(1), syntheticResult(3)}
+	s := Aggregate(runs)
+	if s.N != 2 {
+		t.Fatalf("N = %d, want 2", s.N)
+	}
+	if s.Mean.TotalTx != 200 { // (100+300)/2
+		t.Fatalf("mean TotalTx = %d, want 200", s.Mean.TotalTx)
+	}
+	if s.Mean.MeanLatency != 20*time.Millisecond {
+		t.Fatalf("mean latency = %v, want 20ms", s.Mean.MeanLatency)
+	}
+	if s.Mean.RelayCount != 2 {
+		t.Fatalf("mean relay count = %d, want 2", s.Mean.RelayCount)
+	}
+	// TxPerHour renormalised from the averaged total over the 1 h run.
+	if s.Mean.TxPerHour != 200 {
+		t.Fatalf("TxPerHour = %g, want 200", s.Mean.TxPerHour)
+	}
+	// Sample stddev of {100, 300} is sqrt(2*100^2/1) = ~141.42.
+	wantSD := math.Sqrt(2 * 100 * 100)
+	if math.Abs(s.TotalTx.Stddev-wantSD) > 1e-9 {
+		t.Fatalf("TotalTx stddev = %g, want %g", s.TotalTx.Stddev, wantSD)
+	}
+	wantCI := 1.96 * wantSD / math.Sqrt(2)
+	if math.Abs(s.TotalTx.CI95-wantCI) > 1e-9 {
+		t.Fatalf("TotalTx CI95 = %g, want %g", s.TotalTx.CI95, wantCI)
+	}
+	if s.MeanLatencyMs.Mean != 20 {
+		t.Fatalf("latency-ms mean = %g, want 20", s.MeanLatencyMs.Mean)
+	}
+}
+
+func TestAggregateAnswerRate(t *testing.T) {
+	a := syntheticResult(1) // 8/10 answered
+	b := syntheticResult(1)
+	b.Answered, b.Issued = 4, 10 // 0.4
+	s := Aggregate([]Result{a, b})
+	if math.Abs(s.AnswerRate.Mean-0.6) > 1e-9 {
+		t.Fatalf("answer-rate mean = %g, want 0.6", s.AnswerRate.Mean)
+	}
+}

@@ -65,82 +65,32 @@ func RunSweep(spec SweepSpec, base Config) (Figure, error) {
 
 // RunSweepReplicated evaluates the spec with `replicas` independent seeds
 // per point (base.Seed, base.Seed+1, …) and averages every numeric metric
-// across them, tightening the single-run noise the paper's own figures
-// carry. The per-point Result is the first seed's, with the averaged
-// aggregate fields substituted.
+// across them (see Aggregate), tightening the single-run noise the
+// paper's own figures carry. It is the serial reference executor: it
+// enumerates the same job list the fleet orchestrator does (SweepJobs),
+// runs each distinct scenario once in order, and assembles the figure
+// through the same AssembleFigure path, so parallel and serial sweeps
+// agree bit for bit.
 func RunSweepReplicated(spec SweepSpec, base Config, replicas int) (Figure, error) {
-	if replicas <= 0 {
-		return Figure{}, fmt.Errorf("experiment: replicas %d must be > 0", replicas)
+	jobs, err := SweepJobs(spec, base, replicas)
+	if err != nil {
+		return Figure{}, err
 	}
-	fig := Figure{
-		ID:     spec.ID,
-		Title:  spec.Title,
-		XLabel: spec.XLabel,
-		YLabel: spec.YLabel,
-	}
-	for _, strat := range spec.Strategies {
-		s := Series{Strategy: strat, Points: make([]Point, 0, len(spec.Xs))}
-		for _, x := range spec.Xs {
-			runs := make([]Result, 0, replicas)
-			for r := 0; r < replicas; r++ {
-				cfg := base
-				cfg.Strategy = strat
-				cfg.Seed = base.Seed + int64(r)
-				spec.Apply(&cfg, x)
-				res, err := Run(cfg)
-				if err != nil {
-					return Figure{}, fmt.Errorf("experiment: %s %s x=%g seed=%d: %w", spec.ID, strat, x, cfg.Seed, err)
-				}
-				runs = append(runs, res)
-			}
-			s.Points = append(s.Points, Point{X: x, Result: averageResults(runs)})
+	results := make(map[string]Result, len(jobs))
+	for _, j := range jobs {
+		if _, done := results[j.Key]; done {
+			continue
 		}
-		fig.Series = append(fig.Series, s)
+		res, err := Run(j.Config)
+		if err != nil {
+			return Figure{}, fmt.Errorf("experiment: %s %s x=%g seed=%d: %w", spec.ID, j.Strategy, j.X, j.Config.Seed, err)
+		}
+		results[j.Key] = res
 	}
-	return fig, nil
-}
-
-// averageResults folds several same-scenario runs into one Result whose
-// aggregate numeric fields are the across-seed means. Non-additive fields
-// (ByKind breakdown, Config) come from the first run.
-func averageResults(runs []Result) Result {
-	if len(runs) == 1 {
-		return runs[0]
-	}
-	out := runs[0]
-	n := float64(len(runs))
-	var tx, bytes, issued, answered, failed, viol uint64
-	var lat, stale time.Duration
-	var relays int
-	var drained, hit float64
-	for _, r := range runs {
-		tx += r.TotalTx
-		bytes += r.TotalBytes
-		issued += r.Issued
-		answered += r.Answered
-		failed += r.Failed
-		viol += r.Violations
-		lat += r.MeanLatency
-		stale += r.MeanStaleness
-		relays += r.RelayCount
-		drained += r.EnergyDrained
-		hit += r.MeanHitRatio
-	}
-	out.TotalTx = uint64(float64(tx) / n)
-	out.TotalBytes = uint64(float64(bytes) / n)
-	out.Issued = uint64(float64(issued) / n)
-	out.Answered = uint64(float64(answered) / n)
-	out.Failed = uint64(float64(failed) / n)
-	out.Violations = uint64(float64(viol) / n)
-	out.MeanLatency = lat / time.Duration(len(runs))
-	out.MeanStaleness = stale / time.Duration(len(runs))
-	out.RelayCount = int(float64(relays) / n)
-	out.EnergyDrained = drained / n
-	out.MeanHitRatio = hit / n
-	if hours := out.Config.SimTime.Hours(); hours > 0 {
-		out.TxPerHour = float64(out.TotalTx) / hours
-	}
-	return out
+	return AssembleFigure(spec, base, replicas, func(key string) (Result, bool) {
+		r, ok := results[key]
+		return r, ok
+	})
 }
 
 // The sweeps behind each of the paper's figures. X units: minutes for

@@ -1,0 +1,141 @@
+package experiment
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// This file holds the pure helpers the fleet orchestrator builds on:
+// enumerating a sweep as an explicit job list, fingerprinting a scenario
+// config into a stable job key, deriving per-job seeds, and assembling a
+// Figure back out of a key→Result lookup. Everything here is
+// deterministic and side-effect free, so callers may evaluate jobs in
+// any order, on any number of workers, and still reproduce the serial
+// result bit for bit.
+
+// SweepJob is one (strategy, sweep point, replica) simulation of a spec.
+type SweepJob struct {
+	SpecID   string
+	Strategy StrategyKind
+	X        float64
+	Replica  int
+	// Key fingerprints the fully applied Config. Two specs that sweep
+	// the same underlying parameter (e.g. fig7a and fig8a, which share
+	// one simulation matrix and differ only in the plotted metric)
+	// produce identical keys, so an executor that caches by key runs
+	// each distinct scenario once.
+	Key    string
+	Config Config
+}
+
+// Key returns a stable fingerprint of the scenario: the strategy and
+// seed in the clear (for humans grepping a journal) plus an FNV-1a hash
+// of every config field. Keys are stable across runs of the same binary;
+// they change when Config gains fields, which is exactly when journaled
+// results stop being comparable anyway.
+func (c Config) Key() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", c)
+	return fmt.Sprintf("%s/seed%d/%016x", c.Strategy, c.Seed, h.Sum64())
+}
+
+// DeriveSeed mixes a root seed with a job key using FNV-1a (the same
+// construction the sim kernel uses for its named random streams) so
+// ad-hoc fleet jobs get decorrelated seeds that depend only on the job's
+// identity — never on worker assignment or completion order. Sweep jobs
+// do NOT use it: see SweepJobs for why replicas share seeds across
+// strategies.
+func DeriveSeed(root int64, key string) int64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < 8; i++ {
+		h ^= uint64(root>>(8*i)) & 0xff
+		h *= prime64
+	}
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	if h == 0 {
+		h = offset64
+	}
+	return int64(h & 0x7fffffffffffffff)
+}
+
+// SweepJobs enumerates the spec as an explicit job list: one job per
+// (strategy, x, replica) triple, in the deterministic order the serial
+// driver would run them. Replica r runs with seed base.Seed+r for every
+// strategy and sweep point — deliberately shared, so all strategies face
+// the same topology and workload process and A/B comparisons stay fair
+// (the property EXPERIMENTS.md relies on). The seed is a pure function
+// of the job, so any execution order reproduces the serial sweep.
+func SweepJobs(spec SweepSpec, base Config, replicas int) ([]SweepJob, error) {
+	if replicas <= 0 {
+		return nil, fmt.Errorf("experiment: replicas %d must be > 0", replicas)
+	}
+	if spec.Apply == nil {
+		return nil, fmt.Errorf("experiment: spec %q has no Apply", spec.ID)
+	}
+	jobs := make([]SweepJob, 0, len(spec.Strategies)*len(spec.Xs)*replicas)
+	for _, strat := range spec.Strategies {
+		for _, x := range spec.Xs {
+			for r := 0; r < replicas; r++ {
+				cfg := base
+				cfg.Strategy = strat
+				cfg.Seed = base.Seed + int64(r)
+				spec.Apply(&cfg, x)
+				jobs = append(jobs, SweepJob{
+					SpecID:   spec.ID,
+					Strategy: strat,
+					X:        x,
+					Replica:  r,
+					Key:      cfg.Key(),
+					Config:   cfg,
+				})
+			}
+		}
+	}
+	return jobs, nil
+}
+
+// AssembleFigure rebuilds the spec's Figure from a key→Result lookup
+// (typically a fleet report, or the journal of a previous run). Replica
+// results for each point are folded through Aggregate, exactly as the
+// serial driver does. A missing key — a job that failed or never ran —
+// is an error naming the job, so partial sweeps fail loudly per figure
+// rather than plotting holes.
+func AssembleFigure(spec SweepSpec, base Config, replicas int, lookup func(key string) (Result, bool)) (Figure, error) {
+	jobs, err := SweepJobs(spec, base, replicas)
+	if err != nil {
+		return Figure{}, err
+	}
+	fig := Figure{
+		ID:     spec.ID,
+		Title:  spec.Title,
+		XLabel: spec.XLabel,
+		YLabel: spec.YLabel,
+	}
+	i := 0
+	for _, strat := range spec.Strategies {
+		s := Series{Strategy: strat, Points: make([]Point, 0, len(spec.Xs))}
+		for _, x := range spec.Xs {
+			runs := make([]Result, 0, replicas)
+			for r := 0; r < replicas; r++ {
+				j := jobs[i]
+				i++
+				res, ok := lookup(j.Key)
+				if !ok {
+					return Figure{}, fmt.Errorf("experiment: %s %s x=%g replica=%d (job %s): no result (failed or not run)",
+						spec.ID, strat, x, r, j.Key)
+				}
+				runs = append(runs, res)
+			}
+			s.Points = append(s.Points, Point{X: x, Result: Aggregate(runs).Mean})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}

@@ -1,0 +1,62 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Bench is the machine-readable performance export of one fleet
+// invocation — the BENCH_fleet.json record future perf PRs track. All
+// times are wall-clock; SimHours is the total simulated time covered by
+// executed runs, so SimHoursPerWallHour is the orchestrator's headline
+// throughput multiple (≈ single-run speed × effective parallelism).
+type Bench struct {
+	Name             string  `json:"name"`
+	Workers          int     `json:"workers"`
+	Jobs             int     `json:"jobs"`
+	Executed         int     `json:"executed"`
+	Resumed          int     `json:"resumed"`
+	Failed           int     `json:"failed"`
+	Cancelled        int     `json:"cancelled"`
+	WallSeconds      float64 `json:"wall_seconds"`
+	RunsPerSec       float64 `json:"runs_per_sec"`
+	SimHours         float64 `json:"sim_hours"`
+	SimHoursPerWallH float64 `json:"sim_hours_per_wall_hour"`
+}
+
+// Bench summarises the report for export.
+func (r Report) Bench() Bench {
+	b := Bench{
+		Name:        "fleet",
+		Workers:     r.Workers,
+		Jobs:        len(r.Records),
+		Executed:    r.Executed,
+		Resumed:     r.Resumed,
+		Failed:      r.Failed,
+		Cancelled:   r.Cancelled,
+		WallSeconds: r.Wall.Seconds(),
+		RunsPerSec:  r.RunsPerSec(),
+	}
+	var sim time.Duration
+	for _, rec := range r.Records {
+		if rec.Status == StatusOK && rec.Result != nil {
+			sim += rec.Result.Config.SimTime
+		}
+	}
+	b.SimHours = sim.Hours()
+	if wallH := r.Wall.Hours(); wallH > 0 {
+		b.SimHoursPerWallH = b.SimHours / wallH
+	}
+	return b
+}
+
+// WriteBench writes the bench record as indented JSON at path.
+func WriteBench(path string, b Bench) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return fmt.Errorf("fleet: marshal bench: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,413 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/manetlab/rpcc/internal/experiment"
+)
+
+// testJobs builds n distinct fast scenarios keyed and seeded like real
+// sweeps: the seed is a pure function of the job, never of scheduling.
+func testJobs(n int) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		cfg := experiment.DefaultConfig(experiment.StrategyRPCCWC, 1)
+		cfg.SimTime = 2 * time.Minute
+		cfg.NPeers = 10
+		cfg.Seed = experiment.DeriveSeed(1, fmt.Sprintf("job%d", i))
+		jobs[i] = Job{Key: cfg.Key(), Config: cfg}
+	}
+	return jobs
+}
+
+// fakeExecute returns a deterministic synthetic result without running a
+// simulation; tests that exercise orchestration (not simulation) use it.
+func fakeExecute(cfg experiment.Config) (experiment.Result, error) {
+	return experiment.Result{
+		Strategy: cfg.Strategy,
+		Config:   cfg,
+		TotalTx:  uint64(cfg.Seed) * 10,
+		Issued:   uint64(cfg.Seed),
+	}, nil
+}
+
+// TestFleetParallelMatchesSerialRealRuns is the determinism acceptance
+// test: real simulations at Parallel=1 and Parallel=8 must produce
+// byte-identical Results for every job. It doubles as the -race audit
+// that nothing below experiment.Run is shared across workers.
+func TestFleetParallelMatchesSerialRealRuns(t *testing.T) {
+	jobs := testJobs(6)
+	serial, err := Run(context.Background(), jobs, Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(context.Background(), jobs, Options{Parallel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Executed != len(jobs) || parallel.Executed != len(jobs) {
+		t.Fatalf("executed %d/%d, want %d", serial.Executed, parallel.Executed, len(jobs))
+	}
+	for _, j := range jobs {
+		a, okA := serial.Result(j.Key)
+		b, okB := parallel.Result(j.Key)
+		if !okA || !okB {
+			t.Fatalf("job %s missing from a report (serial %v, parallel %v)", j.Key, okA, okB)
+		}
+		ja, err := json.Marshal(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jb, err := json.Marshal(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(ja) != string(jb) {
+			t.Fatalf("job %s: parallel result differs from serial\nserial:   %s\nparallel: %s", j.Key, ja, jb)
+		}
+	}
+	// Record order is job order, independent of completion order.
+	for i, j := range jobs {
+		if serial.Records[i].Key != j.Key || parallel.Records[i].Key != j.Key {
+			t.Fatalf("record %d out of job order", i)
+		}
+	}
+}
+
+// TestFleetPanicIsJournaledNotFatal: a panicking simulation becomes a
+// failed record (with the stack) in the report and the journal, and
+// every other job still completes.
+func TestFleetPanicIsJournaledNotFatal(t *testing.T) {
+	jobs := testJobs(5)
+	bad := jobs[2].Key
+	journalPath := filepath.Join(t.TempDir(), "runs.jsonl")
+	j, err := OpenJournal(journalPath, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), jobs, Options{
+		Parallel: 4,
+		Journal:  j,
+		Execute: func(cfg experiment.Config) (experiment.Result, error) {
+			if cfg.Key() == bad {
+				panic("simulated kernel blow-up")
+			}
+			return fakeExecute(cfg)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 1 {
+		t.Fatalf("failed = %d, want 1", rep.Failed)
+	}
+	if rep.Executed != 5 {
+		t.Fatalf("executed = %d, want 5", rep.Executed)
+	}
+	var failedRec Record
+	for _, rec := range rep.Records {
+		if rec.Key == bad {
+			failedRec = rec
+		} else if rec.Status != StatusOK {
+			t.Fatalf("innocent job %s ended %s", rec.Key, rec.Status)
+		}
+	}
+	if failedRec.Status != StatusFailed {
+		t.Fatalf("panicking job status = %s, want failed", failedRec.Status)
+	}
+	if !strings.Contains(failedRec.Error, "simulated kernel blow-up") {
+		t.Fatalf("error %q lacks panic value", failedRec.Error)
+	}
+	if !strings.Contains(failedRec.Stack, "goroutine") {
+		t.Fatalf("failed record lacks a stack: %q", failedRec.Stack)
+	}
+
+	// The journal carries the failure too.
+	f, err := os.Open(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := ReadRecords(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("journal has %d records, want 5", len(recs))
+	}
+	found := false
+	for _, rec := range recs {
+		if rec.Key == bad && rec.Status == StatusFailed {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("journal lacks the failed record")
+	}
+}
+
+// TestFleetResume: successful journaled jobs are reused without
+// re-running; journaled failures are retried.
+func TestFleetResume(t *testing.T) {
+	jobs := testJobs(4)
+	failing := jobs[1].Key
+	journalPath := filepath.Join(t.TempDir(), "runs.jsonl")
+
+	j1, err := OpenJournal(journalPath, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := Run(context.Background(), jobs, Options{
+		Parallel: 2,
+		Journal:  j1,
+		Execute: func(cfg experiment.Config) (experiment.Result, error) {
+			if cfg.Key() == failing {
+				return experiment.Result{}, fmt.Errorf("transient failure")
+			}
+			return fakeExecute(cfg)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1.Close()
+	if first.Failed != 1 || first.Executed != 4 {
+		t.Fatalf("first pass: failed=%d executed=%d", first.Failed, first.Executed)
+	}
+
+	j2, err := OpenJournal(journalPath, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.PriorCount() != 4 {
+		t.Fatalf("resume loaded %d keys, want 4", j2.PriorCount())
+	}
+	var execMu sync.Mutex
+	executed := make(map[string]bool)
+	second, err := Run(context.Background(), jobs, Options{
+		Parallel: 2,
+		Journal:  j2,
+		Execute: func(cfg experiment.Config) (experiment.Result, error) {
+			execMu.Lock()
+			executed[cfg.Key()] = true
+			execMu.Unlock()
+			return fakeExecute(cfg)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Resumed != 3 {
+		t.Fatalf("resumed = %d, want 3", second.Resumed)
+	}
+	if second.Executed != 1 {
+		t.Fatalf("executed = %d, want 1 (only the prior failure)", second.Executed)
+	}
+	if len(executed) != 1 || !executed[failing] {
+		t.Fatalf("re-ran %v, want only %s", executed, failing)
+	}
+	if second.Failed != 0 {
+		t.Fatalf("second pass failed = %d, want 0", second.Failed)
+	}
+	// Every job has a result after resume.
+	for _, job := range jobs {
+		if _, ok := second.Result(job.Key); !ok {
+			t.Fatalf("job %s has no result after resume", job.Key)
+		}
+	}
+	// Resumed results survive the journal round-trip intact.
+	want, _ := fakeExecute(jobs[0].Config)
+	got, _ := second.Result(jobs[0].Key)
+	if !reflect.DeepEqual(gotComparable(got), gotComparable(want)) {
+		t.Fatalf("resumed result drifted:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// gotComparable strips nothing today but funnels both sides through one
+// JSON round-trip so future non-comparable Result fields keep this test
+// honest.
+func gotComparable(r experiment.Result) string {
+	b, _ := json.Marshal(r)
+	return string(b)
+}
+
+// TestFleetTimeout: a run exceeding Options.Timeout is recorded as
+// failed and the sweep continues.
+func TestFleetTimeout(t *testing.T) {
+	jobs := testJobs(3)
+	slow := jobs[0].Key
+	rep, err := Run(context.Background(), jobs, Options{
+		Parallel: 3,
+		Timeout:  30 * time.Millisecond,
+		Execute: func(cfg experiment.Config) (experiment.Result, error) {
+			if cfg.Key() == slow {
+				time.Sleep(500 * time.Millisecond)
+			}
+			return fakeExecute(cfg)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 1 {
+		t.Fatalf("failed = %d, want 1", rep.Failed)
+	}
+	if rep.Records[0].Status != StatusFailed || !strings.Contains(rep.Records[0].Error, "timeout") {
+		t.Fatalf("slow record = %+v, want timeout failure", rep.Records[0])
+	}
+	for _, rec := range rep.Records[1:] {
+		if rec.Status != StatusOK {
+			t.Fatalf("fast job %s ended %s", rec.Key, rec.Status)
+		}
+	}
+}
+
+// TestFleetCancellationDrains: cancelling mid-sweep stops dispatch,
+// reports partial results, and never journals cancelled jobs.
+func TestFleetCancellationDrains(t *testing.T) {
+	jobs := testJobs(8)
+	journalPath := filepath.Join(t.TempDir(), "runs.jsonl")
+	j, err := OpenJournal(journalPath, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	rep, err := Run(ctx, jobs, Options{
+		Parallel: 1,
+		Journal:  j,
+		Execute: func(cfg experiment.Config) (experiment.Result, error) {
+			ran++
+			if ran == 2 {
+				cancel()
+			}
+			return fakeExecute(cfg)
+		},
+	})
+	j.Close()
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep.Cancelled == 0 {
+		t.Fatal("no jobs reported cancelled")
+	}
+	if rep.Executed+rep.Cancelled != len(jobs) {
+		t.Fatalf("executed %d + cancelled %d != %d jobs", rep.Executed, rep.Cancelled, len(jobs))
+	}
+	f, err := os.Open(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := ReadRecords(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if rec.Status == StatusCancelled {
+			t.Fatal("cancelled job leaked into the journal")
+		}
+	}
+	if len(recs) != rep.Executed {
+		t.Fatalf("journal has %d records, want %d (the executed runs)", len(recs), rep.Executed)
+	}
+}
+
+// TestFleetDeduplicatesSharedKeys: jobs sharing a key (fig7a/fig8a twin
+// sweeps) run once, and conflicting configs under one key are rejected.
+func TestFleetDeduplicatesSharedKeys(t *testing.T) {
+	jobs := testJobs(2)
+	jobs = append(jobs, jobs[0]) // duplicate scenario
+	var calls atomic.Int64
+	rep, err := Run(context.Background(), jobs, Options{
+		Parallel: 2,
+		Execute: func(cfg experiment.Config) (experiment.Result, error) {
+			calls.Add(1)
+			return fakeExecute(cfg)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 || rep.Executed != 2 {
+		t.Fatalf("calls=%d executed=%d, want 2 each", calls.Load(), rep.Executed)
+	}
+	if len(rep.Records) != 2 {
+		t.Fatalf("records = %d, want 2", len(rep.Records))
+	}
+
+	conflicting := testJobs(2)
+	conflicting[1].Key = conflicting[0].Key // same key, different config
+	if _, err := Run(context.Background(), conflicting, Options{Execute: fakeExecute}); err == nil {
+		t.Fatal("conflicting configs under one key must be rejected")
+	}
+}
+
+// TestFleetBenchExport: the report's bench record reflects the run and
+// round-trips through WriteBench as JSON.
+func TestFleetBenchExport(t *testing.T) {
+	jobs := testJobs(4)
+	rep, err := Run(context.Background(), jobs, Options{Parallel: 2, Execute: fakeExecute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := rep.Bench()
+	if b.Name != "fleet" || b.Jobs != 4 || b.Executed != 4 || b.Workers != 2 {
+		t.Fatalf("bench = %+v", b)
+	}
+	if b.SimHours == 0 {
+		t.Fatal("bench lost the simulated-time total")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_fleet.json")
+	if err := WriteBench(path, b); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Bench
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != b {
+		t.Fatalf("bench round-trip drifted: %+v != %+v", back, b)
+	}
+}
+
+// TestFleetProgressTicker: the progress line lands on the writer with
+// the final counts.
+func TestFleetProgressTicker(t *testing.T) {
+	var buf strings.Builder
+	jobs := testJobs(3)
+	_, err := Run(context.Background(), jobs, Options{
+		Parallel:      2,
+		Progress:      &buf,
+		ProgressEvery: time.Millisecond,
+		Execute: func(cfg experiment.Config) (experiment.Result, error) {
+			time.Sleep(5 * time.Millisecond)
+			return fakeExecute(cfg)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "fleet: 3/3 runs") {
+		t.Fatalf("progress output lacks final line: %q", out)
+	}
+}

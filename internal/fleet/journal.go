@@ -1,0 +1,145 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Journal is an append-only JSONL run log: one self-contained Record per
+// line, flushed after every append, so a sweep killed at any point
+// leaves a journal whose intact prefix is fully reusable. Opened with
+// resume, prior successful records satisfy their jobs without
+// re-running; prior failures are remembered but retried.
+//
+// Record keys fingerprint the full scenario config (experiment:
+// Config.Key), so a journal written by one binary is only resumable
+// against the same sweep definition — a config-schema change changes
+// every key and the sweep simply runs afresh.
+//
+// Append is safe for concurrent use by fleet workers; everything else
+// happens before or after the worker pool runs.
+type Journal struct {
+	mu    sync.Mutex
+	f     *os.File
+	w     *bufio.Writer
+	prior map[string]Record
+}
+
+// OpenJournal opens (creating if needed) the journal at path. With
+// resume, existing records are loaded first and the file is appended to;
+// without, the file is truncated and the sweep starts clean.
+func OpenJournal(path string, resume bool) (*Journal, error) {
+	prior := make(map[string]Record)
+	if resume {
+		if existing, err := os.Open(path); err == nil {
+			recs, err := ReadRecords(existing)
+			existing.Close()
+			if err != nil {
+				return nil, fmt.Errorf("fleet: reading journal %s: %w", path, err)
+			}
+			for _, r := range recs {
+				// Last record for a key wins: a retry after a journaled
+				// failure appends a fresh record for the same key.
+				prior[r.Key] = r
+			}
+		} else if !os.IsNotExist(err) {
+			return nil, fmt.Errorf("fleet: opening journal %s: %w", path, err)
+		}
+	}
+	flags := os.O_CREATE | os.O_WRONLY
+	if resume {
+		flags |= os.O_APPEND
+	} else {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: opening journal %s: %w", path, err)
+	}
+	return &Journal{f: f, w: bufio.NewWriter(f), prior: prior}, nil
+}
+
+// Prior returns the most recent journaled record for key, if one was
+// loaded at open time (resume mode only).
+func (j *Journal) Prior(key string) (Record, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	r, ok := j.prior[key]
+	return r, ok
+}
+
+// PriorCount returns how many distinct keys the resume pass loaded.
+func (j *Journal) PriorCount() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.prior)
+}
+
+// Append writes one record as a JSON line and flushes it to the OS, so
+// a crash loses at most the record being written.
+func (j *Journal) Append(rec Record) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("fleet: marshal record %s: %w", rec.Key, err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.w.Write(line); err != nil {
+		return err
+	}
+	if err := j.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	return j.w.Flush()
+}
+
+// Close flushes and closes the underlying file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.w.Flush(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}
+
+// ReadRecords decodes a JSONL journal stream. A truncated or corrupt
+// trailing line (the signature of a run killed mid-write) is tolerated:
+// decoding stops there and the records parsed so far are returned. A
+// corrupt line with further valid records after it is reported as an
+// error, since that means the file is damaged, not merely truncated.
+func ReadRecords(r io.Reader) ([]Record, error) {
+	var recs []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24) // records carry full Results
+	lineNo := 0
+	badLine := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			if badLine == 0 {
+				badLine = lineNo
+				continue
+			}
+			return recs, fmt.Errorf("fleet: journal corrupt at line %d", badLine)
+		}
+		if badLine != 0 {
+			return recs, fmt.Errorf("fleet: journal corrupt at line %d (valid records follow it)", badLine)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return recs, err
+	}
+	return recs, nil
+}

@@ -1,0 +1,106 @@
+package fleet
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestJournalAppendAndReload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	j, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Key: "a", Status: StatusOK, Strategy: "rpcc-wc", Seed: 1, WallMS: 10},
+		{Key: "b", Status: StatusFailed, Error: "boom", Stack: "goroutine 1 [running]"},
+		{Key: "a", Status: StatusOK, Seed: 1, WallMS: 12}, // retry of a: last wins
+	}
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.PriorCount() != 2 {
+		t.Fatalf("prior count = %d, want 2", j2.PriorCount())
+	}
+	a, ok := j2.Prior("a")
+	if !ok || a.WallMS != 12 {
+		t.Fatalf("Prior(a) = %+v, %v; want the later record", a, ok)
+	}
+	b, ok := j2.Prior("b")
+	if !ok || b.Status != StatusFailed || b.Error != "boom" {
+		t.Fatalf("Prior(b) = %+v, %v", b, ok)
+	}
+}
+
+func TestJournalWithoutResumeTruncates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	j, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(Record{Key: "old", Status: StatusOK})
+	j.Close()
+
+	j2, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.PriorCount() != 0 {
+		t.Fatal("non-resume open must not load prior records")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 0 {
+		t.Fatalf("non-resume open must truncate, file holds %q", data)
+	}
+}
+
+func TestReadRecordsToleratesTruncatedTail(t *testing.T) {
+	in := `{"key":"a","status":"ok"}
+{"key":"b","status":"failed","error":"x"}
+{"key":"c","st`
+	recs, err := ReadRecords(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("truncated tail must be tolerated, got %v", err)
+	}
+	if len(recs) != 2 || recs[0].Key != "a" || recs[1].Key != "b" {
+		t.Fatalf("recs = %+v", recs)
+	}
+}
+
+func TestReadRecordsRejectsMidFileCorruption(t *testing.T) {
+	in := `{"key":"a","status":"ok"}
+not json at all
+{"key":"c","status":"ok"}`
+	if _, err := ReadRecords(strings.NewReader(in)); err == nil {
+		t.Fatal("mid-file corruption must be an error")
+	}
+}
+
+func TestOpenJournalResumeOnMissingFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fresh.jsonl")
+	j, err := OpenJournal(path, true)
+	if err != nil {
+		t.Fatalf("resume on a missing journal must start fresh: %v", err)
+	}
+	defer j.Close()
+	if j.PriorCount() != 0 {
+		t.Fatal("fresh journal must have no prior records")
+	}
+}

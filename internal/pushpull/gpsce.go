@@ -2,6 +2,7 @@ package pushpull
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"github.com/manetlab/rpcc/internal/consistency"
@@ -149,7 +150,13 @@ func (g *GPSCE) registerTick(k *sim.Kernel, nd int) {
 		g.registerTick(kk, nd)
 	})
 	myPos := g.ch.Net.Position(nd)
-	for item, st := range g.items[nd] {
+	items := make([]data.ItemID, 0, len(g.items[nd]))
+	for item := range g.items[nd] {
+		items = append(items, item)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	for _, item := range items {
+		st := g.items[nd][item]
 		if !st.posKnown {
 			continue
 		}
@@ -178,7 +185,13 @@ func (g *GPSCE) OnUpdate(k *sim.Kernel, host int) {
 		panic(fmt.Sprintf("pushpull: master update failed: %v", err))
 	}
 	srcPos := g.ch.Net.Position(host)
-	for cacheNode, lastPos := range g.registry[host] {
+	cacheNodes := make([]int, 0, len(g.registry[host]))
+	for cacheNode := range g.registry[host] {
+		cacheNodes = append(cacheNodes, cacheNode)
+	}
+	sort.Ints(cacheNodes)
+	for _, cacheNode := range cacheNodes {
+		lastPos := g.registry[host][cacheNode]
 		inv := protocol.Message{
 			Kind:    protocol.KindGeoInv,
 			Item:    item,

@@ -24,6 +24,7 @@ package replica
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"github.com/manetlab/rpcc/internal/data"
@@ -154,9 +155,17 @@ func (m *Manager) Start(k *sim.Kernel) error {
 			return err
 		}
 	}
+	// Walk replica ids in sorted order: the stagger stream is consumed once
+	// per holder, so map-iteration order would otherwise leak into the
+	// schedule and break seed-determinism.
 	stagger := k.Stream("replica.stagger")
-	for id, holders := range m.holders {
-		for _, h := range holders {
+	ids := make([]int, 0, len(m.holders))
+	for id := range m.holders {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		for _, h := range m.holders[id] {
 			id, h := id, h
 			k.After(time.Duration(stagger.Int63n(int64(m.cfg.AntiEntropyEvery))), "replica.ae", func(kk *sim.Kernel) {
 				m.antiEntropyTick(kk, h, id)

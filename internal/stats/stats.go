@@ -70,6 +70,32 @@ func (t *Traffic) RecordDropped(k protocol.Kind) {
 	t.dropped[idx(k)]++
 }
 
+// Merge adds every counter of other into t — the cross-run aggregation
+// primitive: fold per-run ledgers from independent simulations (e.g. a
+// fleet of replica runs) into one combined ledger. Merge snapshots other
+// under its own lock before locking t, so concurrent merges in either
+// direction cannot deadlock; merging a ledger into itself doubles it,
+// as the arithmetic says it should. Merging nil is a no-op.
+func (t *Traffic) Merge(other *Traffic) {
+	if other == nil {
+		return
+	}
+	other.mu.Lock()
+	tx, bytes := other.tx, other.bytes
+	originated, delivered, dropped := other.originated, other.delivered, other.dropped
+	other.mu.Unlock()
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := 0; i < protocol.NumKinds; i++ {
+		t.tx[i] += tx[i]
+		t.bytes[i] += bytes[i]
+		t.originated[i] += originated[i]
+		t.delivered[i] += delivered[i]
+		t.dropped[i] += dropped[i]
+	}
+}
+
 // Tx returns the transmission count for one kind.
 func (t *Traffic) Tx(k protocol.Kind) uint64 {
 	t.mu.Lock()

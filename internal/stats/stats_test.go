@@ -38,6 +38,80 @@ func TestTrafficCounters(t *testing.T) {
 	}
 }
 
+func TestTrafficMerge(t *testing.T) {
+	a := NewTraffic()
+	a.RecordOriginated(protocol.KindPoll)
+	a.RecordTx(protocol.KindPoll, 32)
+	a.RecordTx(protocol.KindUpdate, 1056)
+	a.RecordDelivered(protocol.KindPoll)
+
+	b := NewTraffic()
+	b.RecordTx(protocol.KindPoll, 32)
+	b.RecordTx(protocol.KindInvalidation, 64)
+	b.RecordDropped(protocol.KindUpdate)
+
+	a.Merge(b)
+	if got := a.Tx(protocol.KindPoll); got != 2 {
+		t.Errorf("merged Tx(POLL) = %d, want 2", got)
+	}
+	if got := a.Tx(protocol.KindInvalidation); got != 1 {
+		t.Errorf("merged Tx(INVALIDATION) = %d, want 1", got)
+	}
+	if got := a.TotalTx(); got != 4 {
+		t.Errorf("merged TotalTx = %d, want 4", got)
+	}
+	if got := a.TotalBytes(); got != 32+1056+32+64 {
+		t.Errorf("merged TotalBytes = %d", got)
+	}
+	if got := a.Originated(protocol.KindPoll); got != 1 {
+		t.Errorf("merged Originated = %d, want 1", got)
+	}
+	if got := a.Dropped(protocol.KindUpdate); got != 1 {
+		t.Errorf("merged Dropped = %d, want 1", got)
+	}
+	// The source ledger is read-only under Merge.
+	if got := b.TotalTx(); got != 2 {
+		t.Errorf("source ledger mutated: TotalTx = %d, want 2", got)
+	}
+
+	// Self-merge doubles, and a nil merge is a no-op.
+	b.Merge(b)
+	if got := b.TotalTx(); got != 4 {
+		t.Errorf("self-merge TotalTx = %d, want 4", got)
+	}
+	b.Merge(nil)
+	if got := b.TotalTx(); got != 4 {
+		t.Errorf("nil merge TotalTx = %d, want 4", got)
+	}
+}
+
+// TestTrafficMergeConcurrent exercises cross-direction concurrent merges
+// under the race detector: the snapshot-then-add locking discipline must
+// neither deadlock nor race.
+func TestTrafficMergeConcurrent(t *testing.T) {
+	a, b := NewTraffic(), NewTraffic()
+	a.RecordTx(protocol.KindPoll, 1)
+	b.RecordTx(protocol.KindUpdate, 1)
+	done := make(chan struct{}, 2)
+	go func() {
+		for i := 0; i < 100; i++ {
+			a.Merge(b)
+		}
+		done <- struct{}{}
+	}()
+	go func() {
+		for i := 0; i < 100; i++ {
+			b.Merge(a)
+		}
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+	if a.TotalTx() == 0 || b.TotalTx() == 0 {
+		t.Fatal("merge lost all counters")
+	}
+}
+
 func TestTrafficSnapshotSortedAndFiltered(t *testing.T) {
 	tr := NewTraffic()
 	tr.RecordTx(protocol.KindPollAckA, 32)
