@@ -22,13 +22,17 @@ package rpcc
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"testing"
 	"time"
 
 	"github.com/manetlab/rpcc/internal/experiment"
 	"github.com/manetlab/rpcc/internal/geo"
+	"github.com/manetlab/rpcc/internal/netsim"
+	"github.com/manetlab/rpcc/internal/protocol"
 	"github.com/manetlab/rpcc/internal/radio"
 	"github.com/manetlab/rpcc/internal/sim"
+	"github.com/manetlab/rpcc/internal/stats"
 )
 
 // benchSimTime keeps one full figure sweep around a few seconds of wall
@@ -207,42 +211,127 @@ func BenchmarkSimKernelEvents(b *testing.B) {
 	k.Run()
 }
 
-// BenchmarkRadioGraphBuild measures the unit-disk snapshot rebuild that
-// runs every topology-refresh interval (50 nodes, Table 1 geometry).
-func BenchmarkRadioGraphBuild(b *testing.B) {
-	b.ReportAllocs()
+// legacyHotPath selects the pre-optimisation code paths (per-call BFS, no
+// route cache, O(n²) pairwise rebuilds without buffer reuse) so the same
+// benchmark names can be compared across modes with benchstat — see
+// `make bench-compare`.
+func legacyHotPath() bool { return os.Getenv("RPCC_LEGACY_HOTPATH") == "1" }
+
+// benchPoints draws the Table 1 geometry: 50 nodes uniform on 1.5×1.5 km.
+func benchPoints(b *testing.B, n int) []geo.Point {
+	b.Helper()
 	terrain, err := geo.NewTerrain(1500, 1500)
 	if err != nil {
 		b.Fatal(err)
 	}
 	r := rand.New(rand.NewSource(1))
-	pts := make([]geo.Point, 50)
+	pts := make([]geo.Point, n)
 	for i := range pts {
 		pts[i] = terrain.RandomPoint(r)
 	}
+	return pts
+}
+
+// BenchmarkRadioGraphBuild measures the unit-disk snapshot rebuild that
+// runs every topology-refresh interval (50 nodes, Table 1 geometry):
+// spatial-grid build into a reused builder, or — under
+// RPCC_LEGACY_HOTPATH=1 — the original fresh O(n²) pairwise build.
+func BenchmarkRadioGraphBuild(b *testing.B) {
+	b.ReportAllocs()
+	pts := benchPoints(b, 50)
+	legacy := legacyHotPath()
+	builder := radio.NewGraphBuilder()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := radio.NewGraph(pts, nil, 250, uint64(i)); err != nil {
+		var err error
+		if legacy {
+			_, err = radio.NewGraphBuilder().BuildPairwise(pts, nil, 250, uint64(i))
+		} else {
+			_, err = builder.Build(pts, nil, 250, uint64(i))
+		}
+		if err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
-// BenchmarkRadioBFS measures the shortest-path query used per unicast hop.
+// BenchmarkRadioBFS measures the shortest-path query used per unicast
+// hop: memoized route-table lookups, or per-call BFS under
+// RPCC_LEGACY_HOTPATH=1.
 func BenchmarkRadioBFS(b *testing.B) {
-	terrain, _ := geo.NewTerrain(1500, 1500)
-	r := rand.New(rand.NewSource(1))
-	pts := make([]geo.Point, 50)
-	for i := range pts {
-		pts[i] = terrain.RandomPoint(r)
-	}
+	b.ReportAllocs()
+	pts := benchPoints(b, 50)
 	g, err := radio.NewGraph(pts, nil, 250, 0)
 	if err != nil {
 		b.Fatal(err)
 	}
+	g.SetRouteCache(!legacyHotPath())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g.NextHop(i%50, (i+25)%50)
+	}
+}
+
+// benchNetwork wires a 50-node network over a frozen random layout for
+// the message-level hot-path benchmarks.
+func benchNetwork(b *testing.B) (*sim.Kernel, *netsim.Network) {
+	b.Helper()
+	pts := benchPoints(b, 50)
+	k := sim.NewKernel(sim.WithSeed(1))
+	cfg := netsim.DefaultConfig()
+	cfg.DisableRouteCache = legacyHotPath()
+	net, err := netsim.New(cfg, k, staticField(pts), nil, nil, stats.NewTraffic())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return k, net
+}
+
+// staticField adapts a fixed layout to netsim.PositionSource.
+type staticField []geo.Point
+
+func (f staticField) Len() int { return len(f) }
+
+func (f staticField) PositionsAt(_ time.Duration, dst []geo.Point) []geo.Point {
+	if cap(dst) < len(f) {
+		dst = make([]geo.Point, len(f))
+	}
+	dst = dst[:len(f)]
+	copy(dst, f)
+	return dst
+}
+
+// BenchmarkUnicastRouting measures one end-to-end unicast — route lookups
+// at every hop plus the kernel events carrying it — per iteration.
+func BenchmarkUnicastRouting(b *testing.B) {
+	b.ReportAllocs()
+	k, net := benchNetwork(b)
+	msg := protocol.Message{Kind: protocol.KindPoll, Item: 1, Version: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		msg.Origin = i % 50
+		if err := net.Unicast(i%50, (i+25)%50, msg); err != nil {
+			b.Fatal(err)
+		}
+		k.Run()
+	}
+}
+
+// BenchmarkFloodStorm measures one TTL-8 network-wide flood per
+// iteration: the duplicate-suppression state, the per-neighbour
+// retransmissions, and the kernel events behind them.
+func BenchmarkFloodStorm(b *testing.B) {
+	b.ReportAllocs()
+	k, net := benchNetwork(b)
+	msg := protocol.Message{Kind: protocol.KindInvalidation, Item: 1, Version: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		origin := i % 50
+		msg.Origin = origin
+		if err := net.Flood(origin, 8, msg); err != nil {
+			b.Fatal(err)
+		}
+		k.Run()
 	}
 }
 

@@ -123,6 +123,7 @@ func run() error {
 		fmt.Println(trace.Event{
 			At: at, Node: nd, Origin: msg.Origin, Kind: msg.Kind,
 			Item: msg.Item, Version: msg.Version, Hops: meta.Hops, Flood: meta.Flood,
+			FloodID: meta.FloodID,
 		})
 	})
 

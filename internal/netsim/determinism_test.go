@@ -1,0 +1,200 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/manetlab/rpcc/internal/churn"
+	"github.com/manetlab/rpcc/internal/geo"
+	"github.com/manetlab/rpcc/internal/mobility"
+	"github.com/manetlab/rpcc/internal/protocol"
+	"github.com/manetlab/rpcc/internal/sim"
+	"github.com/manetlab/rpcc/internal/stats"
+)
+
+// scenarioOutcome captures everything observable from one seeded run: the
+// full delivery sequence, the traffic ledger, and the kernel event count.
+type scenarioOutcome struct {
+	deliveries []delivery
+	traffic    []stats.KindCount
+	events     uint64
+	rebuilds   uint64
+}
+
+// runSeededScenario drives a mobile, churning 24-node network through two
+// simulated minutes of mixed unicast and flood traffic, with the route
+// cache enabled or disabled. Everything else — seeds, schedules, message
+// contents — is held identical, so any divergence between the two modes
+// is a behavioural leak in the memoization.
+func runSeededScenario(t *testing.T, disableCache bool) scenarioOutcome {
+	t.Helper()
+	const n = 24
+	k := sim.NewKernel(sim.WithSeed(7), sim.WithHorizon(2*time.Minute))
+	terrain, err := geo.NewTerrain(1500, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	field, err := mobility.NewField(mobility.Config{
+		Terrain:  terrain,
+		MinSpeed: 1,
+		MaxSpeed: 15,
+		Pause:    2 * time.Second,
+	}, n, func(i int) *rand.Rand { return k.Stream(fmt.Sprintf("mobility.%d", i)) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := churn.NewProcess(churn.Config{
+		MeanUp:   30 * time.Second,
+		MeanDown: 5 * time.Second,
+	}, n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.DisableRouteCache = disableCache
+	traffic := stats.NewTraffic()
+	net, err := New(cfg, k, field, cp, nil, traffic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []delivery
+	for i := 0; i < n; i++ {
+		if err := net.SetReceiver(i, func(_ *sim.Kernel, node int, msg protocol.Message, meta Meta) {
+			got = append(got, delivery{node: node, msg: msg, meta: meta})
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Workload: a unicast every 500ms between pseudo-random endpoints and
+	// a TTL-4 flood every 3s, both drawn from a dedicated kernel stream so
+	// the schedule is identical across cache modes.
+	wl := k.Stream("workload")
+	seq := uint64(0)
+	if _, err := k.Every(500*time.Millisecond, "test.unicast", func(kk *sim.Kernel) {
+		seq++
+		src, dst := wl.Intn(n), wl.Intn(n)
+		msg := protocol.Message{Kind: protocol.KindPoll, Item: 1, Version: 1, Origin: src, Seq: seq}
+		if err := net.Unicast(src, dst, msg); err != nil {
+			t.Fatal(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Every(3*time.Second, "test.flood", func(kk *sim.Kernel) {
+		seq++
+		origin := wl.Intn(n)
+		msg := protocol.Message{Kind: protocol.KindInvalidation, Item: 2, Version: 2, Origin: origin, Seq: seq}
+		if err := net.Flood(origin, 4, msg); err != nil {
+			t.Fatal(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	return scenarioOutcome{
+		deliveries: got,
+		traffic:    traffic.Snapshot(),
+		events:     k.EventsFired(),
+		rebuilds:   net.Rebuilds(),
+	}
+}
+
+// TestRouteCacheIsBehaviourallyInvisible is the determinism regression
+// gate for the memoized routing path: the same seeded scenario run with
+// the per-snapshot route cache and with pure per-call BFS must produce
+// identical delivery sequences (order, hops, timestamps, flood ids),
+// identical traffic ledgers, and identical kernel event counts.
+func TestRouteCacheIsBehaviourallyInvisible(t *testing.T) {
+	cached := runSeededScenario(t, false)
+	uncached := runSeededScenario(t, true)
+	if len(cached.deliveries) == 0 {
+		t.Fatal("scenario produced no deliveries; workload broken")
+	}
+	if cached.events != uncached.events {
+		t.Errorf("kernel events: cached %d, uncached %d", cached.events, uncached.events)
+	}
+	if cached.rebuilds != uncached.rebuilds {
+		t.Errorf("rebuilds: cached %d, uncached %d", cached.rebuilds, uncached.rebuilds)
+	}
+	if !reflect.DeepEqual(cached.traffic, uncached.traffic) {
+		t.Errorf("traffic ledgers diverge:\ncached:   %+v\nuncached: %+v", cached.traffic, uncached.traffic)
+	}
+	if len(cached.deliveries) != len(uncached.deliveries) {
+		t.Fatalf("delivery counts: cached %d, uncached %d",
+			len(cached.deliveries), len(uncached.deliveries))
+	}
+	for i := range cached.deliveries {
+		if !reflect.DeepEqual(cached.deliveries[i], uncached.deliveries[i]) {
+			t.Fatalf("delivery %d diverges:\ncached:   %+v\nuncached: %+v",
+				i, cached.deliveries[i], uncached.deliveries[i])
+		}
+	}
+}
+
+// TestFloodIDsSequenceAndGroupDeliveries: each Flood call gets the next
+// nonzero id, every delivery of one flood carries that id, and unicast
+// deliveries carry zero.
+func TestFloodIDsSequenceAndGroupDeliveries(t *testing.T) {
+	h := newHarness(t, 5, false)
+	if err := h.net.Flood(0, 4, testMsg(protocol.KindInvalidation)); err != nil {
+		t.Fatal(err)
+	}
+	h.k.Run()
+	if err := h.net.Flood(2, 4, testMsg(protocol.KindGetNew)); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.net.Unicast(0, 1, testMsg(protocol.KindPoll)); err != nil {
+		t.Fatal(err)
+	}
+	h.k.Run()
+	var first, second, unicasts int
+	for _, d := range h.got {
+		switch {
+		case !d.meta.Flood:
+			unicasts++
+			if d.meta.FloodID != 0 {
+				t.Errorf("unicast delivery carries flood id %d", d.meta.FloodID)
+			}
+		case d.msg.Kind == protocol.KindInvalidation:
+			first++
+			if d.meta.FloodID != 1 {
+				t.Errorf("first flood delivery has id %d, want 1", d.meta.FloodID)
+			}
+		default:
+			second++
+			if d.meta.FloodID != 2 {
+				t.Errorf("second flood delivery has id %d, want 2", d.meta.FloodID)
+			}
+		}
+	}
+	if first == 0 || second == 0 || unicasts == 0 {
+		t.Fatalf("workload incomplete: first=%d second=%d unicasts=%d", first, second, unicasts)
+	}
+}
+
+// TestFloodStateIsPooled: sequential floods must recycle the pooled
+// duplicate-suppression state rather than growing the pool.
+func TestFloodStateIsPooled(t *testing.T) {
+	h := newHarness(t, 6, false)
+	for i := 0; i < 4; i++ {
+		if err := h.net.Flood(0, 5, testMsg(protocol.KindInvalidation)); err != nil {
+			t.Fatal(err)
+		}
+		h.k.Run()
+		if len(h.net.floodPool) != 1 {
+			t.Fatalf("after flood %d: pool holds %d states, want 1", i+1, len(h.net.floodPool))
+		}
+		st := h.net.floodPool[0]
+		for v, seen := range st.visited {
+			if seen {
+				t.Fatalf("pooled state not cleared: node %d still visited", v)
+			}
+		}
+		if st.pending != 0 {
+			t.Fatalf("pooled state has %d pending receptions", st.pending)
+		}
+	}
+}

@@ -109,12 +109,17 @@ func (n *Network) dsrDiscover(from, target int) {
 		n.traffic.RecordDropped(protocol.KindRREQ)
 		return
 	}
-	visited := make([]bool, n.Len())
-	visited[from] = true
-	n.rreqTransmit(from, target, []int{from}, visited, n.cfg.MaxRouteHops)
+	// RREQ floods share the pooled duplicate-suppression state with data
+	// floods; the id is unused here (RREQs are routing control).
+	st := n.acquireFlood()
+	st.visited[from] = true
+	n.rreqTransmit(from, target, []int{from}, st, n.cfg.MaxRouteHops)
+	if st.pending == 0 {
+		n.releaseFlood(st)
+	}
 }
 
-func (n *Network) rreqTransmit(node, target int, path []int, visited []bool, ttl int) {
+func (n *Network) rreqTransmit(node, target int, path []int, st *floodState, ttl int) {
 	if !n.Up(node) || ttl <= 0 {
 		return
 	}
@@ -124,25 +129,28 @@ func (n *Network) rreqTransmit(node, target int, path []int, visited []bool, ttl
 	n.spendTx(node)
 	delay := n.txDelay(node, req.Size())
 	for _, v := range g.Neighbors(node) {
-		if visited[v] {
+		if st.visited[v] {
 			continue
 		}
-		visited[v] = true
+		st.visited[v] = true
+		st.pending++
 		v := v
 		// Each receiver gets its own copy of the grown path.
 		grown := make([]int, len(path)+1)
 		copy(grown, path)
 		grown[len(path)] = v
 		n.k.After(delay, "dsr.rreq", func(*sim.Kernel) {
-			if !n.Up(v) || n.lost() {
-				return
+			if n.Up(v) && !n.lost() {
+				n.spendRx(v)
+				if v == target {
+					n.dsrReply(grown)
+				} else {
+					n.rreqTransmit(v, target, grown, st, ttl-1)
+				}
 			}
-			n.spendRx(v)
-			if v == target {
-				n.dsrReply(grown)
-				return
+			if st.pending--; st.pending == 0 {
+				n.releaseFlood(st)
 			}
-			n.rreqTransmit(v, target, grown, visited, ttl-1)
 		})
 	}
 }

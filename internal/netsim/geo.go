@@ -10,11 +10,11 @@ import (
 // location-aided protocol (GPSCE-style, [Lim04] in the paper's related
 // work) is assumed to have for free from dedicated hardware.
 func (n *Network) Position(node int) geo.Point {
-	pts := n.field.PositionsAt(n.k.Now(), nil)
-	if node < 0 || node >= len(pts) {
+	n.posBuf = n.field.PositionsAt(n.k.Now(), n.posBuf)
+	if node < 0 || node >= len(n.posBuf) {
 		return geo.Point{}
 	}
-	return pts[node]
+	return n.posBuf[node]
 }
 
 // GeoUnicast forwards msg greedily by geography: each hop hands the
@@ -63,7 +63,11 @@ func (n *Network) geoForward(cur, dst int, target geo.Point, msg protocol.Messag
 		return
 	}
 	g := n.Graph()
-	pts := n.field.PositionsAt(n.k.Now(), nil)
+	// Reuse the retained position buffer; Graph() may have just filled it
+	// for the same instant, but positions are pure in (time, node) so a
+	// second fill is idempotent and the buffer is free either way.
+	n.posBuf = n.field.PositionsAt(n.k.Now(), n.posBuf)
+	pts := n.posBuf
 	// Direct delivery when the destination is a neighbour.
 	next := -1
 	if g.Connected(cur, dst) {

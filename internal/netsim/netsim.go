@@ -46,6 +46,10 @@ type Meta struct {
 	At time.Duration
 	// Flood reports whether the message arrived via flooding.
 	Flood bool
+	// FloodID identifies which flood delivered the message (1, 2, … in
+	// origination order; 0 for unicasts), letting tracers correlate the
+	// fan-out of one broadcast across its deliveries.
+	FloodID uint64
 }
 
 // Receiver handles a message delivered to a node. Receivers run inside the
@@ -91,6 +95,12 @@ type Config struct {
 	// Off by default: the paper-reproduction figures use the idealised
 	// parallel radio, and the A10 ablation quantifies the difference.
 	SerializeTx bool
+	// DisableRouteCache turns off the per-snapshot route-table
+	// memoization in the radio layer, reverting every NextHop to the
+	// original per-call BFS. Routing decisions are identical either way;
+	// the switch exists so the determinism regression tests can compare
+	// the memoized hot path against the reference path.
+	DisableRouteCache bool
 }
 
 // DefaultConfig returns the network parameters used across the paper's
@@ -150,6 +160,7 @@ type Network struct {
 	jitter    *rand.Rand
 	loss      *rand.Rand
 
+	builder    *radio.GraphBuilder
 	cached     *radio.Graph
 	cachedAt   time.Duration
 	cacheValid bool
@@ -162,9 +173,21 @@ type Network struct {
 	// txBusy is each node's radio-reservation horizon under SerializeTx.
 	txBusy []time.Duration
 
+	// downBuf and posBuf are retained between topology rebuilds and
+	// position queries so the per-event hot path does not allocate.
 	downBuf []bool
+	posBuf  []geo.Point
 
+	// nextFlood numbers floods in origination order; the current value
+	// rides on every flood delivery as Meta.FloodID.
 	nextFlood uint64
+
+	// floodPool recycles per-flood duplicate-suppression state. A flood's
+	// state returns to the pool once its last in-flight reception fires.
+	floodPool []*floodState
+
+	// rebuilds counts topology snapshot rebuilds (cache misses).
+	rebuilds uint64
 
 	// dsr holds per-node routing state when cfg.Routing is RoutingDSR.
 	dsr []*dsrNode
@@ -197,6 +220,7 @@ func New(cfg Config, k *sim.Kernel, field PositionSource, churnProc *churn.Proce
 		loss:      k.Stream("netsim.loss"),
 		activity:  make([]uint64, field.Len()),
 		txBusy:    make([]time.Duration, field.Len()),
+		builder:   radio.NewGraphBuilder(),
 	}
 	if cfg.Routing == routingUnset {
 		n.cfg.Routing = RoutingOracle
@@ -247,14 +271,17 @@ func (n *Network) Up(node int) bool {
 
 // Graph returns the connectivity snapshot for the current virtual time,
 // rebuilding it when the topology-refresh window rolled over or churn
-// invalidated it.
+// invalidated it. Rebuilds reuse the network's GraphBuilder, so the
+// returned snapshot is only valid until the next rebuild — callers fetch
+// it fresh per event handler and must not retain it across events (no
+// caller does; routing re-reads the topology at every hop by design).
 func (n *Network) Graph() *radio.Graph {
 	now := n.k.Now()
 	epoch := now.Truncate(n.cfg.TopologyRefresh)
 	if n.cacheValid && n.cachedAt == epoch {
 		return n.cached
 	}
-	pts := n.field.PositionsAt(now, nil)
+	n.posBuf = n.field.PositionsAt(now, n.posBuf)
 	if cap(n.downBuf) < n.field.Len() {
 		n.downBuf = make([]bool, n.field.Len())
 	}
@@ -262,17 +289,25 @@ func (n *Network) Graph() *radio.Graph {
 	for i := range down {
 		down[i] = !n.Up(i)
 	}
-	g, err := radio.NewGraph(pts, down, n.cfg.CommRange, uint64(epoch))
+	g, err := n.builder.Build(n.posBuf, down, n.cfg.CommRange, uint64(epoch))
 	if err != nil {
 		// Config was validated at construction; only a programming error
 		// reaches here. Fail loudly rather than route on a stale graph.
 		panic(fmt.Sprintf("netsim: graph rebuild failed: %v", err))
 	}
+	g.SetRouteCache(!n.cfg.DisableRouteCache)
+	n.rebuilds++
 	n.cached = g
 	n.cachedAt = epoch
 	n.cacheValid = true
 	return g
 }
+
+// Rebuilds returns how many times the topology snapshot has been rebuilt —
+// the cache-miss count behind Graph(). Tests use it to assert refresh and
+// invalidation behaviour without relying on snapshot identity (the builder
+// reuses one graph in place).
+func (n *Network) Rebuilds() uint64 { return n.rebuilds }
 
 // txDelay reserves node's radio for one frame and returns the delay until
 // the frame lands one hop away: the plain hop delay under the idealised
@@ -404,6 +439,34 @@ func (n *Network) forward(cur, dst int, msg protocol.Message, hops int) {
 	})
 }
 
+// floodState is the per-flood bookkeeping: the duplicate-suppression
+// bitmap, the flood id, and a count of in-flight receptions. When the
+// last scheduled reception fires the state returns to the network's pool,
+// so steady-state flooding reallocates nothing.
+type floodState struct {
+	visited []bool
+	id      uint64
+	pending int
+}
+
+// acquireFlood pops a cleared flood state from the pool (or allocates).
+func (n *Network) acquireFlood() *floodState {
+	if last := len(n.floodPool) - 1; last >= 0 {
+		st := n.floodPool[last]
+		n.floodPool[last] = nil
+		n.floodPool = n.floodPool[:last]
+		return st
+	}
+	return &floodState{visited: make([]bool, n.Len())}
+}
+
+// releaseFlood clears and pools a finished flood's state.
+func (n *Network) releaseFlood(st *floodState) {
+	clear(st.visited)
+	st.pending = 0
+	n.floodPool = append(n.floodPool, st)
+}
+
 // Flood broadcasts msg from origin with the given TTL. Every distinct node
 // reached within TTL hops receives the message exactly once (duplicate
 // rebroadcasts are suppressed, as in standard MANET flooding). The origin
@@ -426,14 +489,19 @@ func (n *Network) Flood(origin, ttl int, msg protocol.Message) error {
 		return nil
 	}
 	n.nextFlood++
-	visited := make([]bool, n.Len())
-	visited[origin] = true
-	n.transmitFlood(origin, ttl, msg, visited, 0)
+	st := n.acquireFlood()
+	st.id = n.nextFlood
+	st.visited[origin] = true
+	n.transmitFlood(origin, ttl, msg, st, 0)
+	if st.pending == 0 {
+		// No neighbour heard the broadcast; the flood is already over.
+		n.releaseFlood(st)
+	}
 	return nil
 }
 
 // transmitFlood performs one node's (re)broadcast of a flood.
-func (n *Network) transmitFlood(node, ttlLeft int, msg protocol.Message, visited []bool, hops int) {
+func (n *Network) transmitFlood(node, ttlLeft int, msg protocol.Message, st *floodState, hops int) {
 	if !n.Up(node) {
 		return
 	}
@@ -442,20 +510,24 @@ func (n *Network) transmitFlood(node, ttlLeft int, msg protocol.Message, visited
 	n.spendTx(node)
 	delay := n.txDelay(node, msg.Size())
 	for _, v := range g.Neighbors(node) {
-		if visited[v] {
+		if st.visited[v] {
 			continue
 		}
-		visited[v] = true
+		st.visited[v] = true
+		st.pending++
 		v := v
 		n.k.After(delay, "netsim.flood", func(*sim.Kernel) {
 			if !n.Up(v) || n.lost() {
 				n.traffic.RecordDropped(msg.Kind)
-				return
+			} else {
+				n.spendRx(v)
+				n.deliver(v, msg, Meta{Hops: hops + 1, At: n.k.Now(), Flood: true, FloodID: st.id})
+				if ttlLeft > 1 {
+					n.transmitFlood(v, ttlLeft-1, msg, st, hops+1)
+				}
 			}
-			n.spendRx(v)
-			n.deliver(v, msg, Meta{Hops: hops + 1, At: n.k.Now(), Flood: true})
-			if ttlLeft > 1 {
-				n.transmitFlood(v, ttlLeft-1, msg, visited, hops+1)
+			if st.pending--; st.pending == 0 {
+				n.releaseFlood(st)
 			}
 		})
 	}

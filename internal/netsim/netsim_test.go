@@ -403,16 +403,27 @@ func TestDepletedNodeIsDown(t *testing.T) {
 func TestGraphCachingAndChurnInvalidation(t *testing.T) {
 	h := newHarness(t, 3, true)
 	g1 := h.net.Graph()
+	r1 := h.net.Rebuilds()
+	if r1 == 0 {
+		t.Fatal("first Graph() did not rebuild")
+	}
 	g2 := h.net.Graph()
+	if h.net.Rebuilds() != r1 {
+		t.Fatal("same-instant Graph() rebuilt (cache miss)")
+	}
 	if g1 != g2 {
-		t.Fatal("same-instant graphs differ (cache miss)")
+		t.Fatal("same-instant graphs differ")
+	}
+	if !g1.Up(1) {
+		t.Fatal("fresh graph shows up node down")
 	}
 	if err := h.churn.ForceState(h.k, 1, churn.StateDisconnected); err != nil {
 		t.Fatal(err)
 	}
 	g3 := h.net.Graph()
-	if g3 == g1 {
-		t.Fatal("churn flip did not invalidate cached graph")
+	if h.net.Rebuilds() != r1+1 {
+		t.Fatalf("churn flip did not invalidate cached graph (rebuilds %d, want %d)",
+			h.net.Rebuilds(), r1+1)
 	}
 	if g3.Up(1) {
 		t.Fatal("rebuilt graph shows down node up")

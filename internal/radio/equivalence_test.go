@@ -1,0 +1,274 @@
+package radio
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/manetlab/rpcc/internal/geo"
+)
+
+// randomScenario draws a random node layout with some nodes down.
+func randomScenario(r *rand.Rand, terrain geo.Terrain) ([]geo.Point, []bool) {
+	n := 10 + r.Intn(60)
+	pts := make([]geo.Point, n)
+	down := make([]bool, n)
+	for i := range pts {
+		pts[i] = terrain.RandomPoint(r)
+		down[i] = r.Intn(8) == 0
+	}
+	return pts, down
+}
+
+// sameGraph asserts two snapshots expose identical adjacency.
+func sameGraph(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Fatalf("Len %d != %d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		na, nb := a.Neighbors(i), b.Neighbors(i)
+		if len(na) != len(nb) {
+			t.Fatalf("node %d: degree %d != %d", i, len(na), len(nb))
+		}
+		for j := range na {
+			if na[j] != nb[j] {
+				t.Fatalf("node %d: neighbours %v != %v", i, na, nb)
+			}
+		}
+	}
+}
+
+// TestGridMatchesPairwiseProperty: the spatial-grid build must produce the
+// byte-identical adjacency (same sets, same ascending order) as the O(n²)
+// reference sweep, including down-node handling.
+func TestGridMatchesPairwiseProperty(t *testing.T) {
+	terrain, _ := geo.NewTerrain(1500, 1500)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pts, down := randomScenario(r, terrain)
+		grid, err := NewGraphBuilder().Build(pts, down, 250, 1)
+		if err != nil {
+			return false
+		}
+		ref, err := NewGraphBuilder().BuildPairwise(pts, down, 250, 1)
+		if err != nil {
+			return false
+		}
+		sameGraph(t, ref, grid)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGridFallbackOnSparseSpread: positions flung kilometres apart trip
+// the grid-size guard; the fallback must still produce the reference
+// adjacency.
+func TestGridFallbackOnSparseSpread(t *testing.T) {
+	pts := []geo.Point{{X: 0, Y: 0}, {X: 100, Y: 0}, {X: 1e6, Y: 1e6}, {X: 1e6 + 150, Y: 1e6}}
+	grid, err := NewGraph(pts, nil, 250, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewGraphBuilder().BuildPairwise(pts, nil, 250, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameGraph(t, ref, grid)
+	if !grid.Connected(0, 1) || !grid.Connected(2, 3) || grid.Connected(1, 2) {
+		t.Fatal("sparse-spread adjacency wrong")
+	}
+}
+
+// TestBuilderReuseAcrossRebuilds: one builder rebuilt over changing
+// topologies must match a fresh build every time, and must reset the
+// route cache so no stale distance leaks across snapshots.
+func TestBuilderReuseAcrossRebuilds(t *testing.T) {
+	terrain, _ := geo.NewTerrain(1500, 1500)
+	r := rand.New(rand.NewSource(7))
+	b := NewGraphBuilder()
+	for round := 0; round < 25; round++ {
+		pts, down := randomScenario(r, terrain)
+		g, err := b.Build(pts, down, 250, uint64(round))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Stamp() != uint64(round) {
+			t.Fatalf("stamp = %d, want %d", g.Stamp(), round)
+		}
+		fresh, err := NewGraph(pts, down, 250, uint64(round))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameGraph(t, fresh, g)
+		// Exercise the route cache on this snapshot; the next Build must
+		// not serve these distances again.
+		n := g.Len()
+		for trial := 0; trial < 10; trial++ {
+			src, dst := r.Intn(n), r.Intn(n)
+			if got, want := g.Hops(src, dst), fresh.Hops(src, dst); got != want {
+				t.Fatalf("round %d: Hops(%d,%d) = %d, want %d", round, src, dst, got, want)
+			}
+			if got, want := g.NextHop(src, dst), fresh.NextHop(src, dst); got != want {
+				t.Fatalf("round %d: NextHop(%d,%d) = %d, want %d", round, src, dst, got, want)
+			}
+		}
+	}
+}
+
+// TestRouteCacheMatchesUncachedProperty: NextHop and Hops with the route
+// cache must equal the pure per-call BFS on random graphs and pairs — the
+// property that makes the memoization behaviourally invisible.
+func TestRouteCacheMatchesUncachedProperty(t *testing.T) {
+	terrain, _ := geo.NewTerrain(1500, 1500)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pts, down := randomScenario(r, terrain)
+		cached, err := NewGraph(pts, down, 250, 0)
+		if err != nil {
+			return false
+		}
+		uncached, err := NewGraph(pts, down, 250, 0)
+		if err != nil {
+			return false
+		}
+		uncached.SetRouteCache(false)
+		if cached.RouteCacheEnabled() == uncached.RouteCacheEnabled() {
+			t.Fatal("SetRouteCache(false) did not disable the cache")
+		}
+		n := cached.Len()
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				if got, want := cached.NextHop(src, dst), uncached.NextHop(src, dst); got != want {
+					t.Errorf("NextHop(%d,%d): cached %d, uncached %d", src, dst, got, want)
+					return false
+				}
+				if got, want := cached.Hops(src, dst), uncached.Hops(src, dst); got != want {
+					t.Errorf("Hops(%d,%d): cached %d, uncached %d", src, dst, got, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHopsAgreesWithHopsFrom: both Hops paths (cached table, early-exit
+// BFS) must agree with the full HopsFrom table.
+func TestHopsAgreesWithHopsFrom(t *testing.T) {
+	terrain, _ := geo.NewTerrain(1000, 1000)
+	r := rand.New(rand.NewSource(3))
+	pts, down := randomScenario(r, terrain)
+	g, err := NewGraph(pts, down, 250, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cache := range []bool{true, false} {
+		g.SetRouteCache(cache)
+		for src := 0; src < g.Len(); src++ {
+			dist := g.HopsFrom(src)
+			for dst := 0; dst < g.Len(); dst++ {
+				want := dist[dst]
+				if src == dst && g.Up(src) {
+					want = 0
+				}
+				if got := g.Hops(src, dst); got != want {
+					t.Fatalf("cache=%v Hops(%d,%d) = %d, want %d", cache, src, dst, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestConnectedMatchesNeighborMembership: the binary-search Connected must
+// agree with naive membership over the neighbour rows.
+func TestConnectedMatchesNeighborMembership(t *testing.T) {
+	terrain, _ := geo.NewTerrain(1200, 1200)
+	r := rand.New(rand.NewSource(11))
+	pts, down := randomScenario(r, terrain)
+	g, err := NewGraph(pts, down, 250, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.Len(); i++ {
+		want := map[int]bool{}
+		for _, v := range g.Neighbors(i) {
+			want[v] = true
+		}
+		for j := 0; j < g.Len(); j++ {
+			if got := g.Connected(i, j); got != want[j] {
+				t.Fatalf("Connected(%d,%d) = %v, want %v", i, j, got, want[j])
+			}
+		}
+	}
+}
+
+// TestHotQueriesDoNotAllocate pins the zero-alloc contract: once a
+// snapshot's route table toward a destination is warm, NextHop and Hops
+// allocate nothing, and neither does the uncached early-exit Hops.
+func TestHotQueriesDoNotAllocate(t *testing.T) {
+	terrain, _ := geo.NewTerrain(1500, 1500)
+	r := rand.New(rand.NewSource(5))
+	pts := make([]geo.Point, 50)
+	for i := range pts {
+		pts[i] = terrain.RandomPoint(r)
+	}
+	g, err := NewGraph(pts, nil, 250, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.NextHop(0, 49) // warm dst 49's table
+	if avg := testing.AllocsPerRun(100, func() {
+		g.NextHop(0, 49)
+		g.Hops(3, 49)
+		g.Connected(0, 1)
+	}); avg != 0 {
+		t.Errorf("warm cached queries allocate %.1f/op, want 0", avg)
+	}
+	g.SetRouteCache(false)
+	g.Hops(0, 49) // let the early-exit path size its scratch
+	if avg := testing.AllocsPerRun(100, func() {
+		g.Hops(0, 49)
+	}); avg != 0 {
+		t.Errorf("early-exit Hops allocates %.1f/op, want 0", avg)
+	}
+}
+
+// TestBuilderRebuildDoesNotAllocate: steady-state rebuilds over same-size
+// fields must reuse every backing array.
+func TestBuilderRebuildDoesNotAllocate(t *testing.T) {
+	terrain, _ := geo.NewTerrain(1500, 1500)
+	r := rand.New(rand.NewSource(9))
+	const n = 50
+	pts := make([]geo.Point, n)
+	b := NewGraphBuilder()
+	redraw := func() {
+		for i := range pts {
+			pts[i] = terrain.RandomPoint(r)
+		}
+	}
+	redraw()
+	if _, err := b.Build(pts, nil, 250, 0); err != nil {
+		t.Fatal(err)
+	}
+	// A couple of warm-up rounds let tgt reach its high-water capacity.
+	for i := 0; i < 5; i++ {
+		redraw()
+		if _, err := b.Build(pts, nil, 250, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if avg := testing.AllocsPerRun(50, func() {
+		redraw()
+		if _, err := b.Build(pts, nil, 250, 1); err != nil {
+			t.Fatal(err)
+		}
+	}); avg > 0.5 {
+		t.Errorf("steady-state rebuild allocates %.2f/op, want ~0", avg)
+	}
+}

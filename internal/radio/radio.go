@@ -4,10 +4,21 @@
 // adjacency snapshots from node positions and answers the connectivity
 // queries the network layer needs: neighbour sets, BFS hop distances, and
 // next-hop selection for hop-by-hop unicast routing.
+//
+// The snapshot is stored in a flat CSR (compressed sparse row) layout and
+// carries a per-snapshot route cache: the first NextHop query toward a
+// destination runs one BFS from that destination and memoizes the hop
+// distances; every later hop of every message to the same destination is
+// an O(degree) scan over the source's neighbour list. The cache lives on
+// the snapshot itself, so it is implicitly keyed by the snapshot stamp and
+// can never serve distances from a stale topology. Graphs are not safe for
+// concurrent use; like the rest of the simulator they live on a single
+// kernel goroutine.
 package radio
 
 import (
 	"fmt"
+	"slices"
 
 	"github.com/manetlab/rpcc/internal/geo"
 )
@@ -16,50 +27,28 @@ import (
 // down (disconnected by churn or depleted battery) have no edges.
 type Graph struct {
 	n     int
-	adj   [][]int
+	off   []int32 // CSR row offsets, len n+1
+	tgt   []int   // CSR neighbour ids, ascending per row
 	down  []bool
 	rng   float64 // communication range, metres
 	stamp uint64  // snapshot generation, for cache invalidation upstream
+
+	// Route cache: dist[dst] holds, once built, the BFS hop distance from
+	// every node to dst (Unreachable = -1). Slices are recycled through
+	// distPool across snapshot rebuilds by the owning GraphBuilder.
+	cacheOn  bool
+	dist     [][]int32
+	built    []int32   // destinations with a table built this snapshot
+	distPool [][]int32 // spare distance tables
+	queue    []int32   // shared BFS scratch queue
 }
 
-// NewGraph builds a snapshot from positions. down may be nil (all up) or a
-// slice of the same length flagging unreachable nodes. The builder is
-// O(n^2), fine for the paper's 50-node field and for the few-hundred-node
-// stress tests.
+// NewGraph builds a standalone snapshot from positions via a throwaway
+// GraphBuilder. down may be nil (all up) or a slice of the same length
+// flagging unreachable nodes. Hot callers that rebuild every topology
+// refresh should hold a GraphBuilder instead so backing arrays are reused.
 func NewGraph(pos []geo.Point, down []bool, commRange float64, stamp uint64) (*Graph, error) {
-	if commRange <= 0 {
-		return nil, fmt.Errorf("radio: non-positive range %g", commRange)
-	}
-	if down != nil && len(down) != len(pos) {
-		return nil, fmt.Errorf("radio: down length %d != positions %d", len(down), len(pos))
-	}
-	n := len(pos)
-	g := &Graph{
-		n:     n,
-		adj:   make([][]int, n),
-		down:  make([]bool, n),
-		rng:   commRange,
-		stamp: stamp,
-	}
-	if down != nil {
-		copy(g.down, down)
-	}
-	r2 := commRange * commRange
-	for i := 0; i < n; i++ {
-		if g.down[i] {
-			continue
-		}
-		for j := i + 1; j < n; j++ {
-			if g.down[j] {
-				continue
-			}
-			if pos[i].DistSq(pos[j]) <= r2 {
-				g.adj[i] = append(g.adj[i], j)
-				g.adj[j] = append(g.adj[j], i)
-			}
-		}
-	}
-	return g, nil
+	return NewGraphBuilder().Build(pos, down, commRange, stamp)
 }
 
 // Len returns the number of nodes.
@@ -74,23 +63,32 @@ func (g *Graph) Range() float64 { return g.rng }
 // Up reports whether node i was up when the snapshot was taken.
 func (g *Graph) Up(i int) bool { return i >= 0 && i < g.n && !g.down[i] }
 
-// Neighbors returns the nodes within range of i. The returned slice is
-// owned by the graph; callers must not mutate it.
+// SetRouteCache enables or disables the per-destination route memoization
+// (enabled by default). Disabling reverts NextHop and Hops to the pure
+// per-call BFS the pre-cache implementation ran — the reference path the
+// determinism regression tests compare against.
+func (g *Graph) SetRouteCache(on bool) { g.cacheOn = on }
+
+// RouteCacheEnabled reports whether route memoization is active.
+func (g *Graph) RouteCacheEnabled() bool { return g.cacheOn }
+
+// Neighbors returns the nodes within range of i, ascending. The returned
+// slice aliases the snapshot's CSR arrays; callers must not mutate it.
 func (g *Graph) Neighbors(i int) []int {
 	if i < 0 || i >= g.n {
 		return nil
 	}
-	return g.adj[i]
+	return g.tgt[g.off[i]:g.off[i+1]]
 }
 
-// Connected reports whether i and j share an edge.
+// Connected reports whether i and j share an edge. Neighbour rows are
+// sorted, so this is a binary search rather than a linear scan.
 func (g *Graph) Connected(i, j int) bool {
-	for _, v := range g.Neighbors(i) {
-		if v == j {
-			return true
-		}
+	if i < 0 || i >= g.n {
+		return false
 	}
-	return false
+	_, found := slices.BinarySearch(g.tgt[g.off[i]:g.off[i+1]], j)
+	return found
 }
 
 // Unreachable is the hop distance reported for unreachable pairs.
@@ -98,7 +96,8 @@ const Unreachable = -1
 
 // HopsFrom runs BFS from src and returns the hop distance to every node
 // (Unreachable where no path exists, 0 for src itself). A down source
-// yields all-Unreachable.
+// yields all-Unreachable. The result is freshly allocated and owned by the
+// caller; the forwarding hot path uses the memoized route tables instead.
 func (g *Graph) HopsFrom(src int) []int {
 	dist := make([]int, g.n)
 	for i := range dist {
@@ -113,7 +112,7 @@ func (g *Graph) HopsFrom(src int) []int {
 	for len(queue) > 0 {
 		u := queue[0]
 		queue = queue[1:]
-		for _, v := range g.adj[u] {
+		for _, v := range g.Neighbors(u) {
 			if dist[v] == Unreachable {
 				dist[v] = dist[u] + 1
 				queue = append(queue, v)
@@ -123,7 +122,60 @@ func (g *Graph) HopsFrom(src int) []int {
 	return dist
 }
 
-// Hops returns the BFS hop distance from src to dst, or Unreachable.
+// routeTo returns the memoized hop-distance table toward dst, building it
+// with one BFS on first use this snapshot.
+func (g *Graph) routeTo(dst int) []int32 {
+	if g.dist == nil {
+		g.dist = make([][]int32, g.n)
+	}
+	if d := g.dist[dst]; d != nil {
+		return d
+	}
+	var d []int32
+	if n := len(g.distPool); n > 0 {
+		d = g.distPool[n-1]
+		g.distPool = g.distPool[:n-1]
+		d = d[:g.n]
+	} else {
+		d = make([]int32, g.n)
+	}
+	for i := range d {
+		d[i] = Unreachable
+	}
+	// BFS from dst over the CSR rows, reusing the shared scratch queue.
+	d[dst] = 0
+	q := g.queue[:0]
+	q = append(q, int32(dst))
+	for head := 0; head < len(q); head++ {
+		u := q[head]
+		du := d[u]
+		for _, v := range g.tgt[g.off[u]:g.off[u+1]] {
+			if d[v] == Unreachable {
+				d[v] = du + 1
+				q = append(q, int32(v))
+			}
+		}
+	}
+	g.queue = q
+	g.dist[dst] = d
+	g.built = append(g.built, int32(dst))
+	return d
+}
+
+// resetRoutes returns every distance table built for this snapshot to the
+// pool; the builder calls it before reusing the graph for a new topology.
+func (g *Graph) resetRoutes() {
+	for _, dst := range g.built {
+		g.distPool = append(g.distPool, g.dist[dst])
+		g.dist[dst] = nil
+	}
+	g.built = g.built[:0]
+}
+
+// Hops returns the BFS hop distance from src to dst, or Unreachable. With
+// the route cache enabled the answer comes from (and warms) dst's memoized
+// table; otherwise an early-exit BFS from src stops as soon as dst is
+// labelled instead of computing the full all-distances-from-src table.
 func (g *Graph) Hops(src, dst int) int {
 	if src == dst {
 		if g.Up(src) {
@@ -131,7 +183,50 @@ func (g *Graph) Hops(src, dst int) int {
 		}
 		return Unreachable
 	}
-	return g.HopsFrom(src)[dst]
+	if !g.Up(src) || !g.Up(dst) {
+		return Unreachable
+	}
+	if g.cacheOn {
+		return int(g.routeTo(dst)[src])
+	}
+	return g.hopsEarlyExit(src, dst)
+}
+
+// hopsEarlyExit is the uncached Hops path: BFS from src, returning the
+// moment dst is reached. Scratch comes from the graph's pooled buffers so
+// the query still does not allocate.
+func (g *Graph) hopsEarlyExit(src, dst int) int {
+	var d []int32
+	if n := len(g.distPool); n > 0 {
+		d = g.distPool[n-1]
+		g.distPool = g.distPool[:n-1]
+		d = d[:g.n]
+	} else {
+		d = make([]int32, g.n)
+	}
+	defer func() { g.distPool = append(g.distPool, d) }()
+	for i := range d {
+		d[i] = Unreachable
+	}
+	d[src] = 0
+	q := g.queue[:0]
+	q = append(q, int32(src))
+	for head := 0; head < len(q); head++ {
+		u := q[head]
+		du := d[u]
+		for _, v := range g.tgt[g.off[u]:g.off[u+1]] {
+			if d[v] == Unreachable {
+				if v == dst {
+					g.queue = q
+					return int(du) + 1
+				}
+				d[v] = du + 1
+				q = append(q, int32(v))
+			}
+		}
+	}
+	g.queue = q
+	return Unreachable
 }
 
 // NextHop returns the neighbour of src that lies on a shortest path to
@@ -140,15 +235,30 @@ func (g *Graph) Hops(src, dst int) int {
 // forwarding primitive: each relay re-invokes it on the current snapshot,
 // which lets in-flight messages adapt to topology changes the way a
 // reactive MANET routing protocol would after a route repair.
+//
+// With the route cache (the default) the BFS tree for dst is computed once
+// per snapshot and every call is an O(degree(src)) scan; distances are
+// identical to the uncached per-call BFS, so routes, tie-breaks and
+// therefore simulation outputs do not change.
 func (g *Graph) NextHop(src, dst int) int {
 	if src == dst || !g.Up(src) || !g.Up(dst) {
 		return Unreachable
 	}
-	// BFS from dst: the neighbour of src with the smallest distance to
-	// dst is the next hop.
+	if g.cacheOn {
+		dist := g.routeTo(dst)
+		best, bestDist := Unreachable, int32(^uint32(0)>>1)
+		for _, v := range g.Neighbors(src) {
+			if d := dist[v]; d != Unreachable && d < bestDist {
+				best, bestDist = v, d
+			}
+		}
+		return best
+	}
+	// Reference path: BFS from dst on every call, exactly as the original
+	// implementation did.
 	dist := g.HopsFrom(dst)
 	best, bestDist := Unreachable, int(^uint(0)>>1)
-	for _, v := range g.adj[src] {
+	for _, v := range g.Neighbors(src) {
 		if d := dist[v]; d != Unreachable && d < bestDist {
 			best, bestDist = v, d
 		}
@@ -187,3 +297,14 @@ func (g *Graph) ComponentOf(src int) []int {
 
 // Degree returns the number of neighbours of i.
 func (g *Graph) Degree(i int) int { return len(g.Neighbors(i)) }
+
+// validate checks the inputs shared by every build path.
+func validate(pos []geo.Point, down []bool, commRange float64) error {
+	if commRange <= 0 {
+		return fmt.Errorf("radio: non-positive range %g", commRange)
+	}
+	if down != nil && len(down) != len(pos) {
+		return fmt.Errorf("radio: down length %d != positions %d", len(down), len(pos))
+	}
+	return nil
+}

@@ -27,6 +27,13 @@ type Handler func(k *Kernel)
 
 // Event is a scheduled callback. The zero value is inert; events are
 // created via Kernel.At / Kernel.After.
+//
+// Fired events are recycled through the kernel's freelist: a handle is
+// valid for Cancel and state queries until its event fires (or, if
+// cancelled, until the cancellation is collected from the queue). A
+// handle retained past that point keeps reporting its final state only
+// until the kernel reuses the event for a new scheduling — retaining
+// handles across fire time is unsupported.
 type Event struct {
 	when   time.Duration
 	seq    uint64
@@ -97,6 +104,11 @@ type Kernel struct {
 	stopped bool
 	horizon time.Duration
 	events  uint64 // total events fired
+
+	// free recycles fired (or collected-cancelled) events so steady-state
+	// scheduling allocates nothing: the heap pops an event, its handler
+	// runs, and the next At/After reuses the same struct.
+	free []*Event
 }
 
 // Option configures a Kernel.
@@ -152,10 +164,33 @@ func (k *Kernel) At(t time.Duration, label string, fn Handler) (*Event, error) {
 	if fn == nil {
 		return nil, fmt.Errorf("sim: nil handler for event %q", label)
 	}
-	e := &Event{when: t, seq: k.seq, fn: fn, label: label}
+	e := k.acquire()
+	e.when, e.seq, e.fn, e.label = t, k.seq, fn, label
 	k.seq++
 	heap.Push(&k.queue, e)
 	return e, nil
+}
+
+// acquire returns a recycled event or a fresh one. State is reset here,
+// at acquisition time — not at recycle time — so a stale handle keeps
+// reporting its final fired/cancelled state until the struct is reused.
+func (k *Kernel) acquire() *Event {
+	if n := len(k.free); n > 0 {
+		e := k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		*e = Event{index: -1}
+		return e
+	}
+	return &Event{index: -1}
+}
+
+// recycle returns a popped event to the freelist. The handler reference
+// is dropped immediately so a parked event does not pin its closure (and
+// everything the closure captures) until reuse.
+func (k *Kernel) recycle(e *Event) {
+	e.fn = nil
+	k.free = append(k.free, e)
 }
 
 // After schedules fn to run d from now. Negative d is clamped to zero so
@@ -216,11 +251,14 @@ func (k *Kernel) Run() time.Duration {
 	for len(k.queue) > 0 && !k.stopped {
 		e := heap.Pop(&k.queue).(*Event)
 		if e.cancel {
+			k.recycle(e)
 			continue
 		}
 		if k.horizon > 0 && e.when > k.horizon {
 			// Past the horizon: the run is over. Advance the clock to the
-			// horizon so metrics normalised by elapsed time are exact.
+			// horizon so metrics normalised by elapsed time are exact. The
+			// popped event is dropped un-fired and deliberately not
+			// recycled: its handle must keep reporting Fired() == false.
 			k.now = k.horizon
 			return k.now
 		}
@@ -228,6 +266,7 @@ func (k *Kernel) Run() time.Duration {
 		e.fired = true
 		k.events++
 		e.fn(k)
+		k.recycle(e)
 	}
 	if k.horizon > 0 && k.now < k.horizon && len(k.queue) == 0 {
 		k.now = k.horizon
@@ -246,12 +285,14 @@ func (k *Kernel) RunUntil(t time.Duration) {
 		}
 		heap.Pop(&k.queue)
 		if e.cancel {
+			k.recycle(e)
 			continue
 		}
 		k.now = e.when
 		e.fired = true
 		k.events++
 		e.fn(k)
+		k.recycle(e)
 	}
 	if k.now < t {
 		k.now = t

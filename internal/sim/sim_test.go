@@ -320,3 +320,54 @@ func TestEventsFiredCounter(t *testing.T) {
 		t.Fatalf("EventsFired() = %d, want 7", k.EventsFired())
 	}
 }
+
+func TestFreelistRecyclesFiredEvents(t *testing.T) {
+	k := NewKernel()
+	e1 := k.After(time.Second, "first", func(*Kernel) {})
+	k.Run()
+	if len(k.free) != 1 {
+		t.Fatalf("freelist size = %d after fire, want 1", len(k.free))
+	}
+	if k.free[0].fn != nil {
+		t.Fatal("recycled event retains its handler closure")
+	}
+	e2 := k.After(time.Second, "second", func(*Kernel) {})
+	if e1 != e2 {
+		t.Fatal("second scheduling did not reuse the fired event")
+	}
+	if e2.Fired() || e2.Cancelled() || e2.Label() != "second" {
+		t.Fatalf("reused event not reset: fired=%v cancelled=%v label=%q",
+			e2.Fired(), e2.Cancelled(), e2.Label())
+	}
+	k.Run()
+	if k.EventsFired() != 2 {
+		t.Fatalf("EventsFired() = %d, want 2", k.EventsFired())
+	}
+}
+
+func TestFreelistCollectsCancelledEvents(t *testing.T) {
+	k := NewKernel()
+	e := k.After(time.Second, "doomed", func(*Kernel) { t.Fatal("cancelled event fired") })
+	k.Cancel(e)
+	k.Run()
+	if len(k.free) != 1 {
+		t.Fatalf("freelist size = %d after cancelled collection, want 1", len(k.free))
+	}
+	if !e.Cancelled() {
+		t.Fatal("handle lost cancelled state before reuse")
+	}
+}
+
+func TestSteadyStateSchedulingDoesNotAllocate(t *testing.T) {
+	k := NewKernel()
+	// Warm up: one fired event seeds the freelist.
+	k.After(0, "warm", func(*Kernel) {})
+	k.Run()
+	fn := func(*Kernel) {}
+	if avg := testing.AllocsPerRun(200, func() {
+		k.After(0, "hot", fn)
+		k.Run()
+	}); avg != 0 {
+		t.Errorf("steady-state schedule+fire allocates %.2f/op, want 0", avg)
+	}
+}

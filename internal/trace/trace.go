@@ -25,6 +25,10 @@ type Event struct {
 	Version data.Version
 	Hops    int
 	Flood   bool
+	// FloodID is the network layer's flood sequence number — nonzero only
+	// for flood deliveries, and shared by every delivery of one flood, so
+	// a trace can be grouped by broadcast wave.
+	FloodID uint64
 }
 
 // String renders the event as one trace line.
@@ -101,6 +105,7 @@ func (r *Recorder) Tracer() netsim.Tracer {
 			Version: msg.Version,
 			Hops:    meta.Hops,
 			Flood:   meta.Flood,
+			FloodID: meta.FloodID,
 		})
 	}
 }
