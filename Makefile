@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-hotpath bench-compare figures clean
+.PHONY: all build test race vet check bench bench-hotpath bench-compare figures telemetry-smoke clean
 
 all: check
 
@@ -52,6 +52,20 @@ bench-compare:
 		$(GO) run ./cmd/benchdiff /tmp/bench_legacy.txt /tmp/bench_new.txt; \
 	fi
 	$(GO) run ./cmd/benchdiff -json BENCH_hotpath.json -fleet BENCH_fleet.json -fleet-baseline 59.105 /tmp/bench_legacy.txt /tmp/bench_new.txt > /dev/null
+
+# End-to-end telemetry check: a 1-simulated-minute seeded run exports
+# Prometheus text and span JSONL, and telemetrylint proves both parse
+# and satisfy the histogram invariants plus family presence.
+TELEMETRY_TMP ?= /tmp/rpcc-telemetry-smoke
+telemetry-smoke:
+	mkdir -p $(TELEMETRY_TMP)
+	$(GO) run ./cmd/rpccsim -strategy rpcc-sc -simtime 1m -seed 1 \
+		-telemetry $(TELEMETRY_TMP)/spans.jsonl \
+		-metrics-out $(TELEMETRY_TMP)/metrics.prom > /dev/null
+	$(GO) run ./cmd/telemetrylint \
+		-prom $(TELEMETRY_TMP)/metrics.prom \
+		-jsonl $(TELEMETRY_TMP)/spans.jsonl \
+		-require rpcc_delivery_latency_seconds,rpcc_delivery_hops,rpcc_queries_issued_total,rpcc_staleness_seconds,rpcc_tx_total
 
 # Full paper reproduction (5 simulated hours per run), journaled so an
 # interrupted sweep resumes with `make figures` again.

@@ -27,11 +27,13 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"github.com/manetlab/rpcc/internal/experiment"
 	"github.com/manetlab/rpcc/internal/fleet"
+	"github.com/manetlab/rpcc/internal/telemetry"
 )
 
 func main() {
@@ -43,18 +45,30 @@ func main() {
 
 func run() error {
 	var (
-		simTime  = flag.Duration("simtime", time.Hour, "simulated duration per run (paper: 5h)")
-		seed     = flag.Int64("seed", 1, "root random seed")
-		only     = flag.String("only", "", "run a single figure (fig7a..fig9b, relay-count)")
-		format   = flag.String("format", "table", "output format: table | csv")
-		replicas = flag.Int("replicas", 1, "independent seeds per point, averaged")
-		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = all cores); results are identical for any value")
-		journal  = flag.String("journal", "", "append-only JSONL run journal (one record per completed/failed run)")
-		resume   = flag.Bool("resume", false, "reuse successful runs already in -journal; retry failures")
-		timeout  = flag.Duration("timeout", 0, "per-run wall-clock timeout (0 = none)")
-		bench    = flag.String("bench", "", "write a machine-readable wall-time/throughput record (e.g. BENCH_fleet.json)")
+		simTime    = flag.Duration("simtime", time.Hour, "simulated duration per run (paper: 5h)")
+		seed       = flag.Int64("seed", 1, "root random seed")
+		only       = flag.String("only", "", "run a single figure (fig7a..fig9b, relay-count)")
+		format     = flag.String("format", "table", "output format: table | csv")
+		replicas   = flag.Int("replicas", 1, "independent seeds per point, averaged")
+		parallel   = flag.Int("parallel", 0, "concurrent simulations (0 = all cores); results are identical for any value")
+		journal    = flag.String("journal", "", "append-only JSONL run journal (one record per completed/failed run)")
+		resume     = flag.Bool("resume", false, "reuse successful runs already in -journal; retry failures")
+		timeout    = flag.Duration("timeout", 0, "per-run wall-clock timeout (0 = none)")
+		bench      = flag.String("bench", "", "write a machine-readable wall-time/throughput record (e.g. BENCH_fleet.json)")
+		metricsOut = flag.String("metrics-out", "", "write Prometheus text metrics merged across every run to this file")
+		telemDir   = flag.String("telemetry", "", "write one span-level JSONL file per executed run into this directory")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		addr, err := telemetry.ServePprof(*pprofAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "figures: pprof on http://%s/debug/pprof/\n", addr)
+		defer telemetry.StartRuntimeStats(os.Stderr, 10*time.Second)()
+	}
 	if *format != "table" && *format != "csv" {
 		return fmt.Errorf("unknown format %q", *format)
 	}
@@ -97,6 +111,30 @@ func run() error {
 		Timeout:  *timeout,
 		Progress: os.Stderr,
 	}
+	if *telemDir != "" {
+		if err := os.MkdirAll(*telemDir, 0o755); err != nil {
+			return err
+		}
+		// Span-level runs: each worker records its run's full span log
+		// and drops it next to the others, one file per scenario key.
+		opts.Execute = func(cfg experiment.Config) (experiment.Result, error) {
+			hub := telemetry.NewHub(telemetry.LevelSpans)
+			res, err := experiment.RunWithTelemetry(cfg, hub)
+			if err != nil {
+				return res, err
+			}
+			path := filepath.Join(*telemDir, sanitizeKey(cfg.Key())+".jsonl")
+			f, ferr := os.Create(path)
+			if ferr != nil {
+				return res, ferr
+			}
+			if werr := hub.WriteJSONL(f); werr != nil {
+				f.Close()
+				return res, werr
+			}
+			return res, f.Close()
+		}
+	}
 	if *journal != "" {
 		jl, err := fleet.OpenJournal(*journal, *resume)
 		if err != nil {
@@ -115,6 +153,11 @@ func run() error {
 
 	if *bench != "" {
 		if err := fleet.WriteBench(*bench, rep.Bench()); err != nil {
+			return err
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeMergedMetrics(*metricsOut, rep.Records); err != nil {
 			return err
 		}
 	}
@@ -146,6 +189,50 @@ func run() error {
 			rep.Failed, strings.Join(failedFigures, ", "))
 	}
 	return nil
+}
+
+// writeMergedMetrics folds the telemetry snapshots of every successful
+// run (freshly executed or resumed from the journal) into one Prometheus
+// text file — the sweep's aggregate protocol picture.
+func writeMergedMetrics(path string, records []fleet.Record) error {
+	var merged *telemetry.Snapshot
+	for _, rec := range records {
+		if rec.Status != fleet.StatusOK || rec.Result == nil || rec.Result.Telemetry == nil {
+			continue
+		}
+		if merged == nil {
+			merged = rec.Result.Telemetry
+			continue
+		}
+		if err := merged.Merge(rec.Result.Telemetry); err != nil {
+			return fmt.Errorf("merge telemetry for %s: %w", rec.Key, err)
+		}
+	}
+	if merged == nil {
+		return fmt.Errorf("no successful runs carried telemetry; nothing to write to %s", path)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WritePrometheus(f, merged); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// sanitizeKey maps a scenario key to a safe file stem.
+func sanitizeKey(key string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, key)
 }
 
 // renderCSV emits one figure as CSV: figure,x,strategy,y — the layout

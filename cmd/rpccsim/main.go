@@ -25,6 +25,7 @@ import (
 
 	"github.com/manetlab/rpcc/internal/experiment"
 	"github.com/manetlab/rpcc/internal/fleet"
+	"github.com/manetlab/rpcc/internal/telemetry"
 	"github.com/manetlab/rpcc/internal/workload"
 )
 
@@ -37,31 +38,43 @@ func main() {
 
 func run() error {
 	var (
-		strategy = flag.String("strategy", "rpcc-sc", "pull | push | rpcc-sc | rpcc-dc | rpcc-wc | rpcc-hy | adaptive-pull")
-		seed     = flag.Int64("seed", 1, "root random seed")
-		peers    = flag.Int("peers", 50, "number of mobile peers (N_Peers)")
-		area     = flag.Float64("area", 1500, "square terrain side in metres (T_Area)")
-		cacheNum = flag.Int("cachenum", 10, "cache entries per host (C_Num)")
-		rng      = flag.Float64("range", 250, "radio range in metres (C_Range)")
-		simTime  = flag.Duration("simtime", 5*time.Hour, "simulated duration (T_Sim)")
-		update   = flag.Duration("update", 2*time.Minute, "mean update interval (I_Update)")
-		query    = flag.Duration("query", 20*time.Second, "mean query interval (I_Query)")
-		brTTL    = flag.Int("brttl", 8, "broadcast TTL for push/pull and fallbacks (TTL_BR)")
-		invTTL   = flag.Int("invttl", 3, "RPCC invalidation TTL")
-		ttn      = flag.Duration("ttn", 2*time.Minute, "source broadcast interval (TTN_OP)")
-		ttr      = flag.Duration("ttr", 90*time.Second, "relay freshness window (TTR_RP)")
-		ttp      = flag.Duration("ttp", 4*time.Minute, "cache Δ window (TTP_CP)")
-		swi      = flag.Duration("switch", 5*time.Minute, "mean connected dwell (I_Switch)")
-		noChurn  = flag.Bool("nochurn", false, "disable disconnection/reconnection churn")
-		single   = flag.Bool("single", false, "Fig 9 scenario: one source, its item cached by all peers")
-		detail   = flag.Bool("detail", true, "print the per-kind traffic breakdown")
-		useDSR   = flag.Bool("dsr", false, "route unicasts with DSR-style discovery instead of the oracle")
-		loss     = flag.Float64("loss", 0, "per-reception link loss probability [0,1)")
-		adaptTTN = flag.Bool("adaptivettn", false, "enable RPCC's adaptive invalidation interval (§6)")
-		replicas = flag.Int("replicas", 1, "independent seeds (seed..seed+N-1), run concurrently and aggregated")
-		parallel = flag.Int("parallel", 0, "concurrent replica runs (0 = all cores)")
+		strategy   = flag.String("strategy", "rpcc-sc", "pull | push | rpcc-sc | rpcc-dc | rpcc-wc | rpcc-hy | adaptive-pull")
+		seed       = flag.Int64("seed", 1, "root random seed")
+		peers      = flag.Int("peers", 50, "number of mobile peers (N_Peers)")
+		area       = flag.Float64("area", 1500, "square terrain side in metres (T_Area)")
+		cacheNum   = flag.Int("cachenum", 10, "cache entries per host (C_Num)")
+		rng        = flag.Float64("range", 250, "radio range in metres (C_Range)")
+		simTime    = flag.Duration("simtime", 5*time.Hour, "simulated duration (T_Sim)")
+		update     = flag.Duration("update", 2*time.Minute, "mean update interval (I_Update)")
+		query      = flag.Duration("query", 20*time.Second, "mean query interval (I_Query)")
+		brTTL      = flag.Int("brttl", 8, "broadcast TTL for push/pull and fallbacks (TTL_BR)")
+		invTTL     = flag.Int("invttl", 3, "RPCC invalidation TTL")
+		ttn        = flag.Duration("ttn", 2*time.Minute, "source broadcast interval (TTN_OP)")
+		ttr        = flag.Duration("ttr", 90*time.Second, "relay freshness window (TTR_RP)")
+		ttp        = flag.Duration("ttp", 4*time.Minute, "cache Δ window (TTP_CP)")
+		swi        = flag.Duration("switch", 5*time.Minute, "mean connected dwell (I_Switch)")
+		noChurn    = flag.Bool("nochurn", false, "disable disconnection/reconnection churn")
+		single     = flag.Bool("single", false, "Fig 9 scenario: one source, its item cached by all peers")
+		detail     = flag.Bool("detail", true, "print the per-kind traffic breakdown")
+		useDSR     = flag.Bool("dsr", false, "route unicasts with DSR-style discovery instead of the oracle")
+		loss       = flag.Float64("loss", 0, "per-reception link loss probability [0,1)")
+		adaptTTN   = flag.Bool("adaptivettn", false, "enable RPCC's adaptive invalidation interval (§6)")
+		replicas   = flag.Int("replicas", 1, "independent seeds (seed..seed+N-1), run concurrently and aggregated")
+		parallel   = flag.Int("parallel", 0, "concurrent replica runs (0 = all cores)")
+		metricsOut = flag.String("metrics-out", "", "write Prometheus text metrics to this file (merged across replicas)")
+		telemOut   = flag.String("telemetry", "", "write span-level telemetry JSONL to this file (requires -replicas 1)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		addr, err := telemetry.ServePprof(*pprofAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "rpccsim: pprof on http://%s/debug/pprof/\n", addr)
+		defer telemetry.StartRuntimeStats(os.Stderr, 10*time.Second)()
+	}
 
 	cfg := experiment.DefaultConfig(experiment.StrategyKind(*strategy), *seed)
 	cfg.NPeers = *peers
@@ -84,11 +97,20 @@ func run() error {
 	cfg.AdaptiveTTN = *adaptTTN
 
 	if *replicas > 1 {
-		return runReplicated(cfg, *replicas, *parallel)
+		if *telemOut != "" {
+			return fmt.Errorf("-telemetry records one run's span log; use -replicas 1")
+		}
+		return runReplicated(cfg, *replicas, *parallel, *metricsOut)
 	}
 
+	level := telemetry.LevelMetrics
+	if *telemOut != "" {
+		level = telemetry.LevelSpans
+	}
+	hub := telemetry.NewHub(level)
+
 	start := time.Now()
-	res, err := experiment.Run(cfg)
+	res, err := experiment.RunWithTelemetry(cfg, hub)
 	if err != nil {
 		return err
 	}
@@ -98,12 +120,45 @@ func run() error {
 	} else {
 		fmt.Println(res)
 	}
+	if *metricsOut != "" {
+		if err := writeMetricsFile(*metricsOut, res.Telemetry); err != nil {
+			return err
+		}
+	}
+	if *telemOut != "" {
+		f, err := os.Create(*telemOut)
+		if err != nil {
+			return err
+		}
+		if err := hub.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
+// writeMetricsFile renders a snapshot in Prometheus text format at path.
+func writeMetricsFile(path string, s *telemetry.Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WritePrometheus(f, s); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // runReplicated runs the scenario once per seed on the fleet and prints
-// per-seed one-liners plus the across-seed aggregate with spread.
-func runReplicated(base experiment.Config, replicas, parallel int) error {
+// per-seed one-liners plus the across-seed aggregate with spread. When
+// metricsOut is set the per-run telemetry snapshots are merged and
+// written in Prometheus text format.
+func runReplicated(base experiment.Config, replicas, parallel int, metricsOut string) error {
 	jobs := make([]fleet.Job, replicas)
 	for i := range jobs {
 		cfg := base
@@ -119,6 +174,7 @@ func runReplicated(base experiment.Config, replicas, parallel int) error {
 	}
 
 	results := make([]experiment.Result, 0, replicas)
+	var merged *telemetry.Snapshot
 	for _, rec := range rep.Records {
 		if rec.Status != fleet.StatusOK {
 			fmt.Fprintf(os.Stderr, "rpccsim: seed %d %s: %s\n", rec.Seed, rec.Status, rec.Error)
@@ -127,9 +183,21 @@ func runReplicated(base experiment.Config, replicas, parallel int) error {
 		res, _ := rep.Result(rec.Key)
 		fmt.Printf("seed %-3d %v\n", rec.Seed, res)
 		results = append(results, res)
+		if metricsOut != "" && res.Telemetry != nil {
+			if merged == nil {
+				merged = res.Telemetry
+			} else if err := merged.Merge(res.Telemetry); err != nil {
+				return fmt.Errorf("merge telemetry for seed %d: %w", rec.Seed, err)
+			}
+		}
 	}
 	if len(results) == 0 {
 		return fmt.Errorf("all %d replicas failed", replicas)
+	}
+	if metricsOut != "" {
+		if err := writeMetricsFile(metricsOut, merged); err != nil {
+			return err
+		}
 	}
 
 	s := experiment.Aggregate(results)

@@ -167,6 +167,13 @@ func run() error {
 	fmt.Printf("roles: %d cache / %d candidate / %d relay\n", cacheN, candN, relayN)
 	fmt.Printf("traffic: %s\n", network.Traffic())
 	fmt.Printf("audit: %s\n", aud)
-	fmt.Printf("recorded: %d deliveries (%d retained in the ring)\n", rec.Total(), rec.Len())
+	sum := rec.Summary()
+	fmt.Printf("recorded: %d deliveries (%d retained in the ring, %d overwritten, %d filtered out)\n",
+		sum.Total, sum.Retained, sum.Overwritten, sum.Filtered)
+	for kind, n := range sum.PerKind {
+		if n > 0 {
+			fmt.Printf("  %-12s %d\n", protocol.Kind(kind), n)
+		}
+	}
 	return nil
 }

@@ -154,24 +154,35 @@ func (a *Auditor) Staleness(ans Answer) (time.Duration, error) {
 // Check audits one answer and records the outcome. It returns the
 // violation class (ViolationNone when the answer satisfied its level).
 func (a *Auditor) Check(ans Answer) (Violation, error) {
+	v, _, err := a.CheckStale(ans)
+	return v, err
+}
+
+// CheckStale audits one answer like Check and also returns the served
+// copy's staleness at delivery — the quantity the telemetry layer exports
+// per consistency level. Staleness is zero for torn/future answers (the
+// notion does not apply to values that were never committed).
+func (a *Auditor) CheckStale(ans Answer) (Violation, time.Duration, error) {
 	if !ans.Level.Valid() {
-		return ViolationNone, fmt.Errorf("consistency: invalid level %v", ans.Level)
+		return ViolationNone, 0, fmt.Errorf("consistency: invalid level %v", ans.Level)
 	}
 	m, err := a.registry.Master(ans.Item)
 	if err != nil {
-		return ViolationNone, err
+		return ViolationNone, 0, err
 	}
 
 	v := ViolationNone
+	var stale time.Duration
 	switch {
 	case !ans.Served.Consistent() || ans.Served.ID != ans.Item:
 		v = ViolationTorn
 	case ans.Served.Version > m.VersionAt(ans.AnsweredAt):
 		v = ViolationFuture
 	default:
-		stale, serr := a.Staleness(ans)
+		var serr error
+		stale, serr = a.Staleness(ans)
 		if serr != nil {
-			return ViolationNone, serr
+			return ViolationNone, 0, serr
 		}
 		a.mu.Lock()
 		a.staleness = append(a.staleness, stale)
@@ -197,7 +208,7 @@ func (a *Auditor) Check(ans Answer) (Violation, error) {
 			a.worst = append(a.worst, ans)
 		}
 	}
-	return v, nil
+	return v, stale, nil
 }
 
 // Answers returns the number of audited answers.

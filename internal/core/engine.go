@@ -12,6 +12,7 @@ import (
 	"github.com/manetlab/rpcc/internal/protocol"
 	"github.com/manetlab/rpcc/internal/radio"
 	"github.com/manetlab/rpcc/internal/sim"
+	"github.com/manetlab/rpcc/internal/telemetry"
 )
 
 // Telemetry supplies the per-node environmental signals the coefficient
@@ -193,24 +194,29 @@ func (e *Engine) OnQuery(k *sim.Kernel, host int, item data.ItemID, level consis
 			e.ch.Fail(q, "unknown-item")
 			return
 		}
+		q.Route = "owner"
 		e.ch.Answer(k, q, m.Current())
 		return
 	}
 	cp, ok := e.ch.Stores[host].Get(item)
 	if !ok {
+		q.Route = "fetch"
 		e.fetchMiss(k, q)
 		return
 	}
 	st := e.itemState(host, item)
 	switch {
 	case level == consistency.LevelWeak:
+		q.Route = "local"
 		e.ch.Answer(k, q, cp)
 	case st.role == RoleRelay && e.ttrValid(k, st):
 		// A relay with a live TTR is the validation authority other
 		// peers poll; its own copy is exactly as fresh as the answer a
 		// poll would return, so it answers locally at any level.
+		q.Route = "relay-local"
 		e.ch.Answer(k, q, cp)
 	case level == consistency.LevelDelta && e.ttpValid(k, st):
+		q.Route = "local"
 		e.ch.Answer(k, q, cp)
 	default:
 		e.startPoll(k, q, cp.Version)
@@ -332,12 +338,18 @@ func (e *Engine) pollStage(k *sim.Kernel, r *pollRound, have data.Version) {
 	switch r.stage {
 	case 0:
 		e.pollDirect++
+		e.ch.Hub.PollStage(telemetry.PollDirect)
+		r.q.Route = "poll-direct"
 		err = e.ch.Net.Unicast(r.host, st.knownRelay, msg)
 	case 1:
 		e.pollRing++
+		e.ch.Hub.PollStage(telemetry.PollRing)
+		r.q.Route = "poll-ring"
 		err = e.ch.Net.Flood(r.host, e.cfg.PollTTL, msg)
 	default:
 		e.pollFallback++
+		e.ch.Hub.PollStage(telemetry.PollFallback)
+		r.q.Route = "poll-fallback"
 		err = e.ch.Net.Flood(r.host, e.cfg.PollFallbackTTL, msg)
 	}
 	if err != nil {
@@ -353,6 +365,7 @@ func (e *Engine) pollStage(k *sim.Kernel, r *pollRound, have data.Version) {
 			// forget it before falling back to discovery.
 			st.knownRelay = -1
 			e.relayForgets++
+			e.ch.Hub.RelayForget()
 		}
 		e.pollStage(kk, r, have)
 	})
@@ -398,6 +411,7 @@ func (e *Engine) ttnTick(k *sim.Kernel, nd int) {
 		for _, relay := range sortedRelays(ps.relays) {
 			if g.Hops(nd, relay) == radio.Unreachable {
 				delete(ps.relays, relay)
+				e.ch.Hub.RelayMembership(telemetry.MembershipPrune)
 				continue
 			}
 			upd := protocol.Message{
@@ -443,6 +457,7 @@ func (e *Engine) coeffTick(k *sim.Kernel, nd int) {
 	}
 	tr := e.trackers[nd]
 	tr.Observe(sample)
+	e.ch.Hub.Coeff(tr.CAR(), tr.CS(), tr.CE())
 	eligible := tr.Eligible(e.cfg.MuCAR, e.cfg.MuCS, e.cfg.MuCE)
 
 	for _, item := range sortedItems(e.peers[nd].items) {
@@ -456,12 +471,14 @@ func (e *Engine) coeffTick(k *sim.Kernel, nd int) {
 			st.failingRuns = 0
 			st.pending = nil
 			e.sendCancel(k, nd, item)
+			e.roleChanged(k, nd, item, RoleRelay, RoleCache, "inv-drift")
 			continue
 		}
 		if eligible {
 			st.failingRuns = 0
 			if st.role == RoleCache {
 				st.role = RoleCandidate
+				e.roleChanged(k, nd, item, RoleCache, RoleCandidate, "eligible")
 			}
 			continue
 		}
@@ -479,12 +496,24 @@ func (e *Engine) coeffTick(k *sim.Kernel, nd int) {
 		case RoleCandidate:
 			st.role = RoleCache
 			st.applyPending = false
+			e.roleChanged(k, nd, item, RoleCandidate, RoleCache, "demoted")
 		case RoleRelay:
 			st.role = RoleCache
 			st.pending = nil
 			e.sendCancel(k, nd, item)
+			e.roleChanged(k, nd, item, RoleRelay, RoleCache, "demoted")
 		}
 	}
+}
+
+// roleChanged reports a Fig 5 role transition to the telemetry hub,
+// attaching the node's current election-coefficient inputs (Eq 4.2).
+func (e *Engine) roleChanged(k *sim.Kernel, nd int, item data.ItemID, from, to Role, reason string) {
+	if e.ch.Hub == nil {
+		return
+	}
+	tr := e.trackers[nd]
+	e.ch.Hub.RoleTransition(k.Now(), nd, int(item), from.String(), to.String(), reason, tr.CAR(), tr.CS(), tr.CE())
 }
 
 func (e *Engine) sendCancel(k *sim.Kernel, nd int, item data.ItemID) {

@@ -5,6 +5,7 @@ import (
 	"github.com/manetlab/rpcc/internal/netsim"
 	"github.com/manetlab/rpcc/internal/protocol"
 	"github.com/manetlab/rpcc/internal/sim"
+	"github.com/manetlab/rpcc/internal/telemetry"
 )
 
 // dispatch routes a delivered message to the appropriate side of the
@@ -132,6 +133,7 @@ func (e *Engine) onUpdate(k *sim.Kernel, nd int, msg protocol.Message) {
 		st.applyPending = false
 		st.lastRefreshed = k.Now()
 		st.refreshedOnce = true
+		e.roleChanged(k, nd, msg.Item, RoleCandidate, RoleRelay, "update-push")
 		e.flushPendingPolls(k, nd, msg.Item, st)
 	default:
 		// Plain cache node receiving UPDATE: the owner missed our CANCEL.
@@ -157,6 +159,9 @@ func (e *Engine) onGetNew(k *sim.Kernel, nd int, msg protocol.Message) {
 	// A GET_NEW proves the sender still acts as a relay peer; if a
 	// transient partition got it pruned from the table (§4.5 MAC-layer
 	// discovery), re-register it so it receives future UPDATE pushes.
+	if _, known := e.peers[nd].relays[msg.Origin]; !known {
+		e.ch.Hub.RelayMembership(telemetry.MembershipReRegister)
+	}
 	e.peers[nd].relays[msg.Origin] = struct{}{}
 	m, err := e.ch.Reg.Master(msg.Item)
 	if err != nil {
@@ -194,6 +199,9 @@ func (e *Engine) onApply(k *sim.Kernel, nd int, msg protocol.Message) {
 	if e.ch.Reg.Owner(msg.Item) != nd {
 		return
 	}
+	if _, known := e.peers[nd].relays[msg.Origin]; !known {
+		e.ch.Hub.RelayMembership(telemetry.MembershipApply)
+	}
 	e.peers[nd].relays[msg.Origin] = struct{}{}
 	ack := protocol.Message{
 		Kind:   protocol.KindApplyAck,
@@ -213,6 +221,8 @@ func (e *Engine) onApplyAck(k *sim.Kernel, nd int, msg protocol.Message) {
 	}
 	st.role = RoleRelay
 	st.applyPending = false
+	e.ch.Hub.RelayMembership(telemetry.MembershipApplyAck)
+	e.roleChanged(k, nd, msg.Item, RoleCandidate, RoleRelay, "apply-ack")
 	cp, have := e.ch.Stores[nd].Peek(msg.Item)
 	if have && st.invHeard && cp.Version == st.invVersion && k.Now()-st.invAt < e.cfg.TTR {
 		st.lastRefreshed = st.invAt
@@ -228,6 +238,9 @@ func (e *Engine) onApplyAck(k *sim.Kernel, nd int, msg protocol.Message) {
 func (e *Engine) onCancel(nd int, msg protocol.Message) {
 	if e.ch.Reg.Owner(msg.Item) != nd {
 		return
+	}
+	if _, known := e.peers[nd].relays[msg.Origin]; known {
+		e.ch.Hub.RelayMembership(telemetry.MembershipCancel)
 	}
 	delete(e.peers[nd].relays, msg.Origin)
 }

@@ -17,6 +17,7 @@ import (
 	"github.com/manetlab/rpcc/internal/node"
 	"github.com/manetlab/rpcc/internal/sim"
 	"github.com/manetlab/rpcc/internal/stats"
+	"github.com/manetlab/rpcc/internal/telemetry"
 	"github.com/manetlab/rpcc/internal/workload"
 )
 
@@ -76,10 +77,27 @@ type Result struct {
 	// equal windows across the run — warm-up versus steady state at a
 	// glance.
 	TrafficTimeline []uint64
+
+	// Telemetry is the run's metrics snapshot (nil when the run executed
+	// with telemetry off). Snapshots from replica runs merge with
+	// (*telemetry.Snapshot).Merge.
+	Telemetry *telemetry.Snapshot `json:"Telemetry,omitempty"`
 }
 
-// Run executes one scenario to completion and returns its metrics.
+// Run executes one scenario to completion and returns its metrics. It
+// records aggregate telemetry (LevelMetrics) internally; use
+// RunWithTelemetry to control the level or to keep the hub for span/JSONL
+// export.
 func Run(cfg Config) (Result, error) {
+	return RunWithTelemetry(cfg, telemetry.NewHub(telemetry.LevelMetrics))
+}
+
+// RunWithTelemetry executes one scenario with the caller's telemetry hub
+// installed across the stack (netsim tracer, chassis, strategy counters).
+// A nil hub disables telemetry entirely. The hub is finalized (traffic and
+// sim-clock folded in) before the function returns, so the caller may
+// export it immediately.
+func RunWithTelemetry(cfg Config, hub *telemetry.Hub) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -161,6 +179,10 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	chassis.Hub = hub
+	if tr := hub.Tracer(); tr != nil {
+		network.SetTracer(tr)
+	}
 
 	strat, levelFor, err := buildStrategy(cfg, k, chassis, churnProc, field, batteries)
 	if err != nil {
@@ -213,7 +235,11 @@ func Run(cfg Config) (Result, error) {
 
 	k.Run()
 
+	hub.AttachTraffic(traffic)
+	hub.Finish(k.Now())
+
 	res := collect(cfg, strat, traffic, lat, chassis, stores)
+	res.Telemetry = hub.Snapshot()
 	res.TrafficTimeline = timeline
 	res.MinBatteryCE = 1
 	capacity := energy.DefaultConfig().Capacity

@@ -24,6 +24,15 @@ type Bench struct {
 	RunsPerSec       float64 `json:"runs_per_sec"`
 	SimHours         float64 `json:"sim_hours"`
 	SimHoursPerWallH float64 `json:"sim_hours_per_wall_hour"`
+	// ExecSeconds / JournalSeconds split where worker time went;
+	// Utilization = ExecSeconds / (Workers × WallSeconds), so values well
+	// below 1.0 point at dispatch overhead or journal contention rather
+	// than slow simulations. MaxRSSKB is the process peak RSS after the
+	// sweep (0 where getrusage is unavailable).
+	ExecSeconds    float64 `json:"exec_seconds"`
+	JournalSeconds float64 `json:"journal_seconds"`
+	Utilization    float64 `json:"utilization"`
+	MaxRSSKB       int64   `json:"max_rss_kb"`
 }
 
 // Bench summarises the report for export.
@@ -39,6 +48,12 @@ func (r Report) Bench() Bench {
 		WallSeconds: r.Wall.Seconds(),
 		RunsPerSec:  r.RunsPerSec(),
 	}
+	b.ExecSeconds = r.ExecBusy.Seconds()
+	b.JournalSeconds = r.JournalTime.Seconds()
+	if denom := float64(r.Workers) * r.Wall.Seconds(); denom > 0 {
+		b.Utilization = b.ExecSeconds / denom
+	}
+	b.MaxRSSKB = peakRSSKB()
 	var sim time.Duration
 	for _, rec := range r.Records {
 		if rec.Status == StatusOK && rec.Result != nil {

@@ -52,6 +52,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/manetlab/rpcc/internal/experiment"
@@ -82,11 +83,16 @@ const (
 // report. Failed records carry the error (and the panic stack when the
 // simulation panicked) instead of a Result.
 type Record struct {
-	Key      string             `json:"key"`
-	Status   Status             `json:"status"`
-	Strategy string             `json:"strategy"`
-	Seed     int64              `json:"seed"`
-	WallMS   int64              `json:"wall_ms"`
+	Key      string `json:"key"`
+	Status   Status `json:"status"`
+	Strategy string `json:"strategy"`
+	Seed     int64  `json:"seed"`
+	WallMS   int64  `json:"wall_ms"`
+	// MaxRSSKB is the process-wide peak resident set size (KiB) observed
+	// when the record was written — a high-water mark for budgeting sweep
+	// memory, not this run's private footprint. 0 where getrusage is
+	// unavailable.
+	MaxRSSKB int64              `json:"max_rss_kb,omitempty"`
 	Error    string             `json:"error,omitempty"`
 	Stack    string             `json:"stack,omitempty"`
 	Result   *experiment.Result `json:"result,omitempty"`
@@ -129,6 +135,12 @@ type Report struct {
 	// jobs satisfied from the journal; Failed counts failed records
 	// (including timeouts); Cancelled counts jobs the context cut off.
 	Executed, Resumed, Failed, Cancelled int
+	// ExecBusy is the summed per-worker time spent inside simulations and
+	// JournalTime the summed time spent appending records — together they
+	// locate the orchestration overhead: Workers×Wall − ExecBusy −
+	// JournalTime is idle/dispatch time.
+	ExecBusy    time.Duration
+	JournalTime time.Duration
 
 	results map[string]experiment.Result
 }
@@ -206,6 +218,7 @@ func Run(ctx context.Context, jobs []Job, opts Options) (Report, error) {
 
 	idxCh := make(chan int)
 	var wg sync.WaitGroup
+	var busyNS, journalNS atomic.Int64
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -218,7 +231,9 @@ func Run(ctx context.Context, jobs []Job, opts Options) (Report, error) {
 						Strategy: string(j.Config.Strategy), Seed: j.Config.Seed,
 						Error: ctx.Err().Error()}
 				} else {
+					t0 := time.Now()
 					rec = runOne(ctx, j, execute, opts.Timeout)
+					busyNS.Add(int64(time.Since(t0)))
 				}
 				rep.Records[i] = rec
 				switch rec.Status {
@@ -231,7 +246,10 @@ func Run(ctx context.Context, jobs []Job, opts Options) (Report, error) {
 					prog.done(true)
 				}
 				if opts.Journal != nil && rec.Status != StatusCancelled {
-					if err := opts.Journal.Append(rec); err != nil {
+					t0 := time.Now()
+					err := opts.Journal.Append(rec)
+					journalNS.Add(int64(time.Since(t0)))
+					if err != nil {
 						// Journal trouble must not kill the sweep; surface it
 						// on the progress writer if there is one.
 						if opts.Progress != nil {
@@ -264,6 +282,8 @@ dispatch:
 	wg.Wait()
 
 	rep.Wall = time.Since(start)
+	rep.ExecBusy = time.Duration(busyNS.Load())
+	rep.JournalTime = time.Duration(journalNS.Load())
 	terminal := 0
 	for _, rec := range rep.Records {
 		switch rec.Status {
@@ -318,6 +338,7 @@ func runOne(ctx context.Context, j Job, execute func(experiment.Config) (experim
 	select {
 	case o := <-done:
 		rec.WallMS = time.Since(start).Milliseconds()
+		rec.MaxRSSKB = peakRSSKB()
 		if o.err != nil {
 			rec.Status = StatusFailed
 			rec.Error = o.err.Error()
@@ -330,6 +351,7 @@ func runOne(ctx context.Context, j Job, execute func(experiment.Config) (experim
 		return rec
 	case <-timer:
 		rec.WallMS = time.Since(start).Milliseconds()
+		rec.MaxRSSKB = peakRSSKB()
 		rec.Status = StatusFailed
 		rec.Error = fmt.Sprintf("timeout after %v", timeout)
 		return rec

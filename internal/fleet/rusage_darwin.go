@@ -1,0 +1,5 @@
+//go:build darwin
+
+package fleet
+
+const darwinMaxrssBytes = true

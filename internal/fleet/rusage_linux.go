@@ -1,0 +1,5 @@
+//go:build linux
+
+package fleet
+
+const darwinMaxrssBytes = false

@@ -1,0 +1,6 @@
+//go:build !linux && !darwin
+
+package fleet
+
+// peakRSSKB is unavailable on this platform; records carry 0.
+func peakRSSKB() int64 { return 0 }

@@ -1,0 +1,23 @@
+//go:build linux || darwin
+
+package fleet
+
+import "syscall"
+
+// peakRSSKB returns the process's peak resident set size in KiB, as
+// reported by getrusage(2). On Linux ru_maxrss is already KiB; on Darwin
+// it is bytes, so it is scaled. The value is process-wide — with several
+// workers it reflects the high-water mark up to the moment of the call,
+// not one run's private footprint — which is exactly what a sweep needs
+// to budget machine memory.
+func peakRSSKB() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	kb := int64(ru.Maxrss)
+	if darwinMaxrssBytes {
+		kb /= 1024
+	}
+	return kb
+}

@@ -42,10 +42,18 @@ type dsrRoute struct {
 	at   time.Duration
 }
 
+// pendingMsg is one message queued behind route discovery, remembering
+// when it originally entered the network so delivery latency accounts
+// the discovery wait too.
+type pendingMsg struct {
+	msg    protocol.Message
+	sentAt time.Duration
+}
+
 // dsrNode is one node's DSR state.
 type dsrNode struct {
 	routes  map[int]dsrRoute
-	pending map[int][]protocol.Message
+	pending map[int][]pendingMsg
 	// discovering marks destinations with an RREQ in flight so repeated
 	// sends do not flood repeatedly.
 	discovering map[int]bool
@@ -54,7 +62,7 @@ type dsrNode struct {
 func newDSRNode() *dsrNode {
 	return &dsrNode{
 		routes:      make(map[int]dsrRoute),
-		pending:     make(map[int][]protocol.Message),
+		pending:     make(map[int][]pendingMsg),
 		discovering: make(map[int]bool),
 	}
 }
@@ -75,7 +83,7 @@ func (n *Network) dsrUnicast(from, to int, msg protocol.Message) {
 	if r, ok := st.routes[to]; ok {
 		if n.k.Now()-r.at <= dsrRouteLifetime {
 			msg.Path = r.path
-			n.dsrForward(msg, 0)
+			n.dsrForward(msg, 0, n.k.Now())
 			return
 		}
 		delete(st.routes, to)
@@ -84,7 +92,7 @@ func (n *Network) dsrUnicast(from, to int, msg protocol.Message) {
 		n.traffic.RecordDropped(msg.Kind)
 		return
 	}
-	st.pending[to] = append(st.pending[to], msg)
+	st.pending[to] = append(st.pending[to], pendingMsg{msg: msg, sentAt: n.k.Now()})
 	if st.discovering[to] {
 		return
 	}
@@ -94,7 +102,7 @@ func (n *Network) dsrUnicast(from, to int, msg protocol.Message) {
 		st.discovering[to] = false
 		// Anything still queued found no route in time.
 		for _, m := range st.pending[to] {
-			n.traffic.RecordDropped(m.Kind)
+			n.traffic.RecordDropped(m.msg.Kind)
 		}
 		delete(st.pending, to)
 	})
@@ -168,7 +176,7 @@ func (n *Network) dsrReply(found []int) {
 		Path:   reversePath(found),
 	}
 	n.traffic.RecordOriginated(protocol.KindRREP)
-	n.dsrForward(rep, 0)
+	n.dsrForward(rep, 0, n.k.Now())
 }
 
 // dsrLearn caches a route at its first node.
@@ -195,8 +203,8 @@ func (n *Network) dsrHandleRREP(node int, msg protocol.Message) {
 	queued := st.pending[dst]
 	delete(st.pending, dst)
 	for _, m := range queued {
-		m.Path = route
-		n.dsrForward(m, 0)
+		m.msg.Path = route
+		n.dsrForward(m.msg, 0, m.sentAt)
 	}
 }
 
@@ -204,7 +212,7 @@ func (n *Network) dsrHandleRREP(node int, msg protocol.Message) {
 // msg.Path[idx+1], checking the link against the current topology. A
 // broken link drops the message and, for data messages, reports a RERR to
 // the route's origin so it purges the stale route.
-func (n *Network) dsrForward(msg protocol.Message, idx int) {
+func (n *Network) dsrForward(msg protocol.Message, idx int, sentAt time.Duration) {
 	path := msg.Path
 	if idx+1 >= len(path) {
 		return
@@ -238,12 +246,12 @@ func (n *Network) dsrForward(msg protocol.Message, idx int) {
 			case protocol.KindRERR:
 				n.dsrHandleRERR(next, msg)
 			default:
-				meta := Meta{Hops: len(path) - 1, At: n.k.Now()}
+				meta := Meta{Hops: len(path) - 1, At: n.k.Now(), SentAt: sentAt}
 				n.deliver(next, msg, meta)
 			}
 			return
 		}
-		n.dsrForward(msg, idx+1)
+		n.dsrForward(msg, idx+1, sentAt)
 	})
 }
 
@@ -276,7 +284,7 @@ func (n *Network) dsrRouteError(msg protocol.Message, at, idx int) {
 		Path: back,
 	}
 	n.traffic.RecordOriginated(protocol.KindRERR)
-	n.dsrForward(rerr, 0)
+	n.dsrForward(rerr, 0, n.k.Now())
 }
 
 // dsrHandleRERR purges the failed route at the origin.

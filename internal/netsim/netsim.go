@@ -44,6 +44,11 @@ type Meta struct {
 	Hops int
 	// At is the virtual delivery time.
 	At time.Duration
+	// SentAt is the virtual time the message entered the network at its
+	// origin, so tracers can account end-to-end delivery latency
+	// (At - SentAt) per message. For DSR-routed unicasts it is the
+	// original send time, including any route-discovery wait.
+	SentAt time.Duration
 	// Flood reports whether the message arrived via flooding.
 	Flood bool
 	// FloodID identifies which flood delivered the message (1, 2, … in
@@ -394,7 +399,8 @@ func (n *Network) Unicast(from, to int, msg protocol.Message) error {
 	n.traffic.RecordOriginated(msg.Kind)
 	if from == to {
 		// Local delivery is free: no radio transmission happens.
-		n.deliver(to, msg, Meta{Hops: 0, At: n.k.Now()})
+		now := n.k.Now()
+		n.deliver(to, msg, Meta{Hops: 0, At: now, SentAt: now})
 		return nil
 	}
 	if !n.Up(from) {
@@ -405,12 +411,12 @@ func (n *Network) Unicast(from, to int, msg protocol.Message) error {
 		n.dsrUnicast(from, to, msg)
 		return nil
 	}
-	n.forward(from, to, msg, 0)
+	n.forward(from, to, msg, 0, n.k.Now())
 	return nil
 }
 
 // forward transmits one hop and schedules the next.
-func (n *Network) forward(cur, dst int, msg protocol.Message, hops int) {
+func (n *Network) forward(cur, dst int, msg protocol.Message, hops int, sentAt time.Duration) {
 	if hops >= n.cfg.MaxRouteHops {
 		n.traffic.RecordDropped(msg.Kind)
 		return
@@ -432,10 +438,10 @@ func (n *Network) forward(cur, dst int, msg protocol.Message, hops int) {
 		}
 		n.spendRx(next)
 		if next == dst {
-			n.deliver(dst, msg, Meta{Hops: hops + 1, At: n.k.Now()})
+			n.deliver(dst, msg, Meta{Hops: hops + 1, At: n.k.Now(), SentAt: sentAt})
 			return
 		}
-		n.forward(next, dst, msg, hops+1)
+		n.forward(next, dst, msg, hops+1, sentAt)
 	})
 }
 
@@ -447,6 +453,9 @@ type floodState struct {
 	visited []bool
 	id      uint64
 	pending int
+	// sentAt is the flood's origination time, carried to every delivery's
+	// Meta.SentAt.
+	sentAt time.Duration
 }
 
 // acquireFlood pops a cleared flood state from the pool (or allocates).
@@ -491,6 +500,7 @@ func (n *Network) Flood(origin, ttl int, msg protocol.Message) error {
 	n.nextFlood++
 	st := n.acquireFlood()
 	st.id = n.nextFlood
+	st.sentAt = n.k.Now()
 	st.visited[origin] = true
 	n.transmitFlood(origin, ttl, msg, st, 0)
 	if st.pending == 0 {
@@ -521,7 +531,7 @@ func (n *Network) transmitFlood(node, ttlLeft int, msg protocol.Message, st *flo
 				n.traffic.RecordDropped(msg.Kind)
 			} else {
 				n.spendRx(v)
-				n.deliver(v, msg, Meta{Hops: hops + 1, At: n.k.Now(), Flood: true, FloodID: st.id})
+				n.deliver(v, msg, Meta{Hops: hops + 1, At: n.k.Now(), SentAt: st.sentAt, Flood: true, FloodID: st.id})
 				if ttlLeft > 1 {
 					n.transmitFlood(v, ttlLeft-1, msg, st, hops+1)
 				}

@@ -18,6 +18,7 @@ import (
 	"github.com/manetlab/rpcc/internal/protocol"
 	"github.com/manetlab/rpcc/internal/sim"
 	"github.com/manetlab/rpcc/internal/stats"
+	"github.com/manetlab/rpcc/internal/telemetry"
 )
 
 // Query is one in-flight query request.
@@ -27,6 +28,10 @@ type Query struct {
 	Item     data.ItemID
 	Level    consistency.Level
 	IssuedAt time.Duration
+	// Route records how the strategy resolved the query ("local",
+	// "relay", "poll", "fetch", ...) — purely observational, surfaced in
+	// telemetry query spans.
+	Route    string
 	resolved bool
 }
 
@@ -96,6 +101,9 @@ type Chassis struct {
 	Stores  []*cache.Store
 	Latency *stats.Latency
 	Auditor *consistency.Auditor
+	// Hub is the run's telemetry (optional; a nil hub records nothing).
+	// Set it before the simulation starts.
+	Hub *telemetry.Hub
 
 	seq     uint64
 	fetches map[uint64]*fetch
@@ -143,6 +151,7 @@ func (c *Chassis) NextSeq() uint64 {
 // Begin registers a new query issued by host for item at the current time.
 func (c *Chassis) Begin(k *sim.Kernel, host int, item data.ItemID, level consistency.Level) *Query {
 	c.issued++
+	c.Hub.QueryIssued(level)
 	return &Query{
 		Seq:      c.NextSeq(),
 		Host:     host,
@@ -162,7 +171,7 @@ func (c *Chassis) Answer(k *sim.Kernel, q *Query, served data.Copy) {
 	q.resolved = true
 	c.answered++
 	c.Latency.Record(k.Now() - q.IssuedAt)
-	v, err := c.Auditor.Check(consistency.Answer{
+	v, stale, err := c.Auditor.CheckStale(consistency.Answer{
 		Host:       q.Host,
 		Item:       q.Item,
 		Level:      q.Level,
@@ -179,6 +188,22 @@ func (c *Chassis) Answer(k *sim.Kernel, q *Query, served data.Copy) {
 	if v != consistency.ViolationNone {
 		c.violations++
 	}
+	c.Hub.QueryAnswered(q.Level, k.Now()-q.IssuedAt, stale, v.String())
+	if c.Hub.Level() >= telemetry.LevelSpans {
+		c.Hub.QuerySpanRecord(telemetry.QuerySpan{
+			Seq:        q.Seq,
+			Host:       q.Host,
+			Item:       int(q.Item),
+			Level:      q.Level.String(),
+			Route:      q.Route,
+			Outcome:    "answered",
+			Served:     uint64(served.Version),
+			StaleNs:    stale.Nanoseconds(),
+			Violation:  v.String(),
+			IssuedNs:   q.IssuedAt.Nanoseconds(),
+			ResolvedNs: k.Now().Nanoseconds(),
+		})
+	}
 }
 
 // Fail resolves q unanswered, recording the reason. Queries that a
@@ -191,6 +216,21 @@ func (c *Chassis) Fail(q *Query, reason string) {
 	q.resolved = true
 	c.failed++
 	c.failReasons[reason]++
+	c.Hub.QueryFailed(q.Level, reason)
+	if c.Hub.Level() >= telemetry.LevelSpans {
+		now := c.Net.Kernel().Now()
+		c.Hub.QuerySpanRecord(telemetry.QuerySpan{
+			Seq:        q.Seq,
+			Host:       q.Host,
+			Item:       int(q.Item),
+			Level:      q.Level.String(),
+			Route:      q.Route,
+			Outcome:    "failed",
+			Reason:     reason,
+			IssuedNs:   q.IssuedAt.Nanoseconds(),
+			ResolvedNs: now.Nanoseconds(),
+		})
+	}
 }
 
 // Issued returns the number of queries begun.

@@ -10,6 +10,7 @@ import (
 	"github.com/manetlab/rpcc/internal/node"
 	"github.com/manetlab/rpcc/internal/protocol"
 	"github.com/manetlab/rpcc/internal/sim"
+	"github.com/manetlab/rpcc/internal/telemetry"
 )
 
 // AdaptiveConfig parameterises the push-with-adaptive-pull engine, after
@@ -67,6 +68,8 @@ type Adaptive struct {
 	items   []map[data.ItemID]*adaptiveItem
 	rounds  map[uint64]*node.Query
 	started bool
+	hits    *telemetry.Counter
+	polls   *telemetry.Counter
 }
 
 // NewAdaptive builds the engine on the shared chassis.
@@ -101,6 +104,8 @@ func (a *Adaptive) Start(k *sim.Kernel) error {
 		return fmt.Errorf("pushpull: adaptive already started")
 	}
 	a.started = true
+	a.hits = strategyEvent(a.ch.Hub, "adaptive-pull", "window-hit")
+	a.polls = strategyEvent(a.ch.Hub, "adaptive-pull", "poll-unicast")
 	for nd := 0; nd < a.ch.Net.Len(); nd++ {
 		if err := a.ch.Net.SetReceiver(nd, func(kk *sim.Kernel, n int, msg protocol.Message, meta netsim.Meta) {
 			a.dispatch(kk, n, msg)
@@ -132,6 +137,7 @@ func (a *Adaptive) OnQuery(k *sim.Kernel, host int, item data.ItemID, level cons
 			a.ch.Fail(q, "unknown-item")
 			return
 		}
+		q.Route = "owner"
 		a.ch.Answer(k, q, m.Current())
 		return
 	}
@@ -139,6 +145,8 @@ func (a *Adaptive) OnQuery(k *sim.Kernel, host int, item data.ItemID, level cons
 	if ok {
 		it := a.item(host, item)
 		if it.validatedOnce && k.Now()-it.lastValidated < it.window {
+			q.Route = "window"
+			a.hits.Inc()
 			a.ch.Answer(k, q, cp)
 			return
 		}
@@ -158,6 +166,8 @@ func (a *Adaptive) item(host int, item data.ItemID) *adaptiveItem {
 }
 
 func (a *Adaptive) poll(k *sim.Kernel, q *node.Query, have data.Version, miss bool) {
+	q.Route = "poll-unicast"
+	a.polls.Inc()
 	a.rounds[q.Seq] = q
 	msg := protocol.Message{
 		Kind:    protocol.KindPullPoll,

@@ -12,6 +12,7 @@ import (
 	"github.com/manetlab/rpcc/internal/node"
 	"github.com/manetlab/rpcc/internal/protocol"
 	"github.com/manetlab/rpcc/internal/sim"
+	"github.com/manetlab/rpcc/internal/telemetry"
 )
 
 // GPSCEConfig parameterises the location-aided comparator.
@@ -71,9 +72,11 @@ type GPSCE struct {
 	// position of every registered cache node of its item.
 	registry []map[int]geo.Point
 	// items is the cache-side state per (node, item).
-	items   []map[data.ItemID]*gpsceItem
-	rounds  map[uint64]*node.Query
-	started bool
+	items     []map[data.ItemID]*gpsceItem
+	rounds    map[uint64]*node.Query
+	started   bool
+	invs      *telemetry.Counter
+	refetches *telemetry.Counter
 }
 
 // NewGPSCE builds the engine on the shared chassis.
@@ -126,6 +129,8 @@ func (g *GPSCE) Start(k *sim.Kernel) error {
 		return fmt.Errorf("pushpull: gpsce already started")
 	}
 	g.started = true
+	g.invs = strategyEvent(g.ch.Hub, "gpsce", "geo-inv")
+	g.refetches = strategyEvent(g.ch.Hub, "gpsce", "geo-refetch")
 	for nd := 0; nd < g.ch.Net.Len(); nd++ {
 		if err := g.ch.Net.SetReceiver(nd, func(kk *sim.Kernel, n int, msg protocol.Message, meta netsim.Meta) {
 			g.dispatch(kk, n, msg)
@@ -200,6 +205,7 @@ func (g *GPSCE) OnUpdate(k *sim.Kernel, host int) {
 			Pos:     srcPos,
 			HasPos:  true,
 		}
+		g.invs.Inc()
 		_ = g.ch.Net.GeoUnicast(host, cacheNode, lastPos, inv)
 	}
 }
@@ -214,11 +220,13 @@ func (g *GPSCE) OnQuery(k *sim.Kernel, host int, item data.ItemID, level consist
 			g.ch.Fail(q, "unknown-item")
 			return
 		}
+		q.Route = "owner"
 		g.ch.Answer(k, q, m.Current())
 		return
 	}
 	cp, ok := g.ch.Stores[host].Get(item)
 	if !ok {
+		q.Route = "fetch"
 		// Cache miss: locate any copy; the fetched copy starts valid and
 		// registration catches up at the next placement rendezvous.
 		g.ch.FetchRing(k, host, item, func(kk *sim.Kernel, c data.Copy, from int, fok bool) {
@@ -244,10 +252,13 @@ func (g *GPSCE) OnQuery(k *sim.Kernel, host int, item data.ItemID, level consist
 		g.items[host][item] = st
 	}
 	if st.valid {
+		q.Route = "local"
 		g.ch.Answer(k, q, cp)
 		return
 	}
 	// Invalidated: geo-routed refetch from the source.
+	q.Route = "geo-refetch"
+	g.refetches.Inc()
 	g.rounds[q.Seq] = q
 	req := protocol.Message{
 		Kind:   protocol.KindDataRequest,

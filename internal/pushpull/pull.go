@@ -10,7 +10,18 @@ import (
 	"github.com/manetlab/rpcc/internal/node"
 	"github.com/manetlab/rpcc/internal/protocol"
 	"github.com/manetlab/rpcc/internal/sim"
+	"github.com/manetlab/rpcc/internal/telemetry"
 )
+
+// strategyEvent returns a cached counter handle in the shared
+// rpcc_strategy_events_total family. A nil hub yields a nil handle whose
+// Inc is a no-op, so strategies instrument unconditionally.
+func strategyEvent(h *telemetry.Hub, strategy, event string) *telemetry.Counter {
+	return h.Counter("rpcc_strategy_events_total",
+		"Strategy-specific protocol events (per strategy and event).",
+		telemetry.Label{Key: "strategy", Value: strategy},
+		telemetry.Label{Key: "event", Value: event})
+}
 
 // PullConfig parameterises the simple pull baseline.
 type PullConfig struct {
@@ -47,6 +58,7 @@ type Pull struct {
 	ch      *node.Chassis
 	rounds  map[uint64]*node.Query
 	started bool
+	polls   *telemetry.Counter
 }
 
 // NewPull builds the baseline on the shared chassis.
@@ -72,6 +84,7 @@ func (p *Pull) Start(k *sim.Kernel) error {
 		return fmt.Errorf("pushpull: pull already started")
 	}
 	p.started = true
+	p.polls = strategyEvent(p.ch.Hub, "pull", "poll-flood")
 	for nd := 0; nd < p.ch.Net.Len(); nd++ {
 		if err := p.ch.Net.SetReceiver(nd, func(kk *sim.Kernel, n int, msg protocol.Message, meta netsim.Meta) {
 			p.dispatch(kk, n, msg)
@@ -104,6 +117,7 @@ func (p *Pull) OnQuery(k *sim.Kernel, host int, item data.ItemID, level consiste
 			p.ch.Fail(q, "unknown-item")
 			return
 		}
+		q.Route = "owner"
 		p.ch.Answer(k, q, m.Current())
 		return
 	}
@@ -113,6 +127,8 @@ func (p *Pull) OnQuery(k *sim.Kernel, host int, item data.ItemID, level consiste
 		have = cp.Version
 		miss = false
 	}
+	q.Route = "poll-flood"
+	p.polls.Inc()
 	p.rounds[q.Seq] = q
 	poll := protocol.Message{
 		Kind:    protocol.KindPullPoll,

@@ -18,6 +18,7 @@ import (
 	"github.com/manetlab/rpcc/internal/node"
 	"github.com/manetlab/rpcc/internal/protocol"
 	"github.com/manetlab/rpcc/internal/sim"
+	"github.com/manetlab/rpcc/internal/telemetry"
 )
 
 // PushConfig parameterises the simple push baseline.
@@ -68,6 +69,8 @@ type Push struct {
 	ch      *node.Chassis
 	waiting []map[data.ItemID][]*waiting // per node
 	started bool
+	irs     *telemetry.Counter
+	parks   *telemetry.Counter
 }
 
 // NewPush builds the baseline on the shared chassis.
@@ -97,6 +100,8 @@ func (p *Push) Start(k *sim.Kernel) error {
 		return fmt.Errorf("pushpull: push already started")
 	}
 	p.started = true
+	p.irs = strategyEvent(p.ch.Hub, "push", "ir-flood")
+	p.parks = strategyEvent(p.ch.Hub, "push", "query-parked")
 	stagger := k.Stream("push.stagger")
 	for nd := 0; nd < p.ch.Net.Len(); nd++ {
 		nd := nd
@@ -136,6 +141,7 @@ func (p *Push) OnQuery(k *sim.Kernel, host int, item data.ItemID, level consiste
 			p.ch.Fail(q, "unknown-item")
 			return
 		}
+		q.Route = "owner"
 		p.ch.Answer(k, q, m.Current())
 		return
 	}
@@ -166,6 +172,8 @@ func (p *Push) OnQuery(k *sim.Kernel, host int, item data.ItemID, level consiste
 
 // parkQuery holds q until item's next IR reaches host.
 func (p *Push) parkQuery(k *sim.Kernel, host int, item data.ItemID, q *node.Query) {
+	q.Route = "ir-wait"
+	p.parks.Inc()
 	w := &waiting{q: q}
 	p.waiting[host][item] = append(p.waiting[host][item], w)
 	k.After(p.cfg.QueryPatience, "push.patience", func(*sim.Kernel) {
@@ -191,6 +199,7 @@ func (p *Push) irTick(k *sim.Kernel, nd int) {
 		Origin:  nd,
 		Version: m.Current().Version,
 	}
+	p.irs.Inc()
 	_ = p.ch.Net.Flood(nd, p.cfg.BroadcastTTL, ir)
 }
 

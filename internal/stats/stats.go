@@ -28,14 +28,31 @@ type Traffic struct {
 	originated [protocol.NumKinds]uint64
 	delivered  [protocol.NumKinds]uint64
 	dropped    [protocol.NumKinds]uint64
+	// invalid counts records that arrived with an out-of-range kind.
+	// Slot 0 of the arrays still absorbs the sample (so totals stay
+	// honest), but the bug is surfaced explicitly instead of hiding in a
+	// slot no report ever prints.
+	invalid uint64
 }
 
 // NewTraffic returns an empty traffic ledger.
 func NewTraffic() *Traffic { return &Traffic{} }
 
+// idx maps a kind to its array slot, routing invalid kinds to the
+// KindInvalid slot. Callers must bump t.invalid when it returns 0 for an
+// invalid kind; use record() so the accounting cannot be forgotten.
 func idx(k protocol.Kind) int {
 	if !k.Valid() {
-		return 0 // the KindInvalid slot catches accounting bugs visibly
+		return 0
+	}
+	return int(k)
+}
+
+// record returns the slot for k, counting invalid kinds visibly.
+func (t *Traffic) record(k protocol.Kind) int {
+	if !k.Valid() {
+		t.invalid++
+		return 0
 	}
 	return int(k)
 }
@@ -44,22 +61,23 @@ func idx(k protocol.Kind) int {
 func (t *Traffic) RecordTx(k protocol.Kind, bytes int) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.tx[idx(k)]++
-	t.bytes[idx(k)] += uint64(bytes)
+	i := t.record(k)
+	t.tx[i]++
+	t.bytes[i] += uint64(bytes)
 }
 
 // RecordOriginated records a message entering the network at its origin.
 func (t *Traffic) RecordOriginated(k protocol.Kind) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.originated[idx(k)]++
+	t.originated[t.record(k)]++
 }
 
 // RecordDelivered records a message reaching a destination handler.
 func (t *Traffic) RecordDelivered(k protocol.Kind) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.delivered[idx(k)]++
+	t.delivered[t.record(k)]++
 }
 
 // RecordDropped records a message abandoned in flight (no route, TTL
@@ -67,7 +85,24 @@ func (t *Traffic) RecordDelivered(k protocol.Kind) {
 func (t *Traffic) RecordDropped(k protocol.Kind) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.dropped[idx(k)]++
+	t.dropped[t.record(k)]++
+}
+
+// Invalid returns how many records carried an out-of-range kind — zero in
+// a correct simulation; anything else is an accounting bug upstream. The
+// telemetry snapshot exports it as rpcc_invalid_kind_total.
+func (t *Traffic) Invalid() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.invalid
+}
+
+// InvalidTx returns the transmission count absorbed by the KindInvalid
+// slot (the samples behind Invalid's tx records).
+func (t *Traffic) InvalidTx() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.tx[0]
 }
 
 // Merge adds every counter of other into t — the cross-run aggregation
@@ -83,6 +118,7 @@ func (t *Traffic) Merge(other *Traffic) {
 	other.mu.Lock()
 	tx, bytes := other.tx, other.bytes
 	originated, delivered, dropped := other.originated, other.delivered, other.dropped
+	invalid := other.invalid
 	other.mu.Unlock()
 
 	t.mu.Lock()
@@ -94,6 +130,7 @@ func (t *Traffic) Merge(other *Traffic) {
 		t.delivered[i] += delivered[i]
 		t.dropped[i] += dropped[i]
 	}
+	t.invalid += invalid
 }
 
 // Tx returns the transmission count for one kind.

@@ -278,3 +278,81 @@ func TestLatencyString(t *testing.T) {
 		t.Errorf("String = %q", got)
 	}
 }
+
+// TestTrafficInvalidCounterVisible checks that out-of-range kinds are
+// explicitly counted instead of silently folding into slot 0: the totals
+// stay honest AND the bug is visible through Invalid().
+func TestTrafficInvalidCounterVisible(t *testing.T) {
+	tr := NewTraffic()
+	tr.RecordTx(protocol.KindInvalid, 10)
+	tr.RecordTx(protocol.Kind(protocol.NumKinds), 5) // one past the end
+	tr.RecordTx(protocol.Kind(200), 1)
+	tr.RecordOriginated(protocol.Kind(-1))
+	tr.RecordDelivered(protocol.Kind(99))
+	tr.RecordDropped(protocol.Kind(99))
+	if got := tr.Invalid(); got != 6 {
+		t.Errorf("Invalid = %d, want 6", got)
+	}
+	if got := tr.InvalidTx(); got != 3 {
+		t.Errorf("InvalidTx = %d, want 3", got)
+	}
+	if got := tr.TotalTx(); got != 3 {
+		t.Errorf("TotalTx = %d, want 3 (sentinel slot keeps totals honest)", got)
+	}
+	// A valid record does not disturb the invalid tally.
+	tr.RecordTx(protocol.KindPoll, 8)
+	if got := tr.Invalid(); got != 6 {
+		t.Errorf("Invalid after valid record = %d, want 6", got)
+	}
+
+	// Merge propagates the invalid count.
+	other := NewTraffic()
+	other.RecordTx(protocol.Kind(250), 1)
+	tr.Merge(other)
+	if got := tr.Invalid(); got != 7 {
+		t.Errorf("merged Invalid = %d, want 7", got)
+	}
+}
+
+func TestLatencySingleSample(t *testing.T) {
+	l := NewLatency()
+	l.Record(7 * time.Millisecond)
+	if l.Count() != 1 {
+		t.Fatalf("Count = %d", l.Count())
+	}
+	if l.Mean() != 7*time.Millisecond || l.Min() != 7*time.Millisecond || l.Max() != 7*time.Millisecond {
+		t.Errorf("moments = mean %v min %v max %v, want 7ms each", l.Mean(), l.Min(), l.Max())
+	}
+	// Every positive quantile of a single sample resolves to that
+	// sample's bucket upper bound, never below the sample itself
+	// (q <= 0 is defined as 0).
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := l.Quantile(q); got < 7*time.Millisecond {
+			t.Errorf("Quantile(%g) = %v below the only sample", q, got)
+		}
+	}
+}
+
+// TestBucketForEdges pins the logarithmic bucket boundaries: bucket b>0
+// covers milliseconds in [2^(b-1), 2^b - 1], bucket 0 is sub-millisecond.
+func TestBucketForEdges(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{999 * time.Microsecond, 0}, // truncates to 0ms
+		{time.Millisecond, 1},
+		{2 * time.Millisecond, 2},
+		{3 * time.Millisecond, 2},
+		{4 * time.Millisecond, 3},
+		{1023 * time.Millisecond, 10},
+		{1024 * time.Millisecond, 11},
+		{24 * 24 * time.Hour, nBuckets - 1}, // beyond the last bound clamps
+	}
+	for _, c := range cases {
+		if got := bucketFor(c.d); got != c.want {
+			t.Errorf("bucketFor(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}

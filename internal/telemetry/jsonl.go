@@ -1,0 +1,50 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// jsonlLine is the envelope of one JSONL export line. Exactly one of the
+// payload fields is set, per Type.
+type jsonlLine struct {
+	Type     string     `json:"type"` // "query" | "role" | "wave" | "snapshot"
+	Query    *QuerySpan `json:"query,omitempty"`
+	Role     *RoleSpan  `json:"role,omitempty"`
+	Wave     *WaveSpan  `json:"wave,omitempty"`
+	Snapshot *Snapshot  `json:"snapshot,omitempty"`
+}
+
+// WriteJSONL exports the hub's span plane as JSON Lines: wave spans
+// sorted by flood id, then role transitions and query lifecycles in
+// simulation event order, then one final snapshot line. The order, like
+// every value, is a pure function of the run's seed.
+func (h *Hub) WriteJSONL(w io.Writer) error {
+	if h == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, wave := range h.sortedWaves() {
+		if err := enc.Encode(jsonlLine{Type: "wave", Wave: wave}); err != nil {
+			return err
+		}
+	}
+	if h.spans != nil {
+		for i := range h.spans.roles {
+			if err := enc.Encode(jsonlLine{Type: "role", Role: &h.spans.roles[i]}); err != nil {
+				return err
+			}
+		}
+		for i := range h.spans.queries {
+			if err := enc.Encode(jsonlLine{Type: "query", Query: &h.spans.queries[i]}); err != nil {
+				return err
+			}
+		}
+	}
+	if err := enc.Encode(jsonlLine{Type: "snapshot", Snapshot: h.Snapshot()}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -3,6 +3,13 @@
 // formatting helpers. It plugs into the network layer's Tracer hook, so
 // any simulation — a unit test chasing a protocol bug, or cmd/rpcctrace —
 // can capture exactly what crossed the air and when.
+//
+// Flood deliveries carry the network layer's Meta.FloodID: every
+// delivery of one broadcast shares the id, so grouping events by
+// FloodID reconstructs each invalidation/update wave — who received it,
+// in what order, and at what hop depth. internal/telemetry uses the
+// same key for its per-wave spans; the Where helper filters a recorded
+// trace down to one wave.
 package trace
 
 import (
@@ -50,6 +57,14 @@ type Recorder struct {
 	full  bool
 	total uint64
 	keep  func(Event) bool
+
+	// perKind counts every recorded event by kind — recorded, not
+	// retained: ring overwrite does not decrement it.
+	perKind [protocol.NumKinds]uint64
+	// overwritten counts events lost to ring overwrite; filtered counts
+	// events the predicate rejected before recording.
+	overwritten uint64
+	filtered    uint64
 }
 
 // NewRecorder builds a recorder holding at most capacity events (older
@@ -82,9 +97,17 @@ func ItemFilter(item data.ItemID) func(Event) bool {
 // Record adds one event (subject to the filter).
 func (r *Recorder) Record(e Event) {
 	if r.keep != nil && !r.keep(e) {
+		r.filtered++
 		return
 	}
 	r.total++
+	if e.Kind.Valid() {
+		r.perKind[e.Kind]++
+	}
+	if r.full {
+		// The ring is at capacity: this write evicts the oldest event.
+		r.overwritten++
+	}
 	r.ring[r.next] = e
 	r.next++
 	if r.next == len(r.ring) {
@@ -121,6 +144,32 @@ func (r *Recorder) Len() int {
 // Total returns the number of events ever recorded (>= Len once the ring
 // wraps).
 func (r *Recorder) Total() uint64 { return r.total }
+
+// Summary is the recorder's lifetime accounting: everything recorded
+// (per kind and total, regardless of later overwrite), how many events
+// the ring evicted, and how many the filter rejected. Retained is the
+// current ring occupancy; Total == Retained + Overwritten always holds.
+type Summary struct {
+	Total       uint64
+	Retained    int
+	Overwritten uint64
+	Filtered    uint64
+	PerKind     [protocol.NumKinds]uint64
+}
+
+// Summary returns the recorder's lifetime accounting. Unlike Events and
+// CountByKind, which only see what the ring still holds, the summary is
+// exact over the whole run — the telemetry snapshot exports it so ring
+// overwrite is visible instead of silently shrinking counts.
+func (r *Recorder) Summary() Summary {
+	return Summary{
+		Total:       r.total,
+		Retained:    r.Len(),
+		Overwritten: r.overwritten,
+		Filtered:    r.filtered,
+		PerKind:     r.perKind,
+	}
+}
 
 // Events returns the retained events in chronological order.
 func (r *Recorder) Events() []Event {

@@ -160,3 +160,49 @@ func TestTracerCapturesNetworkDeliveries(t *testing.T) {
 		t.Error("flood delivery not captured")
 	}
 }
+
+// TestSummaryAccounting checks the recorder's lifetime accounting at the
+// capacity boundary: the ring may shrink what Events sees, but Summary
+// is exact, and Total == Retained + Overwritten at every step.
+func TestSummaryAccounting(t *testing.T) {
+	r, _ := NewRecorder(4)
+	check := func(total uint64, retained int, overwritten, filtered uint64) {
+		t.Helper()
+		s := r.Summary()
+		if s.Total != total || s.Retained != retained || s.Overwritten != overwritten || s.Filtered != filtered {
+			t.Fatalf("Summary = %+v, want total=%d retained=%d overwritten=%d filtered=%d",
+				s, total, retained, overwritten, filtered)
+		}
+		if s.Total != uint64(s.Retained)+s.Overwritten {
+			t.Fatalf("invariant broken: Total %d != Retained %d + Overwritten %d",
+				s.Total, s.Retained, s.Overwritten)
+		}
+	}
+
+	check(0, 0, 0, 0)
+	for i := 0; i < 3; i++ {
+		r.Record(ev(time.Duration(i), protocol.KindPoll))
+	}
+	check(3, 3, 0, 0) // below capacity: nothing lost
+	r.Record(ev(3, protocol.KindUpdate))
+	check(4, 4, 0, 0) // exactly at capacity: still nothing lost
+	r.Record(ev(4, protocol.KindUpdate))
+	check(5, 4, 1, 0) // one past capacity: first overwrite
+	for i := 5; i < 12; i++ {
+		r.Record(ev(time.Duration(i), protocol.KindInvalidation))
+	}
+	check(12, 4, 8, 0)
+
+	// PerKind counts survive overwrite — they track recorded, not retained.
+	s := r.Summary()
+	if s.PerKind[protocol.KindPoll] != 3 || s.PerKind[protocol.KindUpdate] != 2 || s.PerKind[protocol.KindInvalidation] != 7 {
+		t.Fatalf("PerKind = %v", s.PerKind)
+	}
+
+	// Filtered events are counted separately and never enter the ring.
+	r.SetFilter(func(e Event) bool { return e.Kind != protocol.KindPoll })
+	r.Record(ev(12, protocol.KindPoll))
+	check(12, 4, 8, 1)
+	r.Record(ev(13, protocol.KindUpdate))
+	check(13, 4, 9, 1)
+}
