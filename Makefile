@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-hotpath bench-compare figures telemetry-smoke clean
+.PHONY: all build test race vet check bench bench-hotpath bench-compare figures telemetry-smoke chaos-smoke clean
 
 all: check
 
@@ -66,6 +66,30 @@ telemetry-smoke:
 		-prom $(TELEMETRY_TMP)/metrics.prom \
 		-jsonl $(TELEMETRY_TMP)/spans.jsonl \
 		-require rpcc_delivery_latency_seconds,rpcc_delivery_hops,rpcc_queries_issued_total,rpcc_staleness_seconds,rpcc_tx_total
+
+# Chaos soak gate: the seeded demonstration campaign (partition + bursty
+# loss + crash + relay assassination over 25 simulated minutes, sub-second
+# wall) runs twice with the same seed; the runs must pass every
+# consistency invariant (non-zero exit otherwise), produce byte-identical
+# stdout/metrics/span logs, and the exports must lint — including the
+# fault-event envelopes and the cause-labelled drop accounting.
+CHAOS_TMP ?= /tmp/rpcc-chaos-smoke
+chaos-smoke:
+	mkdir -p $(CHAOS_TMP)
+	$(GO) run ./cmd/chaos -seed 11 \
+		-telemetry $(CHAOS_TMP)/a.jsonl -metrics-out $(CHAOS_TMP)/a.prom \
+		> $(CHAOS_TMP)/a.txt
+	$(GO) run ./cmd/chaos -seed 11 \
+		-telemetry $(CHAOS_TMP)/b.jsonl -metrics-out $(CHAOS_TMP)/b.prom \
+		> $(CHAOS_TMP)/b.txt
+	cmp $(CHAOS_TMP)/a.txt $(CHAOS_TMP)/b.txt
+	cmp $(CHAOS_TMP)/a.prom $(CHAOS_TMP)/b.prom
+	cmp $(CHAOS_TMP)/a.jsonl $(CHAOS_TMP)/b.jsonl
+	$(GO) run ./cmd/telemetrylint \
+		-prom $(CHAOS_TMP)/a.prom \
+		-jsonl $(CHAOS_TMP)/a.jsonl \
+		-require rpcc_fault_events_total,rpcc_dropped_total,rpcc_repair_attempts_total
+	@cat $(CHAOS_TMP)/a.txt
 
 # Full paper reproduction (5 simulated hours per run), journaled so an
 # interrupted sweep resumes with `make figures` again.

@@ -135,6 +135,14 @@ func lintProm(path string) (map[string]bool, int, error) {
 			return nil, 0, fmt.Errorf("%s:%d: %v", path, lineNo, err)
 		}
 		samples++
+		// The fault plane's accounting families carry mandatory labels:
+		// every drop is attributed to a cause, every fault event to a kind.
+		if name == "rpcc_dropped_total" && !hasLabel(labels, "cause") {
+			return nil, 0, fmt.Errorf("%s:%d: rpcc_dropped_total sample without cause label", path, lineNo)
+		}
+		if name == "rpcc_fault_events_total" && !hasLabel(labels, "kind") {
+			return nil, 0, fmt.Errorf("%s:%d: rpcc_fault_events_total sample without kind label", path, lineNo)
+		}
 		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_count"), "_sum")
 		if types[name] == "" && types[base] == "" {
 			return nil, 0, fmt.Errorf("%s:%d: sample %s has no TYPE declaration", path, lineNo, name)
@@ -229,6 +237,16 @@ func parseSample(line string) (name, labels string, value float64, err error) {
 	return name, labels, v, nil
 }
 
+// hasLabel reports whether the label string contains key="...".
+func hasLabel(labels, key string) bool {
+	for _, part := range splitLabels(labels) {
+		if strings.HasPrefix(part, key+`="`) {
+			return true
+		}
+	}
+	return false
+}
+
 // splitLE removes the le="..." pair from a label string, returning its
 // value and the remaining labels (which identify the histogram series).
 func splitLE(labels string) (le, rest string) {
@@ -281,6 +299,7 @@ func lintJSONL(path string) (int, map[string]int, error) {
 
 	counts := map[string]int{}
 	lines := 0
+	lastFaultAt := int64(-1)
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
 	for sc.Scan() {
@@ -294,12 +313,30 @@ func lintJSONL(path string) (int, map[string]int, error) {
 			return 0, nil, fmt.Errorf("%s:%d: bad or missing type: %v", path, lines, err)
 		}
 		switch typ {
-		case "query", "role", "wave", "snapshot":
+		case "query", "role", "wave", "fault", "snapshot":
 		default:
 			return 0, nil, fmt.Errorf("%s:%d: unknown envelope type %q", path, lines, typ)
 		}
 		if _, ok := env[typ]; !ok {
 			return 0, nil, fmt.Errorf("%s:%d: type %q without matching payload field", path, lines, typ)
+		}
+		if typ == "fault" {
+			// Fault spans export in injection order, so their timestamps
+			// must be non-decreasing and their kind named.
+			var fs struct {
+				AtNs int64  `json:"at_ns"`
+				Kind string `json:"kind"`
+			}
+			if err := json.Unmarshal(env["fault"], &fs); err != nil {
+				return 0, nil, fmt.Errorf("%s:%d: bad fault payload: %v", path, lines, err)
+			}
+			if fs.Kind == "" {
+				return 0, nil, fmt.Errorf("%s:%d: fault span without kind", path, lines)
+			}
+			if fs.AtNs < lastFaultAt {
+				return 0, nil, fmt.Errorf("%s:%d: fault spans out of order (at_ns %d after %d)", path, lines, fs.AtNs, lastFaultAt)
+			}
+			lastFaultAt = fs.AtNs
 		}
 		counts[typ]++
 	}

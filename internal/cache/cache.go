@@ -143,6 +143,16 @@ func (s *Store) removeElement(el *list.Element) {
 	s.order.Remove(el)
 }
 
+// Clear wipes every cached copy — the cache side of a node crash. The
+// cumulative counters (accesses, hits, evictions) survive: they are
+// measurements of what happened, not state the node holds.
+func (s *Store) Clear() {
+	s.order.Init()
+	for id := range s.byID {
+		delete(s.byID, id)
+	}
+}
+
 // Contains reports whether id is cached, without touching recency.
 func (s *Store) Contains(id data.ItemID) bool {
 	_, ok := s.byID[id]

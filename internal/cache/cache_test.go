@@ -204,3 +204,30 @@ func TestHitRatioEmptyStore(t *testing.T) {
 		t.Errorf("HitRatio on fresh store = %g", s.HitRatio())
 	}
 }
+
+func TestClearWipesCopiesKeepsCounters(t *testing.T) {
+	s, _ := NewStore(3)
+	s.Put(copyOf(1, 0), 0)
+	s.Put(copyOf(2, 0), 0)
+	s.Get(1)
+	s.Get(99)
+	accesses, hits := s.Accesses(), s.Hits()
+	s.Clear()
+	if s.Len() != 0 {
+		t.Errorf("Len after Clear = %d", s.Len())
+	}
+	if s.Contains(1) || s.Contains(2) {
+		t.Error("Clear left items behind")
+	}
+	if s.Accesses() != accesses || s.Hits() != hits {
+		t.Errorf("Clear wiped counters: accesses %d->%d hits %d->%d",
+			accesses, s.Accesses(), hits, s.Hits())
+	}
+	// The store works normally afterwards, including eviction accounting.
+	if err := s.Put(copyOf(1, 5), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get(1); !ok || got.Version != 5 {
+		t.Fatalf("Get after Clear = %+v, %v", got, ok)
+	}
+}

@@ -69,10 +69,17 @@ type Listener func(node int, s State, at time.Duration)
 
 // Process drives the on/off state of every node.
 type Process struct {
-	cfg       Config
-	rng       *rand.Rand
-	state     []State
-	switches  []uint64 // N_s per node
+	cfg      Config
+	rng      *rand.Rand
+	state    []State
+	switches []uint64 // N_s per node
+	// phase is the state the churn schedule *would* have the node in. It
+	// oscillates on every scheduled flip regardless of freezes, so the
+	// dwell-mean chosen for each exponential draw — and therefore the
+	// shared RNG stream's draw sequence — is identical whether or not any
+	// node is frozen. state tracks phase except while frozen/forced.
+	phase     []State
+	frozen    []bool // frozen nodes ignore scheduled flips (crash faults)
 	listeners []Listener
 }
 
@@ -93,9 +100,12 @@ func NewProcess(cfg Config, n int, k *sim.Kernel) (*Process, error) {
 		rng:      k.Stream("churn"),
 		state:    make([]State, n),
 		switches: make([]uint64, n),
+		phase:    make([]State, n),
+		frozen:   make([]bool, n),
 	}
 	for i := range p.state {
 		p.state[i] = StateConnected
+		p.phase[i] = StateConnected
 	}
 	if !cfg.Disabled {
 		for i := 0; i < n; i++ {
@@ -117,7 +127,7 @@ func (p *Process) expDraw(mean time.Duration) time.Duration {
 
 func (p *Process) scheduleTransition(k *sim.Kernel, node int) {
 	mean := p.cfg.MeanUp
-	if p.state[node] == StateDisconnected {
+	if p.phase[node] == StateDisconnected {
 		mean = p.cfg.MeanDown
 	}
 	k.After(p.expDraw(mean), "churn.flip", func(kk *sim.Kernel) {
@@ -127,11 +137,23 @@ func (p *Process) scheduleTransition(k *sim.Kernel, node int) {
 }
 
 func (p *Process) flip(k *sim.Kernel, node int) {
-	if p.state[node] == StateConnected {
-		p.state[node] = StateDisconnected
+	if p.phase[node] == StateConnected {
+		p.phase[node] = StateDisconnected
 	} else {
-		p.state[node] = StateConnected
+		p.phase[node] = StateConnected
 	}
+	if p.frozen[node] {
+		// A frozen node (crashed, under fault injection) keeps its forced
+		// state; the phase keeps oscillating so the RNG draw pattern —
+		// and therefore every other node's timeline — is unchanged by
+		// the freeze.
+		return
+	}
+	if p.state[node] == p.phase[node] {
+		// Already there (a ForceState landed on the schedule's side).
+		return
+	}
+	p.state[node] = p.phase[node]
 	p.switches[node]++
 	for _, l := range p.listeners {
 		l(node, p.state[node], k.Now())
@@ -172,8 +194,21 @@ func (p *Process) DownMask(dst []bool) []bool {
 	return dst
 }
 
+// SetFrozen marks a node as frozen (or unfreezes it). While frozen, the
+// node ignores its scheduled churn flips — only ForceState moves it. The
+// fault plane uses this to model crashes: freeze + force disconnected,
+// then unfreeze + force connected at restart.
+func (p *Process) SetFrozen(node int, frozen bool) error {
+	if node < 0 || node >= len(p.frozen) {
+		return fmt.Errorf("churn: node %d out of range", node)
+	}
+	p.frozen[node] = frozen
+	return nil
+}
+
 // ForceState sets a node's state directly, notifying listeners. Tests and
-// fault-injection scenarios use it to create targeted disconnections.
+// fault-injection scenarios use it to create targeted disconnections. It
+// applies even to frozen nodes — it is how the fault plane moves them.
 func (p *Process) ForceState(k *sim.Kernel, node int, s State) error {
 	if node < 0 || node >= len(p.state) {
 		return fmt.Errorf("churn: node %d out of range", node)

@@ -1,6 +1,7 @@
 package churn
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -21,11 +22,17 @@ func TestConfigValidate(t *testing.T) {
 		{"disabled ignores durations", Config{Disabled: true}, true},
 		{"zero up", Config{MeanDown: time.Minute}, false},
 		{"zero down", Config{MeanUp: time.Minute}, false},
+		{"negative up", Config{MeanUp: -time.Second, MeanDown: time.Minute}, false},
+		{"negative down", Config{MeanUp: time.Minute, MeanDown: -time.Second}, false},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			if err := tt.cfg.Validate(); (err == nil) != tt.ok {
+			err := tt.cfg.Validate()
+			if (err == nil) != tt.ok {
 				t.Errorf("Validate() = %v, want ok=%v", err, tt.ok)
+			}
+			if err != nil && !strings.Contains(err.Error(), "Mean") {
+				t.Errorf("Validate() error %q does not name the offending field", err)
 			}
 		})
 	}
@@ -166,6 +173,83 @@ func TestForceState(t *testing.T) {
 	}
 	if p.Switches(0) != 1 {
 		t.Errorf("no-op force incremented switches to %d", p.Switches(0))
+	}
+}
+
+func TestSetFrozenHoldsStateAgainstChurn(t *testing.T) {
+	k := sim.NewKernel(sim.WithSeed(7), sim.WithHorizon(time.Hour))
+	cfg := Config{MeanUp: time.Minute, MeanDown: 30 * time.Second}
+	p, err := NewProcess(cfg, 4, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetFrozen(99, true); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	// Crash node 2 at t=0: freeze, then force disconnected.
+	if err := p.SetFrozen(2, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ForceState(k, 2, StateDisconnected); err != nil {
+		t.Fatal(err)
+	}
+	forcedSwitches := p.Switches(2)
+	k.Run()
+	// An hour of churn with a one-minute mean dwell flips unfrozen nodes
+	// dozens of times; the frozen node must not have moved at all.
+	if p.Connected(2) {
+		t.Error("frozen node reconnected under churn")
+	}
+	if got := p.Switches(2); got != forcedSwitches {
+		t.Errorf("frozen node switched %d times after freeze", got-forcedSwitches)
+	}
+	moved := false
+	for _, i := range []int{0, 1, 3} {
+		if p.Switches(i) > 0 {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Error("no unfrozen node ever flipped — churn not running")
+	}
+	// Restart: unfreeze + force connected; churn resumes control.
+	if err := p.SetFrozen(2, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ForceState(k, 2, StateConnected); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Connected(2) {
+		t.Error("node not connected after restart")
+	}
+}
+
+func TestFreezeDoesNotPerturbOtherNodes(t *testing.T) {
+	run := func(freeze bool) []uint64 {
+		k := sim.NewKernel(sim.WithSeed(42), sim.WithHorizon(time.Hour))
+		p, err := NewProcess(Config{MeanUp: time.Minute, MeanDown: 30 * time.Second}, 6, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if freeze {
+			k.At(10*time.Minute, "freeze", func(kk *sim.Kernel) {
+				p.SetFrozen(5, true)
+				p.ForceState(kk, 5, StateDisconnected)
+			})
+		}
+		k.Run()
+		out := make([]uint64, 5)
+		for i := range out {
+			out[i] = p.Switches(i)
+		}
+		return out
+	}
+	base, frozen := run(false), run(true)
+	for i := range base {
+		if base[i] != frozen[i] {
+			t.Fatalf("node %d timeline perturbed by freezing node 5: %d vs %d switches",
+				i, base[i], frozen[i])
+		}
 	}
 }
 

@@ -69,8 +69,24 @@ type Config struct {
 	// RepairTimeout bounds how long a node waits on an outstanding APPLY
 	// or GET_NEW before the next INVALIDATION may retrigger it. Without
 	// it a single lost APPLY_ACK or SEND_NEW would wedge the relay
-	// lifecycle forever (§4.5's lost-message cases).
+	// lifecycle forever (§4.5's lost-message cases). It is also the first
+	// rung of the retry backoff ladder: the wait doubles after every
+	// unanswered re-send, capped at RepairBackoffMax.
 	RepairTimeout time.Duration
+	// RepairBackoffMax caps the exponential retry gate grown from
+	// RepairTimeout. Zero means 8×RepairTimeout (set by New).
+	RepairBackoffMax time.Duration
+	// MaxRepairAttempts bounds consecutive unanswered APPLY or GET_NEW
+	// sends for one item before the node gives up; strictly newer version
+	// evidence (a higher INVALIDATION version) reopens the attempt
+	// budget. Zero means 6 (set by New). Without a bound, a relay on the
+	// wrong side of a permanent partition retries its source forever.
+	MaxRepairAttempts int
+	// DisableRepair drops every GET_NEW/re-APPLY repair trigger — a
+	// deliberately broken protocol that cannot recover missed updates.
+	// Exists solely so the chaos auditor's regression tests can prove
+	// they catch the resulting consistency violations.
+	DisableRepair bool
 	// ActiveSource, when non-nil, restricts the periodic source-host
 	// duties (UPDATE push + INVALIDATION flood) to hosts for which it
 	// returns true. The Fig 9 scenario has a single active source; all
@@ -110,6 +126,8 @@ func DefaultConfig() Config {
 		MuCE:              0.6,
 		DemoteAfter:       3,
 		RepairTimeout:     10 * time.Second,
+		RepairBackoffMax:  80 * time.Second,
+		MaxRepairAttempts: 6,
 		EagerRelayRefresh: true,
 	}
 }
@@ -139,6 +157,15 @@ func (c Config) Validate() error {
 	}
 	if c.RepairTimeout <= 0 {
 		return fmt.Errorf("core: non-positive repair timeout %v", c.RepairTimeout)
+	}
+	if c.RepairBackoffMax < 0 {
+		return fmt.Errorf("core: negative repair backoff cap %v", c.RepairBackoffMax)
+	}
+	if c.RepairBackoffMax > 0 && c.RepairBackoffMax < c.RepairTimeout {
+		return fmt.Errorf("core: repair backoff cap %v below repair timeout %v", c.RepairBackoffMax, c.RepairTimeout)
+	}
+	if c.MaxRepairAttempts < 0 {
+		return fmt.Errorf("core: negative repair attempt bound %d", c.MaxRepairAttempts)
 	}
 	if c.AdaptiveTTN && c.AdaptiveTTNMax < c.TTN {
 		return fmt.Errorf("core: adaptive TTN cap %v below TTN %v", c.AdaptiveTTNMax, c.TTN)

@@ -44,10 +44,23 @@ type itemState struct {
 
 	applyPending  bool
 	applySentAt   time.Duration
+	applyAttempts int
+	applyGaveUp   bool
 	getNewPending bool
 	getNewSentAt  time.Duration
-	failingRuns   int
-	pending       []pendingPoll
+	// getNewAttempts counts consecutive unanswered GET_NEW sends; the
+	// resend gate doubles with each one (capped at RepairBackoffMax) and
+	// the node gives up at MaxRepairAttempts until strictly newer version
+	// evidence reopens the budget. applyAttempts mirrors this for APPLY.
+	getNewAttempts int
+	getNewGaveUp   bool
+	// debtSince marks when this relay first heard a version newer than
+	// its copy without having repaired yet — the age of its outstanding
+	// repair debt (cleared on refresh, tracked for the chaos auditor).
+	debtSince   time.Duration
+	debtOpen    bool
+	failingRuns int
+	pending     []pendingPoll
 	// knownRelay is the last peer whose POLL_ACK validated this item
 	// (-1 when none): subsequent polls unicast straight to it, falling
 	// back to ring discovery when it stops answering. This is the
@@ -105,6 +118,14 @@ type Engine struct {
 	pollRing     uint64
 	pollFallback uint64
 	relayForgets uint64
+
+	// Repair retry accounting (§4.5 hardening): every APPLY/GET_NEW send
+	// while one is already outstanding, and every give-up at the attempt
+	// bound.
+	getNewSends   uint64
+	getNewGiveUps uint64
+	applySends    uint64
+	applyGiveUps  uint64
 }
 
 // New builds an RPCC engine on the shared chassis.
@@ -114,6 +135,12 @@ func New(cfg Config, ch *node.Chassis, tel Telemetry) (*Engine, error) {
 	}
 	if ch == nil {
 		return nil, fmt.Errorf("core: nil chassis")
+	}
+	if cfg.RepairBackoffMax == 0 {
+		cfg.RepairBackoffMax = 8 * cfg.RepairTimeout
+	}
+	if cfg.MaxRepairAttempts == 0 {
+		cfg.MaxRepairAttempts = 6
 	}
 	n := ch.Net.Len()
 	e := &Engine{
@@ -470,6 +497,7 @@ func (e *Engine) coeffTick(k *sim.Kernel, nd int) {
 			st.role = RoleCache
 			st.failingRuns = 0
 			st.pending = nil
+			e.resetGetNew(st)
 			e.sendCancel(k, nd, item)
 			e.roleChanged(k, nd, item, RoleRelay, RoleCache, "inv-drift")
 			continue
@@ -495,11 +523,12 @@ func (e *Engine) coeffTick(k *sim.Kernel, nd int) {
 		switch st.role {
 		case RoleCandidate:
 			st.role = RoleCache
-			st.applyPending = false
+			e.resetApply(st)
 			e.roleChanged(k, nd, item, RoleCandidate, RoleCache, "demoted")
 		case RoleRelay:
 			st.role = RoleCache
 			st.pending = nil
+			e.resetGetNew(st)
 			e.sendCancel(k, nd, item)
 			e.roleChanged(k, nd, item, RoleRelay, RoleCache, "demoted")
 		}
@@ -585,6 +614,120 @@ func (e *Engine) RelayCountFor(item data.ItemID) int {
 // how many times a learned relay was forgotten after going quiet.
 func (e *Engine) PollStats() (direct, ring, fallback, forgets uint64) {
 	return e.pollDirect, e.pollRing, e.pollFallback, e.relayForgets
+}
+
+// RepairStats reports the §4.5 retry accounting: total GET_NEW and APPLY
+// sends, and how many times a node exhausted MaxRepairAttempts and gave
+// up (until newer version evidence reopened the budget).
+func (e *Engine) RepairStats() (getNewSends, getNewGiveUps, applySends, applyGiveUps uint64) {
+	return e.getNewSends, e.getNewGiveUps, e.applySends, e.applyGiveUps
+}
+
+// RepairScan walks every item state and returns the largest outstanding
+// consecutive-attempt count for either repair kind. The chaos auditor's
+// bounded-retry invariant asserts it never exceeds MaxRepairAttempts.
+func (e *Engine) RepairScan() (maxGetNew, maxApply int) {
+	for _, ps := range e.peers {
+		for _, st := range ps.items {
+			if st.getNewAttempts > maxGetNew {
+				maxGetNew = st.getNewAttempts
+			}
+			if st.applyAttempts > maxApply {
+				maxApply = st.applyAttempts
+			}
+		}
+	}
+	return maxGetNew, maxApply
+}
+
+// RelaysFor returns the relay node ids currently registered with item's
+// source host, ascending. The fault plane uses it to aim targeted relay
+// assassinations.
+func (e *Engine) RelaysFor(item data.ItemID) []int {
+	owner := e.ch.Reg.Owner(item)
+	if owner < 0 || owner >= len(e.peers) {
+		return nil
+	}
+	return sortedRelays(e.peers[owner].relays)
+}
+
+// RepairDebt is one relay's repair obligation for an item: the newest
+// version it has heard announced against the version it actually holds.
+// The §4.5 reconnection guarantee is conditional on hearing evidence, so
+// the invariant auditor flags only debts left unserviced — not relays an
+// invalidation never reached.
+type RepairDebt struct {
+	Node    int
+	Heard   data.Version  // newest version seen in an INVALIDATION
+	HeardAt time.Duration // when that evidence last arrived
+	Since   time.Duration // when the debt first opened (first missed version)
+	Held    data.Version  // version of the cached copy
+	GaveUp  bool          // repair budget exhausted (invariant 4's domain)
+}
+
+// RepairDebts returns the repair state of every node holding item in the
+// relay role, ascending by node id.
+func (e *Engine) RepairDebts(item data.ItemID) []RepairDebt {
+	var out []RepairDebt
+	for nd := range e.peers {
+		st, ok := e.peers[nd].items[item]
+		if !ok || st.role != RoleRelay || !st.invHeard || !st.debtOpen {
+			continue
+		}
+		cp, have := e.ch.Stores[nd].Peek(item)
+		if !have {
+			continue
+		}
+		out = append(out, RepairDebt{
+			Node:    nd,
+			Heard:   st.invVersion,
+			HeardAt: st.invAt,
+			Since:   st.debtSince,
+			Held:    cp.Version,
+			GaveUp:  st.getNewGaveUp,
+		})
+	}
+	return out
+}
+
+// Crash wipes nd's volatile protocol state — cache contents, per-item
+// roles and repair bookkeeping, the source-side relay table, coefficient
+// histories, delivery counts — and fails its in-flight queries. Unlike a
+// churn disconnection, which preserves state across the gap, a crashed
+// node restarts cold and must re-discover everything. The node's master
+// copies survive: owned data is durable, cached state is not.
+func (e *Engine) Crash(k *sim.Kernel, nd int) error {
+	if nd < 0 || nd >= len(e.peers) {
+		return fmt.Errorf("core: crash node %d out of range", nd)
+	}
+	// Fail in-flight polls in ascending sequence order (map iteration
+	// order must not leak into the event stream).
+	seqs := make([]uint64, 0, len(e.polls))
+	for seq, r := range e.polls {
+		if r.host == nd {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		r := e.polls[seq]
+		delete(e.polls, seq)
+		if !r.q.Resolved() {
+			e.ch.Fail(r.q, "crash")
+		}
+	}
+	e.ch.Stores[nd].Clear()
+	e.peers[nd] = &peerState{
+		relays: make(map[int]struct{}),
+		items:  make(map[data.ItemID]*itemState),
+	}
+	tr, err := NewCoeffTracker(e.cfg.Omega, e.cfg.CoeffPeriod)
+	if err != nil {
+		return err
+	}
+	e.trackers[nd] = tr
+	e.deliveries[nd] = 0
+	return nil
 }
 
 // Tracker exposes nd's coefficient tracker (read-only use).

@@ -41,11 +41,18 @@ type env struct {
 // newEnv builds a started RPCC engine over an n-node chain.
 func newEnv(t *testing.T, n int, cfg Config) *env {
 	t.Helper()
-	k := sim.NewKernel(sim.WithSeed(9))
 	pts := make([]geo.Point, n)
 	for i := range pts {
 		pts[i] = geo.Point{X: float64(i) * 200}
 	}
+	return newEnvAt(t, pts, cfg)
+}
+
+// newEnvAt builds a started RPCC engine over nodes pinned at pts.
+func newEnvAt(t *testing.T, pts []geo.Point, cfg Config) *env {
+	t.Helper()
+	n := len(pts)
+	k := sim.NewKernel(sim.WithSeed(9))
 	net, err := netsim.New(netsim.DefaultConfig(), k, &staticSource{pts: pts}, nil, nil, stats.NewTraffic())
 	if err != nil {
 		t.Fatal(err)
@@ -524,5 +531,60 @@ func TestFullSystemSmoke(t *testing.T) {
 	}
 	if got := e.ch.Auditor.Violations(consistency.ViolationFuture); got != 0 {
 		t.Errorf("future answers: %d", got)
+	}
+}
+
+// TestPollEscalationUnderRelayBlackout severs every link of the learned
+// relay and drives one strong query through the full escalation ladder:
+// the stage-0 direct poll dies on the cut (drop cause "partition"), the
+// TTL-2 ring finds no authority, and the TTL-8 fallback reaches the owner
+// over the bypass path. The silent relay must be forgotten exactly once.
+func TestPollEscalationUnderRelayBlackout(t *testing.T) {
+	// A 200m chain 0-1-2-3 with the relay (node 4) hanging off the
+	// querier as a stub: severing it leaves the owner reachable over the
+	// chain — three hops, beyond the TTL-2 ring but inside the TTL-8
+	// fallback.
+	//
+	//   0 --- 1 --- 2 --- 3      chain, 200m spacing
+	//                     |
+	//                     4      relay stub at (600, 200)
+	pts := []geo.Point{
+		{X: 0, Y: 0}, {X: 200, Y: 0}, {X: 400, Y: 0}, {X: 600, Y: 0},
+		{X: 600, Y: 200},
+	}
+	e := newEnvAt(t, pts, DefaultConfig())
+	e.net.SetLinkFilter(func(from, to int) bool { return from == 4 || to == 4 })
+
+	// Node 4 is an established relay for item 0, and the querier at node
+	// 3 has learned it from an earlier ack.
+	e.seedCache(t, 4, 0)
+	relay := e.eng.itemState(4, 0)
+	relay.role = RoleRelay
+	relay.lastRefreshed = e.k.Now()
+	relay.refreshedOnce = true
+	e.seedCache(t, 3, 0)
+	e.eng.itemState(3, 0).knownRelay = 4
+
+	e.eng.OnQuery(e.k, 3, 0, consistency.LevelStrong)
+	e.k.RunUntil(5 * time.Second)
+
+	if e.ch.Answered() != 1 {
+		t.Fatalf("query unanswered across the blackout; reasons=%v", e.ch.FailReasons())
+	}
+	direct, ring, fallback, forgets := e.eng.PollStats()
+	if direct != 1 || ring != 1 || fallback != 1 {
+		t.Errorf("escalation ladder = direct:%d ring:%d fallback:%d, want 1:1:1", direct, ring, fallback)
+	}
+	if forgets != 1 {
+		t.Errorf("relayForgets = %d, want exactly 1 for the one silent relay", forgets)
+	}
+	// The dead relay stays forgotten: the owner's ack alone is not
+	// proximity evidence (no recent INVALIDATION heard), so nothing is
+	// re-learned and no second forget can ever fire.
+	if got := e.eng.itemState(3, 0).knownRelay; got != -1 {
+		t.Errorf("knownRelay after fallback = %d, want -1", got)
+	}
+	if e.net.Traffic().DroppedByCause(protocol.KindPoll, stats.DropPartition) == 0 {
+		t.Error("stage-0 poll should be accounted as a partition drop")
 	}
 }

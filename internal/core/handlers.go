@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"github.com/manetlab/rpcc/internal/data"
 	"github.com/manetlab/rpcc/internal/netsim"
 	"github.com/manetlab/rpcc/internal/protocol"
@@ -49,6 +51,18 @@ func (e *Engine) onInvalidation(k *sim.Kernel, nd int, msg protocol.Message) {
 	if !ok {
 		return // not caching this item
 	}
+	if msg.Version > st.invVersion {
+		// Strictly newer version evidence reopens an exhausted repair
+		// budget: the world has moved on, so the give-up no longer holds.
+		if st.getNewGaveUp {
+			st.getNewGaveUp = false
+			st.getNewAttempts = 0
+		}
+		if st.applyGaveUp {
+			st.applyGaveUp = false
+			st.applyAttempts = 0
+		}
+	}
 	st.invVersion = msg.Version
 	st.invAt = k.Now()
 	st.invHeard = true
@@ -67,25 +81,49 @@ func (e *Engine) onInvalidation(k *sim.Kernel, nd int, msg protocol.Message) {
 		}
 		if cp.Version < msg.Version {
 			// Missed one or more updates (e.g. while disconnected, §4.5):
-			// repair with GET_NEW.
+			// repair with GET_NEW. The debt clock starts at the first
+			// missed announcement and runs until a refresh lands.
+			if !st.debtOpen {
+				st.debtOpen = true
+				st.debtSince = k.Now()
+			}
 			e.sendGetNew(k, nd, msg.Item, st)
 			return
 		}
 		// Copy confirmed current: renew TTR (and the copy is trivially
 		// valid for TTP purposes too), then serve any queued polls.
+		st.debtOpen = false
 		st.lastRefreshed = k.Now()
 		st.refreshedOnce = true
 		st.lastValidated = k.Now()
 		st.validatedOnce = true
 		e.flushPendingPolls(k, nd, msg.Item, st)
 	case RoleCandidate:
-		// Re-apply when the last APPLY has gone unanswered long enough
-		// that it (or its ACK) must have been lost.
-		if st.applyPending && k.Now()-st.applySentAt < e.cfg.RepairTimeout {
-			return
+		// Re-apply when the last APPLY has gone unanswered longer than
+		// the current backoff gate — it (or its ACK) must have been lost.
+		// The gate doubles with every unanswered send and the candidate
+		// gives up at MaxRepairAttempts.
+		if st.applyPending {
+			if e.cfg.DisableRepair {
+				return
+			}
+			if st.applyAttempts >= e.cfg.MaxRepairAttempts {
+				if !st.applyGaveUp {
+					st.applyGaveUp = true
+					e.applyGiveUps++
+					e.ch.Hub.RepairGiveUp(telemetry.RepairApply)
+				}
+				return
+			}
+			if k.Now()-st.applySentAt < e.repairGate(st.applyAttempts) {
+				return
+			}
 		}
 		st.applyPending = true
 		st.applySentAt = k.Now()
+		st.applyAttempts++
+		e.applySends++
+		e.ch.Hub.RepairAttempt(telemetry.RepairApply)
 		ap := protocol.Message{
 			Kind:   protocol.KindApply,
 			Item:   msg.Item,
@@ -95,15 +133,46 @@ func (e *Engine) onInvalidation(k *sim.Kernel, nd int, msg protocol.Message) {
 	}
 }
 
+// repairGate returns the resend gate after the given number of unanswered
+// sends: RepairTimeout doubling per attempt, capped at RepairBackoffMax.
+func (e *Engine) repairGate(attempts int) time.Duration {
+	gate := e.cfg.RepairTimeout
+	for i := 1; i < attempts; i++ {
+		gate *= 2
+		if gate >= e.cfg.RepairBackoffMax {
+			return e.cfg.RepairBackoffMax
+		}
+	}
+	return gate
+}
+
 // sendGetNew issues the GET_NEW repair unless one is already outstanding
-// and fresh; a lost SEND_NEW therefore delays repair by at most
-// RepairTimeout rather than wedging the relay forever.
+// and inside its backoff gate; a lost SEND_NEW therefore delays repair by
+// at most the current gate rather than wedging the relay forever, and a
+// relay that cannot reach its source (permanent partition) stops asking
+// after MaxRepairAttempts until newer version evidence arrives.
 func (e *Engine) sendGetNew(k *sim.Kernel, nd int, item data.ItemID, st *itemState) {
-	if st.getNewPending && k.Now()-st.getNewSentAt < e.cfg.RepairTimeout {
+	if e.cfg.DisableRepair {
 		return
+	}
+	if st.getNewPending {
+		if st.getNewAttempts >= e.cfg.MaxRepairAttempts {
+			if !st.getNewGaveUp {
+				st.getNewGaveUp = true
+				e.getNewGiveUps++
+				e.ch.Hub.RepairGiveUp(telemetry.RepairGetNew)
+			}
+			return
+		}
+		if k.Now()-st.getNewSentAt < e.repairGate(st.getNewAttempts) {
+			return
+		}
 	}
 	st.getNewPending = true
 	st.getNewSentAt = k.Now()
+	st.getNewAttempts++
+	e.getNewSends++
+	e.ch.Hub.RepairAttempt(telemetry.RepairGetNew)
 	gn := protocol.Message{Kind: protocol.KindGetNew, Item: item, Origin: nd}
 	_ = e.ch.Net.Unicast(nd, e.ch.Reg.Owner(item), gn)
 }
@@ -124,13 +193,13 @@ func (e *Engine) onUpdate(k *sim.Kernel, nd int, msg protocol.Message) {
 	case RoleRelay:
 		st.lastRefreshed = k.Now()
 		st.refreshedOnce = true
-		st.getNewPending = false
+		e.resetGetNew(st)
 		e.flushPendingPolls(k, nd, msg.Item, st)
 	case RoleCandidate:
 		// The APPLY_ACK was lost but the owner is pushing to us: we are a
 		// relay in its table (Fig 6d line 28–31).
 		st.role = RoleRelay
-		st.applyPending = false
+		e.resetApply(st)
 		st.lastRefreshed = k.Now()
 		st.refreshedOnce = true
 		e.roleChanged(k, nd, msg.Item, RoleCandidate, RoleRelay, "update-push")
@@ -140,6 +209,21 @@ func (e *Engine) onUpdate(k *sim.Kernel, nd int, msg protocol.Message) {
 		// Keep the fresh data, repeat the CANCEL (Fig 6d lines 32–35).
 		e.sendCancel(k, nd, msg.Item)
 	}
+}
+
+// resetGetNew clears the GET_NEW retry state after a successful repair.
+func (e *Engine) resetGetNew(st *itemState) {
+	st.getNewPending = false
+	st.getNewAttempts = 0
+	st.getNewGaveUp = false
+	st.debtOpen = false
+}
+
+// resetApply clears the APPLY retry state after the handshake completes.
+func (e *Engine) resetApply(st *itemState) {
+	st.applyPending = false
+	st.applyAttempts = 0
+	st.applyGaveUp = false
 }
 
 // storeRefresh puts an authoritative copy and renews TTP.
@@ -185,7 +269,7 @@ func (e *Engine) onSendNew(k *sim.Kernel, nd int, msg protocol.Message) {
 		return
 	}
 	e.storeRefresh(k, nd, msg.Copy, st)
-	st.getNewPending = false
+	e.resetGetNew(st)
 	if st.role == RoleRelay {
 		st.lastRefreshed = k.Now()
 		st.refreshedOnce = true
@@ -220,7 +304,7 @@ func (e *Engine) onApplyAck(k *sim.Kernel, nd int, msg protocol.Message) {
 		return
 	}
 	st.role = RoleRelay
-	st.applyPending = false
+	e.resetApply(st)
 	e.ch.Hub.RelayMembership(telemetry.MembershipApplyAck)
 	e.roleChanged(k, nd, msg.Item, RoleCandidate, RoleRelay, "apply-ack")
 	cp, have := e.ch.Stores[nd].Peek(msg.Item)

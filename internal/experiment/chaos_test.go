@@ -1,0 +1,155 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/manetlab/rpcc/internal/core"
+	"github.com/manetlab/rpcc/internal/faults"
+	"github.com/manetlab/rpcc/internal/telemetry"
+)
+
+// chaosConfig is the demonstration scenario: Table 1 shrunk to 25
+// simulated minutes so a partition, its heal, a relay assassination and a
+// crash/restart all fit.
+func chaosConfig() Config {
+	cfg := DefaultConfig(StrategyRPCCSC, 11)
+	cfg.SimTime = 25 * time.Minute
+	return cfg
+}
+
+// chaosCampaign exercises every fault class at once: a five-minute
+// two-island partition, bursty Gilbert–Elliott loss, one crash/restart,
+// one relay assassination, and mild duplication/reordering.
+func chaosCampaign() faults.Config {
+	island := make([]int, 25)
+	for i := range island {
+		island[i] = 25 + i
+	}
+	return faults.Config{
+		Partitions: []faults.Partition{
+			{Start: 5 * time.Minute, End: 10 * time.Minute, Islands: [][]int{island}},
+		},
+		Loss:           &faults.GilbertParams{PGoodToBad: 0.02, PBadToGood: 0.3, LossGood: 0, LossBad: 0.8},
+		Crashes:        []faults.Crash{{At: 18 * time.Minute, Node: 7, RestartAfter: time.Minute}},
+		Assassinations: []faults.Assassination{{At: 15 * time.Minute, Item: 3, Count: 1, RestartAfter: 2 * time.Minute}},
+		DupProb:        0.01,
+		ReorderMax:     5 * time.Millisecond,
+		// Repair is trigger-driven (an INVALIDATION flood every TTN=2m),
+		// so the window must exceed the auditor's debt grace (2·TTN+30s)
+		// for the check to be non-vacuous.
+		RepairWindow: 6 * time.Minute,
+		// RPCC-SC's strong level is TTR-window approximate even
+		// fault-free (~11% stale answers in this scenario); the budget
+		// tolerates that plus fault-induced degradation.
+		StrongStaleBudget: 0.5,
+	}
+}
+
+func TestRunChaosRequiresRPCC(t *testing.T) {
+	cfg := chaosConfig()
+	cfg.Strategy = StrategyPull
+	if _, _, err := RunChaos(cfg, nil, faults.Config{}); err == nil {
+		t.Fatal("non-RPCC strategy accepted")
+	}
+}
+
+// A zero campaign must be invisible: the chaos entry point with nothing
+// to inject produces the byte-identical result of a plain run — no extra
+// RNG draws, no behavioural drift from the plane or the auditor sweeps.
+func TestRunChaosZeroCampaignMatchesPlainRun(t *testing.T) {
+	cfg := chaosConfig()
+	plain, err := RunWithTelemetry(cfg, telemetry.NewHub(telemetry.LevelMetrics))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaos, rep, err := RunChaos(cfg, telemetry.NewHub(telemetry.LevelMetrics), faults.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sweeps == 0 {
+		t.Error("auditor never swept")
+	}
+	if rep.MonotoneViolations != 0 || rep.RetryViolations != 0 {
+		t.Errorf("fault-free run violated invariants: %s", rep)
+	}
+	if !reflect.DeepEqual(plain, chaos) {
+		t.Errorf("zero campaign perturbed the run:\nplain %s\nchaos %s", plain, chaos)
+	}
+}
+
+func TestRunChaosSameSeedDeterminism(t *testing.T) {
+	cfg := chaosConfig()
+	camp := chaosCampaign()
+	r1, rep1, err := RunChaos(cfg, telemetry.NewHub(telemetry.LevelMetrics), camp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, rep2, err := RunChaos(cfg, telemetry.NewHub(telemetry.LevelMetrics), camp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Errorf("same-seed campaigns diverged:\n%s\n%s", r1, r2)
+	}
+	if !reflect.DeepEqual(rep1, rep2) {
+		t.Errorf("same-seed reports diverged:\n%s\n%s", rep1, rep2)
+	}
+}
+
+// The demonstration campaign — partition, assassination, crash, bursty
+// loss, duplication, reordering — must leave every invariant standing.
+func TestChaosDemonstrationCampaignPassesInvariants(t *testing.T) {
+	res, rep, err := RunChaos(chaosConfig(), telemetry.NewHub(telemetry.LevelMetrics), chaosCampaign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HealsChecked != 1 {
+		t.Errorf("heal checks = %d, want 1", rep.HealsChecked)
+	}
+	if !rep.Passed() {
+		t.Errorf("invariants violated under demonstration campaign: %s", rep)
+	}
+	if res.Issued == 0 || res.Answered == 0 {
+		t.Errorf("campaign starved the workload: %s", res)
+	}
+	// The faults must really have fired: the partition severed traffic
+	// and every fault class was counted.
+	var partitionDrops float64
+	if fam, ok := res.Telemetry.Family("rpcc_dropped_total"); ok {
+		for _, s := range fam.Metrics {
+			for _, lb := range s.Labels {
+				if lb.Key == "cause" && lb.Value == "partition" {
+					partitionDrops += s.Value
+				}
+			}
+		}
+	}
+	if partitionDrops == 0 {
+		t.Error("partition window severed no traffic")
+	}
+	for _, kind := range []string{"partition-split", "partition-heal", "crash", "restart", "assassination"} {
+		if res.Telemetry.CounterValue("rpcc_fault_events_total", telemetry.Label{Key: "kind", Value: kind}) == 0 {
+			t.Errorf("fault kind %q never fired", kind)
+		}
+	}
+}
+
+// Deliberately breaking §4.5 — a relay that never issues GET_NEW after
+// hearing newer version evidence — must be caught by the heal-convergence
+// invariant.
+func TestChaosBrokenRepairCaught(t *testing.T) {
+	testCoreMutator = func(c *core.Config) { c.DisableRepair = true }
+	defer func() { testCoreMutator = nil }()
+	_, rep, err := RunChaos(chaosConfig(), telemetry.NewHub(telemetry.LevelMetrics), chaosCampaign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HealViolations == 0 {
+		t.Fatalf("auditor missed the disabled repair path: %s", rep)
+	}
+	if rep.Passed() {
+		t.Fatalf("report passed with repair disabled: %s", rep)
+	}
+}

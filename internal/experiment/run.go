@@ -98,6 +98,28 @@ func Run(cfg Config) (Result, error) {
 // sim-clock folded in) before the function returns, so the caller may
 // export it immediately.
 func RunWithTelemetry(cfg Config, hub *telemetry.Hub) (Result, error) {
+	return runScenario(cfg, hub, nil)
+}
+
+// runEnv exposes the assembled simulation to a pre-run hook (the chaos
+// harness wires the fault plane and invariant auditor through it).
+type runEnv struct {
+	k       *sim.Kernel
+	net     *netsim.Network
+	churn   *churn.Process
+	reg     *data.Registry
+	stores  []*cache.Store
+	chassis *node.Chassis
+	strat   Strategy
+	traffic *stats.Traffic
+	aud     *consistency.Auditor
+}
+
+// runScenario builds and runs one scenario. preRun, if non-nil, fires
+// after the stack is assembled and started but before the kernel runs —
+// anything it schedules lands on the same event queue. A nil preRun is
+// exactly the plain run.
+func runScenario(cfg Config, hub *telemetry.Hub, preRun func(env runEnv) error) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -233,6 +255,15 @@ func RunWithTelemetry(cfg Config, hub *telemetry.Hub) (Result, error) {
 		defer stop()
 	}
 
+	if preRun != nil {
+		if err := preRun(runEnv{
+			k: k, net: network, churn: churnProc, reg: reg, stores: stores,
+			chassis: chassis, strat: strat, traffic: traffic, aud: aud,
+		}); err != nil {
+			return Result{}, err
+		}
+	}
+
 	k.Run()
 
 	hub.AttachTraffic(traffic)
@@ -330,6 +361,12 @@ func buildStrategy(cfg Config, k *sim.Kernel, chassis *node.Chassis, churnProc *
 	}
 }
 
+// testCoreMutator, when set (tests only), rewrites the derived core
+// config — the broken-invariant chaos regression flips DisableRepair
+// through it, since deliberately broken protocol knobs must never be
+// reachable from an experiment Config.
+var testCoreMutator func(*core.Config)
+
 func coreConfigFrom(cfg Config) core.Config {
 	c := core.DefaultConfig()
 	if cfg.Popularity == workload.PopularitySingle {
@@ -348,6 +385,9 @@ func coreConfigFrom(cfg Config) core.Config {
 	if cfg.AdaptiveTTN {
 		c.AdaptiveTTN = true
 		c.AdaptiveTTNMax = 4 * c.TTN
+	}
+	if testCoreMutator != nil {
+		testCoreMutator(&c)
 	}
 	return c
 }

@@ -1,0 +1,184 @@
+// Package faults is the deterministic fault-injection plane: it scripts
+// failure campaigns — network partitions, bursty Gilbert–Elliott loss,
+// node crash/restart with state loss, targeted relay assassination, and
+// message duplication/reordering — against a running simulation, and
+// audits the consistency invariants the protocol claims to preserve
+// through them (§4.5's reconnect repair, §4.3's re-election).
+//
+// Everything is seed-reproducible: fault schedules are fixed timestamps,
+// the loss model draws from its own named kernel stream, and a campaign
+// with no faults configured leaves the simulation byte-identical to one
+// without the plane installed (no extra RNG draws, no extra events).
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/manetlab/rpcc/internal/data"
+)
+
+// Partition splits the field into islands for [Start, End): links whose
+// endpoints sit in different islands drop every frame (cause
+// "partition"), while intra-island traffic flows normally. At End the
+// partition heals and the repair clock starts.
+type Partition struct {
+	Start time.Duration
+	End   time.Duration
+	// Islands lists the node groups. Nodes appearing in no group belong
+	// to island 0 (the first group's side). A single listed group
+	// therefore models "this set is cut off from everyone else".
+	Islands [][]int
+}
+
+// GilbertParams parameterise the two-state Gilbert–Elliott loss model:
+// a Markov chain alternating between a Good and a Bad state, with a
+// per-reception transition draw and a state-dependent loss probability.
+// Mean burst length is 1/PBadToGood receptions; stationary loss is
+// (πG·LossGood + πB·LossBad) with πB = PGoodToBad/(PGoodToBad+PBadToGood).
+type GilbertParams struct {
+	PGoodToBad float64 // per-reception transition probability Good → Bad
+	PBadToGood float64 // per-reception transition probability Bad → Good
+	LossGood   float64 // loss probability while Good (often near 0)
+	LossBad    float64 // loss probability while Bad (often near 1)
+}
+
+// Validate reports parameter errors.
+func (g GilbertParams) Validate() error {
+	for name, p := range map[string]float64{
+		"PGoodToBad": g.PGoodToBad, "PBadToGood": g.PBadToGood,
+		"LossGood": g.LossGood, "LossBad": g.LossBad,
+	} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("faults: gilbert %s=%g outside [0,1]", name, p)
+		}
+	}
+	return nil
+}
+
+// Crash schedules one node crash. Unlike a churn disconnection — which
+// preserves cache contents, relay registrations and coefficient history
+// across the gap — a crash wipes all of it: the node restarts cold.
+type Crash struct {
+	At   time.Duration
+	Node int
+	// RestartAfter is how long the node stays down; zero means it never
+	// comes back.
+	RestartAfter time.Duration
+}
+
+// Assassination kills the relay peers currently registered for Item at
+// the scheduled instant — the targeted §4.3 re-election stress: the
+// relay tier must rebuild from the surviving candidate pool.
+type Assassination struct {
+	At   time.Duration
+	Item data.ItemID
+	// Count bounds how many of the item's current relays die (ascending
+	// node id); zero means all of them.
+	Count int
+	// RestartAfter is how long the victims stay down; zero means forever.
+	RestartAfter time.Duration
+}
+
+// Config is one fault campaign. The zero value injects nothing and costs
+// nothing: installing it changes neither the event schedule nor any RNG
+// stream.
+type Config struct {
+	Partitions     []Partition
+	Loss           *GilbertParams // nil: keep the uniform netsim LossRate
+	Crashes        []Crash
+	Assassinations []Assassination
+	// DupProb duplicates a delivered unicast with this probability;
+	// ReorderMax delays each final-hop delivery by a uniform random
+	// amount in [0, ReorderMax), letting later sends overtake it.
+	DupProb    float64
+	ReorderMax time.Duration
+	// RepairWindow bounds the heal-convergence invariant: after every
+	// partition heal, registered relays must hold the master's
+	// heal-time version within this window. Zero disables the check.
+	RepairWindow time.Duration
+	// StrongStaleBudget is the tolerated fraction of answers that were
+	// stale at strong level. RPCC's SC guarantee is TTR-window
+	// approximate even fault-free, so the invariant audited is "the
+	// stale-SC rate stays within budget", not strictly zero; torn and
+	// future answers are always strictly zero. Zero means strict.
+	StrongStaleBudget float64
+}
+
+// Enabled reports whether the campaign injects anything at all.
+func (c Config) Enabled() bool {
+	return len(c.Partitions) > 0 || c.Loss != nil || len(c.Crashes) > 0 ||
+		len(c.Assassinations) > 0 || c.DupProb > 0 || c.ReorderMax > 0
+}
+
+// Validate reports configuration errors. n is the node count.
+func (c Config) Validate(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("faults: need at least one node, got %d", n)
+	}
+	parts := append([]Partition(nil), c.Partitions...)
+	sort.Slice(parts, func(i, j int) bool { return parts[i].Start < parts[j].Start })
+	for i, p := range parts {
+		if p.Start < 0 || p.End <= p.Start {
+			return fmt.Errorf("faults: partition %d window [%v, %v) is empty or negative", i, p.Start, p.End)
+		}
+		if i > 0 && parts[i-1].End > p.Start {
+			// Overlapping partitions would need island composition; the
+			// plane keeps one island map, so reject them outright.
+			return fmt.Errorf("faults: partitions overlap at %v", p.Start)
+		}
+		if len(p.Islands) == 0 {
+			return fmt.Errorf("faults: partition %d lists no islands", i)
+		}
+		seen := make(map[int]bool)
+		for _, g := range p.Islands {
+			for _, nd := range g {
+				if nd < 0 || nd >= n {
+					return fmt.Errorf("faults: partition %d node %d out of range", i, nd)
+				}
+				if seen[nd] {
+					return fmt.Errorf("faults: partition %d lists node %d twice", i, nd)
+				}
+				seen[nd] = true
+			}
+		}
+	}
+	if c.Loss != nil {
+		if err := c.Loss.Validate(); err != nil {
+			return err
+		}
+	}
+	for i, cr := range c.Crashes {
+		if cr.Node < 0 || cr.Node >= n {
+			return fmt.Errorf("faults: crash %d node %d out of range", i, cr.Node)
+		}
+		if cr.At < 0 || cr.RestartAfter < 0 {
+			return fmt.Errorf("faults: crash %d has negative timing", i)
+		}
+	}
+	for i, a := range c.Assassinations {
+		if a.At < 0 || a.RestartAfter < 0 {
+			return fmt.Errorf("faults: assassination %d has negative timing", i)
+		}
+		if a.Count < 0 {
+			return fmt.Errorf("faults: assassination %d negative count", i)
+		}
+		if a.Item < 0 || int(a.Item) >= n {
+			return fmt.Errorf("faults: assassination %d item %v out of range", i, a.Item)
+		}
+	}
+	if c.DupProb < 0 || c.DupProb >= 1 {
+		return fmt.Errorf("faults: duplication probability %g outside [0,1)", c.DupProb)
+	}
+	if c.ReorderMax < 0 {
+		return fmt.Errorf("faults: negative reorder delay %v", c.ReorderMax)
+	}
+	if c.RepairWindow < 0 {
+		return fmt.Errorf("faults: negative repair window %v", c.RepairWindow)
+	}
+	if c.StrongStaleBudget < 0 || c.StrongStaleBudget > 1 {
+		return fmt.Errorf("faults: strong-stale budget %g outside [0,1]", c.StrongStaleBudget)
+	}
+	return nil
+}

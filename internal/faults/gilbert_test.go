@@ -1,0 +1,95 @@
+package faults
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGilbertElliottValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewGilbertElliott(GilbertParams{PGoodToBad: 2}, rng); err == nil {
+		t.Fatal("out-of-range transition probability accepted")
+	}
+	if _, err := NewGilbertElliott(GilbertParams{}, nil); err == nil {
+		t.Fatal("nil RNG accepted")
+	}
+}
+
+// Same seed, same parameters: identical loss sequences — the property the
+// whole plane's reproducibility rests on.
+func TestGilbertElliottDeterminism(t *testing.T) {
+	p := GilbertParams{PGoodToBad: 0.1, PBadToGood: 0.4, LossGood: 0.02, LossBad: 0.8}
+	a, err := NewGilbertElliott(p, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewGilbertElliott(p, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		if a.Lost() != b.Lost() {
+			t.Fatalf("sequences diverge at reception %d", i)
+		}
+	}
+}
+
+// With LossGood=0 and LossBad=1, losses happen exactly while the chain is
+// Bad, so loss-run statistics are burst statistics: the mean run length
+// must sit near 1/PBadToGood, and the long-run loss rate near the
+// stationary Bad occupancy.
+func TestGilbertElliottBurstiness(t *testing.T) {
+	p := GilbertParams{PGoodToBad: 0.02, PBadToGood: 0.25, LossGood: 0, LossBad: 1}
+	g, err := NewGilbertElliott(p, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200000
+	losses, bursts, run := 0, 0, 0
+	for i := 0; i < n; i++ {
+		if g.Lost() {
+			losses++
+			run++
+		} else if run > 0 {
+			bursts++
+			run = 0
+		}
+	}
+	if run > 0 {
+		bursts++
+	}
+	meanBurst := float64(losses) / float64(bursts)
+	wantBurst := 1 / p.PBadToGood // 4 receptions
+	if meanBurst < 0.7*wantBurst || meanBurst > 1.3*wantBurst {
+		t.Errorf("mean burst length %.2f, want ~%.2f", meanBurst, wantBurst)
+	}
+	lossRate := float64(losses) / n
+	wantRate := p.PGoodToBad / (p.PGoodToBad + p.PBadToGood) // stationary πB ≈ 0.074
+	if lossRate < 0.7*wantRate || lossRate > 1.3*wantRate {
+		t.Errorf("loss rate %.4f, want ~%.4f", lossRate, wantRate)
+	}
+}
+
+// Every Lost call draws exactly twice, so two chains fed from the same
+// stream but with different parameters stay in lockstep on the stream —
+// parameter choice never perturbs later draws.
+func TestGilbertElliottFixedDrawCount(t *testing.T) {
+	mk := func(p GilbertParams) *rand.Rand {
+		rng := rand.New(rand.NewSource(99))
+		g, err := NewGilbertElliott(p, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 1000; i++ {
+			g.Lost()
+		}
+		return rng
+	}
+	a := mk(GilbertParams{PGoodToBad: 0.01, PBadToGood: 0.9, LossGood: 0, LossBad: 1})
+	b := mk(GilbertParams{PGoodToBad: 0.5, PBadToGood: 0.1, LossGood: 0.3, LossBad: 0.6})
+	for i := 0; i < 10; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatalf("stream positions diverged after 1000 receptions (draw %d)", i)
+		}
+	}
+}

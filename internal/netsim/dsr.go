@@ -5,6 +5,7 @@ import (
 
 	"github.com/manetlab/rpcc/internal/protocol"
 	"github.com/manetlab/rpcc/internal/sim"
+	"github.com/manetlab/rpcc/internal/stats"
 )
 
 // RoutingMode selects how unicasts find their way across the MANET.
@@ -89,7 +90,7 @@ func (n *Network) dsrUnicast(from, to int, msg protocol.Message) {
 		delete(st.routes, to)
 	}
 	if len(st.pending[to]) >= dsrMaxPending {
-		n.traffic.RecordDropped(msg.Kind)
+		n.traffic.RecordDropped(msg.Kind, stats.DropNoRoute)
 		return
 	}
 	st.pending[to] = append(st.pending[to], pendingMsg{msg: msg, sentAt: n.k.Now()})
@@ -102,7 +103,7 @@ func (n *Network) dsrUnicast(from, to int, msg protocol.Message) {
 		st.discovering[to] = false
 		// Anything still queued found no route in time.
 		for _, m := range st.pending[to] {
-			n.traffic.RecordDropped(m.msg.Kind)
+			n.traffic.RecordDropped(m.msg.Kind, stats.DropNoRoute)
 		}
 		delete(st.pending, to)
 	})
@@ -114,7 +115,7 @@ func (n *Network) dsrUnicast(from, to int, msg protocol.Message) {
 func (n *Network) dsrDiscover(from, target int) {
 	n.traffic.RecordOriginated(protocol.KindRREQ)
 	if !n.Up(from) {
-		n.traffic.RecordDropped(protocol.KindRREQ)
+		n.traffic.RecordDropped(protocol.KindRREQ, stats.DropDisconnected)
 		return
 	}
 	// RREQ floods share the pooled duplicate-suppression state with data
@@ -148,7 +149,7 @@ func (n *Network) rreqTransmit(node, target int, path []int, st *floodState, ttl
 		copy(grown, path)
 		grown[len(path)] = v
 		n.k.After(delay, "dsr.rreq", func(*sim.Kernel) {
-			if n.Up(v) && !n.lost() {
+			if n.Up(v) && !n.cut(node, v) && !n.lost() {
 				n.spendRx(v)
 				if v == target {
 					n.dsrReply(grown)
@@ -219,20 +220,29 @@ func (n *Network) dsrForward(msg protocol.Message, idx int, sentAt time.Duration
 	}
 	cur, next := path[idx], path[idx+1]
 	if !n.Up(cur) {
-		n.traffic.RecordDropped(msg.Kind)
+		n.traffic.RecordDropped(msg.Kind, stats.DropDisconnected)
 		return
 	}
 	g := n.Graph()
 	if !g.Connected(cur, next) {
-		n.traffic.RecordDropped(msg.Kind)
+		n.traffic.RecordDropped(msg.Kind, stats.DropNoRoute)
 		n.dsrRouteError(msg, cur, idx)
 		return
 	}
 	n.traffic.RecordTx(msg.Kind, msg.Size())
 	n.spendTx(cur)
 	n.k.After(n.txDelay(cur, msg.Size()), "dsr.hop", func(*sim.Kernel) {
-		if !n.Up(next) || n.lost() {
-			n.traffic.RecordDropped(msg.Kind)
+		switch {
+		case !n.Up(next):
+			n.traffic.RecordDropped(msg.Kind, stats.DropDisconnected)
+			n.dsrRouteError(msg, cur, idx)
+			return
+		case n.cut(cur, next):
+			n.traffic.RecordDropped(msg.Kind, stats.DropPartition)
+			n.dsrRouteError(msg, cur, idx)
+			return
+		case n.lost():
+			n.traffic.RecordDropped(msg.Kind, stats.DropLoss)
 			n.dsrRouteError(msg, cur, idx)
 			return
 		}
@@ -246,8 +256,7 @@ func (n *Network) dsrForward(msg protocol.Message, idx int, sentAt time.Duration
 			case protocol.KindRERR:
 				n.dsrHandleRERR(next, msg)
 			default:
-				meta := Meta{Hops: len(path) - 1, At: n.k.Now(), SentAt: sentAt}
-				n.deliver(next, msg, meta)
+				n.deliverUnicast(next, msg, len(path)-1, sentAt)
 			}
 			return
 		}

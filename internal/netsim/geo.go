@@ -4,6 +4,7 @@ import (
 	"github.com/manetlab/rpcc/internal/geo"
 	"github.com/manetlab/rpcc/internal/protocol"
 	"github.com/manetlab/rpcc/internal/sim"
+	"github.com/manetlab/rpcc/internal/stats"
 )
 
 // Position returns node's current coordinates — the "GPS reading" a
@@ -38,7 +39,7 @@ func (n *Network) GeoUnicast(from, dst int, target geo.Point, msg protocol.Messa
 		return nil
 	}
 	if !n.Up(from) {
-		n.traffic.RecordDropped(msg.Kind)
+		n.traffic.RecordDropped(msg.Kind, stats.DropDisconnected)
 		return nil
 	}
 	n.geoForward(from, dst, target, msg, 0)
@@ -59,7 +60,7 @@ func (e *rangeError) Error() string {
 // geoForward transmits one greedy hop.
 func (n *Network) geoForward(cur, dst int, target geo.Point, msg protocol.Message, hops int) {
 	if hops >= n.cfg.MaxRouteHops {
-		n.traffic.RecordDropped(msg.Kind)
+		n.traffic.RecordDropped(msg.Kind, stats.DropNoRoute)
 		return
 	}
 	g := n.Graph()
@@ -82,14 +83,21 @@ func (n *Network) geoForward(cur, dst int, target geo.Point, msg protocol.Messag
 		}
 	}
 	if next < 0 {
-		n.traffic.RecordDropped(msg.Kind) // local minimum: void
+		n.traffic.RecordDropped(msg.Kind, stats.DropNoRoute) // local minimum: void
 		return
 	}
 	n.traffic.RecordTx(msg.Kind, msg.Size())
 	n.spendTx(cur)
 	n.k.After(n.txDelay(cur, msg.Size()), "netsim.geohop", func(*sim.Kernel) {
-		if !n.Up(next) || n.lost() {
-			n.traffic.RecordDropped(msg.Kind)
+		switch {
+		case !n.Up(next):
+			n.traffic.RecordDropped(msg.Kind, stats.DropDisconnected)
+			return
+		case n.cut(cur, next):
+			n.traffic.RecordDropped(msg.Kind, stats.DropPartition)
+			return
+		case n.lost():
+			n.traffic.RecordDropped(msg.Kind, stats.DropLoss)
 			return
 		}
 		n.spendRx(next)

@@ -66,6 +66,22 @@ type Receiver func(k *sim.Kernel, node int, msg protocol.Message, meta Meta)
 // by the protocol trace tool and by tests that assert on message flows.
 type Tracer func(at time.Duration, node int, msg protocol.Message, meta Meta)
 
+// LossModel replaces the uniform per-reception loss draw when installed
+// with SetLossModel — e.g. a two-state Gilbert–Elliott chain producing
+// correlated loss bursts. Implementations draw from their own kernel
+// stream so the network's jitter/loss streams are untouched and runs
+// without a model installed stay byte-identical.
+type LossModel interface {
+	// Lost draws whether one link-level reception is lost.
+	Lost() bool
+}
+
+// LinkFilter reports whether the link from -> to is currently severed by
+// a fault plane (network partition). Consulted per link-level reception,
+// after the receiver-up check and before the loss draw, so installing a
+// filter changes no RNG draw ordering for uncut links.
+type LinkFilter func(from, to int) bool
+
 // Config parameterises the network layer.
 type Config struct {
 	// CommRange is the radio range in metres (Table 1: 250 m).
@@ -196,6 +212,19 @@ type Network struct {
 
 	// dsr holds per-node routing state when cfg.Routing is RoutingDSR.
 	dsr []*dsrNode
+
+	// Fault-plane hooks. All nil/zero in normal runs: the hot paths pay
+	// one nil check and draw no extra randomness, so seeded runs without
+	// faults stay byte-identical to builds without the plane.
+	lossModel  LossModel
+	linkFilter LinkFilter
+	// dupProb duplicates a unicast's final delivery with this
+	// probability; reorderMax adds up to this much uniform extra delay
+	// before a unicast's final delivery, letting later sends overtake
+	// earlier ones. Both draw from faultRand, a dedicated stream.
+	dupProb    float64
+	reorderMax time.Duration
+	faultRand  *rand.Rand
 }
 
 // New constructs the network. churnProc and batteries are optional (nil
@@ -331,9 +360,47 @@ func (n *Network) txDelay(node, bytes int) time.Duration {
 	return (start - n.k.Now()) + d
 }
 
-// lost draws the per-reception loss event.
+// SetLossModel installs (or with nil removes) a loss model that replaces
+// the uniform LossRate draw. Install during setup, before the kernel
+// runs, so every reception of the run sees the same channel.
+func (n *Network) SetLossModel(m LossModel) { n.lossModel = m }
+
+// SetLinkFilter installs (or with nil removes) the fault plane's link
+// cut predicate.
+func (n *Network) SetLinkFilter(f LinkFilter) { n.linkFilter = f }
+
+// SetDeliveryFaults configures unicast duplication and reordering at the
+// delivery queue. dupProb in [0,1) duplicates final deliveries;
+// reorderMax adds uniform extra delay in [0, reorderMax) before final
+// delivery. Both zero (the default) disables the machinery entirely.
+func (n *Network) SetDeliveryFaults(dupProb float64, reorderMax time.Duration) error {
+	if dupProb < 0 || dupProb >= 1 {
+		return fmt.Errorf("netsim: duplication probability %g outside [0,1)", dupProb)
+	}
+	if reorderMax < 0 {
+		return fmt.Errorf("netsim: negative reorder delay %v", reorderMax)
+	}
+	n.dupProb = dupProb
+	n.reorderMax = reorderMax
+	if (dupProb > 0 || reorderMax > 0) && n.faultRand == nil {
+		n.faultRand = n.k.Stream("netsim.faults")
+	}
+	return nil
+}
+
+// lost draws the per-reception loss event from the installed loss model,
+// or from the uniform LossRate channel when none is installed.
 func (n *Network) lost() bool {
+	if n.lossModel != nil {
+		return n.lossModel.Lost()
+	}
 	return n.cfg.LossRate > 0 && n.loss.Float64() < n.cfg.LossRate
+}
+
+// cut reports whether the fault plane severs the link from -> to. No RNG
+// draws: safe to consult between the up check and the loss draw.
+func (n *Network) cut(from, to int) bool {
+	return n.linkFilter != nil && n.linkFilter(from, to)
 }
 
 // hopDelay returns the per-hop latency for a message of the given size.
@@ -404,7 +471,7 @@ func (n *Network) Unicast(from, to int, msg protocol.Message) error {
 		return nil
 	}
 	if !n.Up(from) {
-		n.traffic.RecordDropped(msg.Kind)
+		n.traffic.RecordDropped(msg.Kind, stats.DropDisconnected)
 		return nil
 	}
 	if n.cfg.Routing == RoutingDSR {
@@ -418,31 +485,65 @@ func (n *Network) Unicast(from, to int, msg protocol.Message) error {
 // forward transmits one hop and schedules the next.
 func (n *Network) forward(cur, dst int, msg protocol.Message, hops int, sentAt time.Duration) {
 	if hops >= n.cfg.MaxRouteHops {
-		n.traffic.RecordDropped(msg.Kind)
+		n.traffic.RecordDropped(msg.Kind, stats.DropNoRoute)
 		return
 	}
 	g := n.Graph()
 	next := g.NextHop(cur, dst)
 	if next == radio.Unreachable {
-		n.traffic.RecordDropped(msg.Kind)
+		n.traffic.RecordDropped(msg.Kind, stats.DropNoRoute)
 		return
 	}
 	n.traffic.RecordTx(msg.Kind, msg.Size())
 	n.spendTx(cur)
 	n.k.After(n.txDelay(cur, msg.Size()), "netsim.hop", func(*sim.Kernel) {
-		if !n.Up(next) || n.lost() {
-			// Receiver flipped down while the frame was in the air, or
-			// the channel ate it.
-			n.traffic.RecordDropped(msg.Kind)
-			return
+		switch {
+		case !n.Up(next):
+			// Receiver flipped down while the frame was in the air.
+			n.traffic.RecordDropped(msg.Kind, stats.DropDisconnected)
+		case n.cut(cur, next):
+			n.traffic.RecordDropped(msg.Kind, stats.DropPartition)
+		case n.lost():
+			n.traffic.RecordDropped(msg.Kind, stats.DropLoss)
+		case next == dst:
+			n.spendRx(next)
+			n.deliverUnicast(dst, msg, hops+1, sentAt)
+		default:
+			n.spendRx(next)
+			n.forward(next, dst, msg, hops+1, sentAt)
 		}
-		n.spendRx(next)
-		if next == dst {
-			n.deliver(dst, msg, Meta{Hops: hops + 1, At: n.k.Now(), SentAt: sentAt})
-			return
-		}
-		n.forward(next, dst, msg, hops+1, sentAt)
 	})
+}
+
+// deliverUnicast completes a unicast's final hop, applying the delivery
+// fault knobs (duplication, reordering) when configured. The common path
+// — no faults — delivers inline, exactly as before the knobs existed.
+func (n *Network) deliverUnicast(dst int, msg protocol.Message, hops int, sentAt time.Duration) {
+	if n.dupProb <= 0 && n.reorderMax <= 0 {
+		n.deliver(dst, msg, Meta{Hops: hops, At: n.k.Now(), SentAt: sentAt})
+		return
+	}
+	copies := 1
+	if n.dupProb > 0 && n.faultRand.Float64() < n.dupProb {
+		copies = 2
+	}
+	for i := 0; i < copies; i++ {
+		var extra time.Duration
+		if n.reorderMax > 0 {
+			extra = time.Duration(n.faultRand.Int63n(int64(n.reorderMax)))
+		}
+		if extra == 0 {
+			n.deliver(dst, msg, Meta{Hops: hops, At: n.k.Now(), SentAt: sentAt})
+			continue
+		}
+		n.k.After(extra, "netsim.fault.delay", func(*sim.Kernel) {
+			if !n.Up(dst) {
+				n.traffic.RecordDropped(msg.Kind, stats.DropDisconnected)
+				return
+			}
+			n.deliver(dst, msg, Meta{Hops: hops, At: n.k.Now(), SentAt: sentAt})
+		})
+	}
 }
 
 // floodState is the per-flood bookkeeping: the duplicate-suppression
@@ -494,7 +595,7 @@ func (n *Network) Flood(origin, ttl int, msg protocol.Message) error {
 	}
 	n.traffic.RecordOriginated(msg.Kind)
 	if !n.Up(origin) {
-		n.traffic.RecordDropped(msg.Kind)
+		n.traffic.RecordDropped(msg.Kind, stats.DropDisconnected)
 		return nil
 	}
 	n.nextFlood++
@@ -527,9 +628,14 @@ func (n *Network) transmitFlood(node, ttlLeft int, msg protocol.Message, st *flo
 		st.pending++
 		v := v
 		n.k.After(delay, "netsim.flood", func(*sim.Kernel) {
-			if !n.Up(v) || n.lost() {
-				n.traffic.RecordDropped(msg.Kind)
-			} else {
+			switch {
+			case !n.Up(v):
+				n.traffic.RecordDropped(msg.Kind, stats.DropDisconnected)
+			case n.cut(node, v):
+				n.traffic.RecordDropped(msg.Kind, stats.DropPartition)
+			case n.lost():
+				n.traffic.RecordDropped(msg.Kind, stats.DropLoss)
+			default:
 				n.spendRx(v)
 				n.deliver(v, msg, Meta{Hops: hops + 1, At: n.k.Now(), SentAt: st.sentAt, Flood: true, FloodID: st.id})
 				if ttlLeft > 1 {

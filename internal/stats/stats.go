@@ -16,6 +16,46 @@ import (
 	"github.com/manetlab/rpcc/internal/protocol"
 )
 
+// DropCause classifies why a message was abandoned in flight. Fault
+// campaigns are undiagnosable when every drop folds into one counter:
+// "the channel ate it", "the receiver was down", "the partition cut the
+// link" and "routing found no path" call for different protocol fixes,
+// so the ledger keeps them apart.
+type DropCause int
+
+// Drop causes.
+const (
+	// DropLoss: the link-level loss draw (uniform LossRate or an
+	// installed loss model such as Gilbert–Elliott) ate the reception.
+	DropLoss DropCause = iota
+	// DropPartition: a fault-plane link cut severed the hop.
+	DropPartition
+	// DropDisconnected: an endpoint was down (churn, battery, crash) at
+	// origination or while the frame was in the air.
+	DropDisconnected
+	// DropNoRoute: routing failure — no path, hop/TTL bound exhausted,
+	// greedy-forwarding void, or route discovery timed out.
+	DropNoRoute
+	// NumDropCauses sizes per-cause arrays.
+	NumDropCauses
+)
+
+// String names the cause for metric labels.
+func (c DropCause) String() string {
+	switch c {
+	case DropLoss:
+		return "loss"
+	case DropPartition:
+		return "partition"
+	case DropDisconnected:
+		return "disconnected"
+	case DropNoRoute:
+		return "no-route"
+	default:
+		return "invalid"
+	}
+}
+
 // Traffic accumulates message counters. One "transmission" is one
 // link-level send: each hop of a unicast and each node's rebroadcast
 // during a flood count once, matching how GloMoSim-era studies report
@@ -27,7 +67,7 @@ type Traffic struct {
 	bytes      [protocol.NumKinds]uint64
 	originated [protocol.NumKinds]uint64
 	delivered  [protocol.NumKinds]uint64
-	dropped    [protocol.NumKinds]uint64
+	dropped    [protocol.NumKinds][NumDropCauses]uint64
 	// invalid counts records that arrived with an out-of-range kind.
 	// Slot 0 of the arrays still absorbs the sample (so totals stay
 	// honest), but the bug is surfaced explicitly instead of hiding in a
@@ -80,12 +120,17 @@ func (t *Traffic) RecordDelivered(k protocol.Kind) {
 	t.delivered[t.record(k)]++
 }
 
-// RecordDropped records a message abandoned in flight (no route, TTL
-// expiry without delivery, or receiver down).
-func (t *Traffic) RecordDropped(k protocol.Kind) {
+// RecordDropped records a message abandoned in flight, attributed to a
+// cause. Out-of-range causes fold into DropNoRoute and count as an
+// invalid record, mirroring how invalid kinds are surfaced.
+func (t *Traffic) RecordDropped(k protocol.Kind, cause DropCause) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.dropped[t.record(k)]++
+	if cause < 0 || cause >= NumDropCauses {
+		t.invalid++
+		cause = DropNoRoute
+	}
+	t.dropped[t.record(k)][cause]++
 }
 
 // Invalid returns how many records carried an out-of-range kind — zero in
@@ -128,7 +173,9 @@ func (t *Traffic) Merge(other *Traffic) {
 		t.bytes[i] += bytes[i]
 		t.originated[i] += originated[i]
 		t.delivered[i] += delivered[i]
-		t.dropped[i] += dropped[i]
+		for c := range t.dropped[i] {
+			t.dropped[i][c] += dropped[i][c]
+		}
 	}
 	t.invalid += invalid
 }
@@ -177,11 +224,42 @@ func (t *Traffic) Originated(k protocol.Kind) uint64 {
 	return t.originated[idx(k)]
 }
 
-// Dropped returns the drop count for one kind.
+// Dropped returns the drop count for one kind, summed across causes —
+// the figure reports only need the total; fault diagnosis reads the
+// per-cause split via DroppedByCause.
 func (t *Traffic) Dropped(k protocol.Kind) uint64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.dropped[idx(k)]
+	var sum uint64
+	for _, v := range t.dropped[idx(k)] {
+		sum += v
+	}
+	return sum
+}
+
+// DroppedByCause returns the drop count for one kind and cause.
+func (t *Traffic) DroppedByCause(k protocol.Kind, cause DropCause) uint64 {
+	if cause < 0 || cause >= NumDropCauses {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped[idx(k)][cause]
+}
+
+// TotalDroppedByCause sums one cause's drops across all kinds — the
+// quick partition-vs-loss diagnostic a chaos run prints.
+func (t *Traffic) TotalDroppedByCause(cause DropCause) uint64 {
+	if cause < 0 || cause >= NumDropCauses {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var sum uint64
+	for k := 0; k < protocol.NumKinds; k++ {
+		sum += t.dropped[k][cause]
+	}
+	return sum
 }
 
 // Snapshot returns per-kind transmission counts for every kind that saw

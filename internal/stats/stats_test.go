@@ -16,7 +16,7 @@ func TestTrafficCounters(t *testing.T) {
 	tr.RecordTx(protocol.KindPoll, 32)
 	tr.RecordTx(protocol.KindUpdate, 1056)
 	tr.RecordDelivered(protocol.KindPoll)
-	tr.RecordDropped(protocol.KindUpdate)
+	tr.RecordDropped(protocol.KindUpdate, DropLoss)
 
 	if got := tr.Tx(protocol.KindPoll); got != 2 {
 		t.Errorf("Tx(POLL) = %d, want 2", got)
@@ -38,6 +38,67 @@ func TestTrafficCounters(t *testing.T) {
 	}
 }
 
+func TestTrafficDropCauses(t *testing.T) {
+	tr := NewTraffic()
+	tr.RecordDropped(protocol.KindUpdate, DropLoss)
+	tr.RecordDropped(protocol.KindUpdate, DropLoss)
+	tr.RecordDropped(protocol.KindUpdate, DropPartition)
+	tr.RecordDropped(protocol.KindPoll, DropDisconnected)
+	tr.RecordDropped(protocol.KindPoll, DropNoRoute)
+
+	if got := tr.Dropped(protocol.KindUpdate); got != 3 {
+		t.Errorf("Dropped(UPDATE) = %d, want 3 (sum over causes)", got)
+	}
+	if got := tr.DroppedByCause(protocol.KindUpdate, DropLoss); got != 2 {
+		t.Errorf("DroppedByCause(UPDATE, loss) = %d, want 2", got)
+	}
+	if got := tr.DroppedByCause(protocol.KindUpdate, DropPartition); got != 1 {
+		t.Errorf("DroppedByCause(UPDATE, partition) = %d, want 1", got)
+	}
+	if got := tr.DroppedByCause(protocol.KindUpdate, DropNoRoute); got != 0 {
+		t.Errorf("DroppedByCause(UPDATE, no-route) = %d, want 0", got)
+	}
+	if got := tr.TotalDroppedByCause(DropLoss); got != 2 {
+		t.Errorf("TotalDroppedByCause(loss) = %d, want 2", got)
+	}
+	if got := tr.TotalDroppedByCause(DropNoRoute); got != 1 {
+		t.Errorf("TotalDroppedByCause(no-route) = %d, want 1", got)
+	}
+
+	// Out-of-range causes are folded into no-route and surfaced as
+	// invalid records rather than corrupting memory or vanishing.
+	tr.RecordDropped(protocol.KindUpdate, DropCause(99))
+	if got := tr.Invalid(); got != 1 {
+		t.Errorf("Invalid after bad cause = %d, want 1", got)
+	}
+	if got := tr.DroppedByCause(protocol.KindUpdate, DropNoRoute); got != 1 {
+		t.Errorf("bad cause not folded into no-route: %d", got)
+	}
+	if got := tr.DroppedByCause(protocol.KindUpdate, DropCause(99)); got != 0 {
+		t.Errorf("DroppedByCause(bad cause) = %d, want 0", got)
+	}
+
+	// Merge adds cause-wise.
+	other := NewTraffic()
+	other.RecordDropped(protocol.KindUpdate, DropPartition)
+	tr.Merge(other)
+	if got := tr.DroppedByCause(protocol.KindUpdate, DropPartition); got != 2 {
+		t.Errorf("merged DroppedByCause(partition) = %d, want 2", got)
+	}
+}
+
+func TestDropCauseString(t *testing.T) {
+	for c, want := range map[DropCause]string{
+		DropLoss: "loss", DropPartition: "partition",
+		DropDisconnected: "disconnected", DropNoRoute: "no-route",
+		DropCause(99): "invalid",
+	} {
+		if got := c.String(); got != want {
+			t.Errorf("DropCause(%d).String = %q, want %q", c, got, want)
+		}
+	}
+}
+
 func TestTrafficMerge(t *testing.T) {
 	a := NewTraffic()
 	a.RecordOriginated(protocol.KindPoll)
@@ -48,7 +109,7 @@ func TestTrafficMerge(t *testing.T) {
 	b := NewTraffic()
 	b.RecordTx(protocol.KindPoll, 32)
 	b.RecordTx(protocol.KindInvalidation, 64)
-	b.RecordDropped(protocol.KindUpdate)
+	b.RecordDropped(protocol.KindUpdate, DropPartition)
 
 	a.Merge(b)
 	if got := a.Tx(protocol.KindPoll); got != 2 {
@@ -289,7 +350,7 @@ func TestTrafficInvalidCounterVisible(t *testing.T) {
 	tr.RecordTx(protocol.Kind(200), 1)
 	tr.RecordOriginated(protocol.Kind(-1))
 	tr.RecordDelivered(protocol.Kind(99))
-	tr.RecordDropped(protocol.Kind(99))
+	tr.RecordDropped(protocol.Kind(99), DropLoss)
 	if got := tr.Invalid(); got != 6 {
 		t.Errorf("Invalid = %d, want 6", got)
 	}

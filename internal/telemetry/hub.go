@@ -69,6 +69,21 @@ const (
 	PollFallback = "fallback"
 )
 
+// Repair kinds (the §4.5 retry machinery being counted).
+const (
+	RepairGetNew = "get-new"
+	RepairApply  = "apply"
+)
+
+// Fault-event kinds emitted by the fault plane.
+const (
+	FaultPartitionSplit = "partition-split"
+	FaultPartitionHeal  = "partition-heal"
+	FaultCrash          = "crash"
+	FaultRestart        = "restart"
+	FaultAssassination  = "assassination"
+)
+
 // nLevels sizes the per-consistency-level instrument arrays; levels are
 // 1-based (consistency.LevelStrong..LevelWeak), slot 0 stays nil.
 const nLevels = int(consistency.LevelWeak) + 1
@@ -99,6 +114,10 @@ type Hub struct {
 	membership map[string]*Counter
 	coeff      [3]*Histogram // CAR, CS, CE
 
+	// §4.5 repair retries and fault-plane events.
+	repairAttempts map[string]*Counter
+	repairGiveUps  map[string]*Counter
+
 	simSeconds *Gauge
 
 	// Span plane (LevelSpans only).
@@ -117,10 +136,12 @@ func NewHub(level Level) *Hub {
 		return nil
 	}
 	h := &Hub{
-		level:      level,
-		reg:        NewRegistry(),
-		pollStage:  make(map[string]*Counter, 3),
-		membership: make(map[string]*Counter, 5),
+		level:          level,
+		reg:            NewRegistry(),
+		pollStage:      make(map[string]*Counter, 3),
+		membership:     make(map[string]*Counter, 5),
+		repairAttempts: make(map[string]*Counter, 2),
+		repairGiveUps:  make(map[string]*Counter, 2),
 	}
 	for k := 1; k < protocol.NumKinds; k++ {
 		kind := Label{"kind", protocol.Kind(k).String()}
@@ -147,6 +168,12 @@ func NewHub(level Level) *Hub {
 	}
 	h.forgets = h.reg.Counter("rpcc_relay_forgets_total",
 		"Learned relays forgotten after going quiet.")
+	for _, r := range []string{RepairGetNew, RepairApply} {
+		h.repairAttempts[r] = h.reg.Counter("rpcc_repair_attempts_total",
+			"GET_NEW/APPLY repair sends, including backoff retries.", Label{"kind", r})
+		h.repairGiveUps[r] = h.reg.Counter("rpcc_repair_giveups_total",
+			"Repairs abandoned after MaxRepairAttempts unanswered sends.", Label{"kind", r})
+	}
 	for _, ev := range []string{MembershipApply, MembershipApplyAck, MembershipCancel, MembershipPrune, MembershipReRegister} {
 		h.membership[ev] = h.reg.Counter("rpcc_relay_membership_total",
 			"Relay-table membership events at source hosts.", Label{"event", ev})
@@ -319,6 +346,43 @@ func (h *Hub) RelayForget() {
 	}
 }
 
+// RepairAttempt counts one GET_NEW or APPLY send (first send or retry).
+func (h *Hub) RepairAttempt(kind string) {
+	if h == nil {
+		return
+	}
+	if c, ok := h.repairAttempts[kind]; ok {
+		c.Inc()
+	}
+}
+
+// RepairGiveUp counts one repair abandoned at the attempt bound.
+func (h *Hub) RepairGiveUp(kind string) {
+	if h == nil {
+		return
+	}
+	if c, ok := h.repairGiveUps[kind]; ok {
+		c.Inc()
+	}
+}
+
+// FaultEvent counts one injected fault and, at LevelSpans, retains it as
+// a fault span. nodes is retained as given (callers pass sorted slices);
+// item is -1 when the fault is not item-scoped.
+func (h *Hub) FaultEvent(at time.Duration, kind string, nodes []int, item int, note string) {
+	if h == nil {
+		return
+	}
+	h.reg.Counter("rpcc_fault_events_total", "Injected fault-plane events.",
+		Label{"kind", kind}).Inc()
+	if h.spans != nil {
+		h.spans.AddFault(FaultSpan{
+			AtNs: int64(at), Kind: kind, Nodes: append([]int(nil), nodes...),
+			Item: item, Note: note,
+		})
+	}
+}
+
 // Coeff observes one node's election coefficients at a coefficient tick.
 func (h *Hub) Coeff(car, cs, ce float64) {
 	if h == nil {
@@ -366,8 +430,11 @@ func (h *Hub) Finish(at time.Duration) {
 			if v := h.traffic.Delivered(kind); v > 0 {
 				h.reg.Counter("rpcc_delivered_total", "Messages reaching a handler.", lb).Add(v)
 			}
-			if v := h.traffic.Dropped(kind); v > 0 {
-				h.reg.Counter("rpcc_dropped_total", "Messages abandoned in flight.", lb).Add(v)
+			for c := stats.DropCause(0); c < stats.NumDropCauses; c++ {
+				if v := h.traffic.DroppedByCause(kind, c); v > 0 {
+					h.reg.Counter("rpcc_dropped_total", "Messages abandoned in flight, by cause.",
+						lb, Label{"cause", c.String()}).Add(v)
+				}
 			}
 		}
 		h.reg.Counter("rpcc_tx_bytes_total", "Bytes transmitted.").Add(h.traffic.TotalBytes())

@@ -9,17 +9,19 @@ import (
 // jsonlLine is the envelope of one JSONL export line. Exactly one of the
 // payload fields is set, per Type.
 type jsonlLine struct {
-	Type     string     `json:"type"` // "query" | "role" | "wave" | "snapshot"
+	Type     string     `json:"type"` // "query" | "role" | "wave" | "fault" | "snapshot"
 	Query    *QuerySpan `json:"query,omitempty"`
 	Role     *RoleSpan  `json:"role,omitempty"`
 	Wave     *WaveSpan  `json:"wave,omitempty"`
+	Fault    *FaultSpan `json:"fault,omitempty"`
 	Snapshot *Snapshot  `json:"snapshot,omitempty"`
 }
 
 // WriteJSONL exports the hub's span plane as JSON Lines: wave spans
-// sorted by flood id, then role transitions and query lifecycles in
-// simulation event order, then one final snapshot line. The order, like
-// every value, is a pure function of the run's seed.
+// sorted by flood id, then fault events in injection order (monotone
+// timestamps), then role transitions and query lifecycles in simulation
+// event order, then one final snapshot line. The order, like every
+// value, is a pure function of the run's seed.
 func (h *Hub) WriteJSONL(w io.Writer) error {
 	if h == nil {
 		return nil
@@ -32,6 +34,11 @@ func (h *Hub) WriteJSONL(w io.Writer) error {
 		}
 	}
 	if h.spans != nil {
+		for i := range h.spans.faults {
+			if err := enc.Encode(jsonlLine{Type: "fault", Fault: &h.spans.faults[i]}); err != nil {
+				return err
+			}
+		}
 		for i := range h.spans.roles {
 			if err := enc.Encode(jsonlLine{Type: "role", Role: &h.spans.roles[i]}); err != nil {
 				return err

@@ -55,12 +55,25 @@ type WaveSpan struct {
 	MaxHops    int    `json:"max_hops"`
 }
 
-// SpanLog retains query and role spans up to a shared cap, counting
-// overflow instead of growing without bound.
+// FaultSpan is one injected fault-plane event: a partition splitting or
+// healing, a crash/restart, or a relay assassination. Nodes lists the
+// affected node ids (sorted); Item is -1 unless the fault targets one
+// item's relay tier.
+type FaultSpan struct {
+	AtNs  int64  `json:"at_ns"`
+	Kind  string `json:"kind"`
+	Nodes []int  `json:"nodes,omitempty"`
+	Item  int    `json:"item"`
+	Note  string `json:"note,omitempty"`
+}
+
+// SpanLog retains query, role and fault spans up to a shared cap,
+// counting overflow instead of growing without bound.
 type SpanLog struct {
 	cap     int
 	queries []QuerySpan
 	roles   []RoleSpan
+	faults  []FaultSpan
 	dropped uint64
 }
 
@@ -72,7 +85,7 @@ func NewSpanLog(capacity int) *SpanLog {
 	return &SpanLog{cap: capacity}
 }
 
-func (l *SpanLog) size() int { return len(l.queries) + len(l.roles) }
+func (l *SpanLog) size() int { return len(l.queries) + len(l.roles) + len(l.faults) }
 
 // AddQuery appends a query span (or counts a drop at capacity).
 func (l *SpanLog) AddQuery(s QuerySpan) {
@@ -92,12 +105,25 @@ func (l *SpanLog) AddRole(s RoleSpan) {
 	l.roles = append(l.roles, s)
 }
 
+// AddFault appends a fault span (or counts a drop at capacity).
+func (l *SpanLog) AddFault(s FaultSpan) {
+	if l.size() >= l.cap {
+		l.dropped++
+		return
+	}
+	l.faults = append(l.faults, s)
+}
+
 // Queries returns the retained query spans in record (simulation event)
 // order.
 func (l *SpanLog) Queries() []QuerySpan { return l.queries }
 
 // Roles returns the retained role spans in record order.
 func (l *SpanLog) Roles() []RoleSpan { return l.roles }
+
+// Faults returns the retained fault spans in record order — injection
+// order, so timestamps are monotone.
+func (l *SpanLog) Faults() []FaultSpan { return l.faults }
 
 // Dropped returns how many spans the cap discarded.
 func (l *SpanLog) Dropped() uint64 { return l.dropped }
