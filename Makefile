@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-hotpath bench-compare figures telemetry-smoke chaos-smoke clean
+.PHONY: all build test race vet check bench bench-hotpath bench-compare figures telemetry-smoke chaos-smoke conform-smoke clean
 
 all: check
 
@@ -90,6 +90,19 @@ chaos-smoke:
 		-jsonl $(CHAOS_TMP)/a.jsonl \
 		-require rpcc_fault_events_total,rpcc_dropped_total,rpcc_repair_attempts_total
 	@cat $(CHAOS_TMP)/a.txt
+
+# Conformance gate: the oracle's unit/replay tests, then the conform CLI
+# (mutant gate across 5 seeds + per-strategy clean sweep + a short fuzz
+# budget) run twice with identical flags; the two outputs must be byte
+# identical — the determinism contract behind trace replay and shrinking.
+CONFORM_TMP ?= /tmp/rpcc-conform-smoke
+conform-smoke:
+	mkdir -p $(CONFORM_TMP)
+	$(GO) test ./internal/oracle/
+	$(GO) run ./cmd/conform -seeds 5 -fuzz 25 > $(CONFORM_TMP)/a.txt
+	$(GO) run ./cmd/conform -seeds 5 -fuzz 25 > $(CONFORM_TMP)/b.txt
+	cmp $(CONFORM_TMP)/a.txt $(CONFORM_TMP)/b.txt
+	@tail -3 $(CONFORM_TMP)/a.txt
 
 # Full paper reproduction (5 simulated hours per run), journaled so an
 # interrupted sweep resumes with `make figures` again.

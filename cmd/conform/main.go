@@ -1,0 +1,115 @@
+// Command conform is the differential conformance gate. It runs three
+// checks against the in-tree protocol implementations and exits non-zero
+// if any fails:
+//
+//  1. Mutant gate — every known protocol mutant (stale-push replay,
+//     ignored TTR, ACK off-by-one, flood-TTL drift, doubled TTP, store
+//     regression) is injected in turn and must be caught by the oracle,
+//     while the matching unmutated control run must stay silent. The
+//     gate repeats across -seeds kernel seeds.
+//  2. Clean sweep — every strategy runs an unmutated, unperturbed mixed
+//     workload per seed; any divergence is a false positive.
+//  3. Fuzz — -fuzz rounds of randomly perturbed schedules (delays,
+//     duplicates, drops, crashes) against the unmutated tree; any
+//     divergence that survives shrinking is printed as a replayable
+//     JSONL trace stub.
+//
+// Output is deterministic for a given flag set: no wall-clock times, no
+// map-order dependence, so two invocations can be compared byte for
+// byte (see `make conform-smoke`).
+//
+//	conform -seeds 5 -fuzz 25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/manetlab/rpcc/internal/oracle"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "conform:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		seeds    = flag.Int64("seeds", 5, "kernel seeds to repeat the mutant gate and clean sweep over (1..N)")
+		fuzz     = flag.Int("fuzz", 25, "random perturbation rounds against the unmutated tree (0 disables)")
+		fuzzSeed = flag.Int64("fuzz-seed", 7, "root seed for the fuzz campaign")
+	)
+	flag.Parse()
+	if *seeds < 1 {
+		return fmt.Errorf("-seeds must be >= 1")
+	}
+
+	failures := 0
+
+	fmt.Printf("== mutant gate: %d mutants x %d seeds ==\n", len(oracle.Gates(1)), *seeds)
+	for seed := int64(1); seed <= *seeds; seed++ {
+		for _, r := range oracle.RunGates(seed) {
+			switch {
+			case r.Err != nil:
+				failures++
+				fmt.Printf("FAIL seed=%d %-22s error: %v\n", seed, r.Mutant, r.Err)
+			case !r.Caught:
+				failures++
+				fmt.Printf("FAIL seed=%d %-22s escaped (divergences=%d first=%q falsePositives=%d)\n",
+					seed, r.Mutant, r.Detected, r.FirstKind, r.FalsePositives)
+			default:
+				fmt.Printf("ok   seed=%d %-22s caught=%d kind=%s clean=0\n",
+					seed, r.Mutant, r.Detected, r.FirstKind)
+			}
+		}
+	}
+
+	fmt.Printf("== clean sweep: %d strategies x %d seeds ==\n", len(oracle.CleanSweep(1)), *seeds)
+	for seed := int64(1); seed <= *seeds; seed++ {
+		for _, sc := range oracle.CleanSweep(seed) {
+			rep, err := oracle.Run(sc)
+			switch {
+			case err != nil:
+				failures++
+				fmt.Printf("FAIL seed=%d %-16s error: %v\n", seed, sc.Name, err)
+			case len(rep.Divergences) > 0:
+				failures++
+				fmt.Printf("FAIL seed=%d %-16s %d false positives, first: %s\n",
+					seed, sc.Name, len(rep.Divergences), rep.Divergences[0])
+			case rep.Answered == 0:
+				failures++
+				fmt.Printf("FAIL seed=%d %-16s vacuous: zero answers\n", seed, sc.Name)
+			default:
+				fmt.Printf("ok   seed=%d %-16s answered=%d divergences=0\n", seed, sc.Name, rep.Answered)
+			}
+		}
+	}
+
+	if *fuzz > 0 {
+		fmt.Printf("== fuzz: %d rounds, seed %d ==\n", *fuzz, *fuzzSeed)
+		findings, err := oracle.Fuzz(oracle.FuzzConfig{Seed: *fuzzSeed, Rounds: *fuzz})
+		if err != nil {
+			return err
+		}
+		if len(findings) == 0 {
+			fmt.Printf("ok   fuzz: %d rounds, 0 findings\n", *fuzz)
+		}
+		for _, f := range findings {
+			failures++
+			fmt.Printf("FAIL fuzz round=%d strategy=%s divergences=%d\n",
+				f.Round, f.Shrunk.Strategy, len(f.Divergences))
+			fmt.Printf("     first: %s\n", f.Divergences[0])
+			fmt.Printf("     shrunk repro: %d nodes, %d rules, horizon %dms (write with oracle.WriteTrace)\n",
+				f.Shrunk.Nodes, len(f.Shrunk.Rules), f.Shrunk.HorizonMS)
+		}
+	}
+
+	if failures > 0 {
+		return fmt.Errorf("%d check(s) failed", failures)
+	}
+	fmt.Println("== conform: all checks passed ==")
+	return nil
+}

@@ -88,6 +88,21 @@ func (t *CoeffTracker) Observe(s CoeffSample) {
 	nm := float64(s.Moves-t.last.Moves) / perTenSec
 	t.last = s
 
+	if t.windows == 0 {
+		// First measured window: seed the recursions with the measured
+		// rates instead of mixing them with the zero priors. Eq 4.2.2's
+		// history terms have no defined value before any window exists;
+		// folding in zeros under-reports the rates by the history weight
+		// (PSR₁ = 0.8·N_s with ω = 0.2), which over-reports CS and CAR and
+		// let a node flapping hard in its very first window pass the
+		// stability criterion at windows == 1.
+		t.parPrev, t.par = na, na
+		t.psr = ns
+		t.pmr = nm
+		t.ce = s.CE
+		t.windows++
+		return
+	}
 	w := t.omega
 	t.parPrev, t.par = t.par, t.parPrev*w/4+t.par*w/2+na*(1-w/4-w/2)
 	t.psr = t.psr*w + ns*(1-w)

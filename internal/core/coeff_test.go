@@ -39,18 +39,20 @@ func TestFreshTrackerNeverEligible(t *testing.T) {
 
 func TestPARFollowsEq422(t *testing.T) {
 	// Hand-computed: ω = 0.2, φ = 1 min, access deltas 60, 120, 0.
-	// PAR_1 = 0·ω/4 + 0·ω/2 + 60·(1−0.05−0.1) = 51
-	// PAR_2 = 0·0.05 + 51·0.1 + 120·0.85 = 107.1
-	// PAR_3 = 51·0.05 + 107.1·0.1 + 0·0.85 = 13.26
+	// The first measured window seeds the recursion (there is no defined
+	// history before it), so PAR_1 is the measured rate itself:
+	// PAR_1 = 60
+	// PAR_2 = 60·0.05 + 60·0.1 + 120·0.85 = 111
+	// PAR_3 = 60·0.05 + 111·0.1 + 0·0.85 = 14.1
 	tr, _ := NewCoeffTracker(0.2, time.Minute)
 	tr.Observe(CoeffSample{Accesses: 0, CE: 1}) // baseline
 	steps := []struct {
 		cum  uint64
 		want float64
 	}{
-		{60, 51},
-		{180, 107.1},
-		{180, 13.26},
+		{60, 60},
+		{180, 111},
+		{180, 14.1},
 	}
 	for i, s := range steps {
 		tr.Observe(CoeffSample{Accesses: s.cum, CE: 1})
@@ -134,6 +136,31 @@ func TestFlappingNodeFailsCS(t *testing.T) {
 	}
 }
 
+// TestFirstWindowFlapperNotEligible is the regression test for the
+// warm-up under-reporting bug: the EWMA recursions used to fold the first
+// measured window into zero-valued history terms, reporting PSR_1 =
+// 0.8·N_s under ω = 0.2. That over-reported CS by up to 25% and admitted
+// a node flapping hard in its very first window. With ω = 0.2, φ = 2 min
+// and 9 transitions (N_s + N_m = 0.75/10s), the buggy code yielded CS =
+// 1/(1+0.6) = 0.625 > μ_CS = 0.6 — eligible — while the true rate gives
+// CS = 1/1.75 ≈ 0.571, below threshold.
+func TestFirstWindowFlapperNotEligible(t *testing.T) {
+	tr, _ := NewCoeffTracker(0.2, 2*time.Minute)
+	tr.Observe(CoeffSample{CE: 1}) // baseline
+	tr.Observe(CoeffSample{Accesses: 600, Switches: 5, Moves: 4, CE: 1})
+	if got := tr.PSR() + tr.PMR(); math.Abs(got-0.75) > 1e-9 {
+		t.Fatalf("first-window PSR+PMR = %g, want the measured 0.75", got)
+	}
+	if tr.Eligible(0.15, 0.6, 0.6) {
+		t.Fatalf("flapping node eligible in its first measured window: %v", tr)
+	}
+	// Once the node actually calms down, history decays and it qualifies.
+	tr.Observe(CoeffSample{Accesses: 1200, Switches: 5, Moves: 4, CE: 1})
+	if !tr.Eligible(0.15, 0.6, 0.6) {
+		t.Fatalf("stabilised node still ineligible: %v", tr)
+	}
+}
+
 func TestOmegaZeroIgnoresHistory(t *testing.T) {
 	tr, _ := NewCoeffTracker(0, time.Minute)
 	tr.Observe(CoeffSample{CE: 1})
@@ -147,11 +174,14 @@ func TestOmegaZeroIgnoresHistory(t *testing.T) {
 func TestOmegaOneMostlyHistory(t *testing.T) {
 	tr, _ := NewCoeffTracker(1, time.Minute)
 	tr.Observe(CoeffSample{CE: 1})
-	tr.Observe(CoeffSample{Accesses: 400, CE: 1}) // PAR_1 = 400*(1-0.75) = 100
+	tr.Observe(CoeffSample{Accesses: 400, CE: 1}) // seeded: PAR_1 = 400
 	par1 := tr.PAR()
-	tr.Observe(CoeffSample{Accesses: 400, CE: 1}) // PAR_2 = PAR_1*0.5 = 50
-	if got := tr.PAR(); math.Abs(got-par1*0.5) > 1e-9 {
-		t.Errorf("PAR with ω=1 = %g, want %g", got, par1*0.5)
+	// With ω=1 the history terms carry weight ω/4 + ω/2 = 0.75, and after
+	// the seeded first window both history slots hold PAR_1, so an idle
+	// window decays to exactly three quarters of it.
+	tr.Observe(CoeffSample{Accesses: 400, CE: 1})
+	if got := tr.PAR(); math.Abs(got-par1*0.75) > 1e-9 {
+		t.Errorf("PAR with ω=1 = %g, want %g", got, par1*0.75)
 	}
 }
 

@@ -100,6 +100,14 @@ type Config struct {
 	AdaptiveTTN bool
 	// AdaptiveTTNMax caps the stretched interval (default 4×TTN).
 	AdaptiveTTNMax time.Duration
+	// Mutant selects a deliberately broken protocol variant for the
+	// conformance mutation gate (internal/oracle, cmd/conform): each
+	// value reverts or corrupts exactly one correctness-critical guard so
+	// the gate can prove the differential oracle detects the breakage.
+	// Like DisableRepair, it exists solely for the verification tooling:
+	// experiment configs cannot reach it, and the zero value is the
+	// correct protocol.
+	Mutant Mutant
 	// EagerRelayRefresh extends Fig 6(c): a relay whose TTR has expired
 	// and that receives a POLL immediately repairs with GET_NEW instead
 	// of idling until the next INVALIDATION. The paper's protocol waits
@@ -178,7 +186,71 @@ func (c Config) Validate() error {
 			return fmt.Errorf("core: threshold %s=%g outside (0,1]", name, mu)
 		}
 	}
+	if c.Mutant < MutantNone || c.Mutant > mutantMax {
+		return fmt.Errorf("core: unknown mutant %d", c.Mutant)
+	}
 	return nil
+}
+
+// Mutant enumerates the deliberately broken protocol variants injected by
+// the conformance mutation gate. Each mutant corrupts one guard the
+// differential oracle must catch; MutantNone (the zero value) is the
+// correct protocol.
+type Mutant int
+
+const (
+	// MutantNone runs the unmodified protocol.
+	MutantNone Mutant = iota
+	// MutantStaleUpdate drops the version-monotone and freshness guards
+	// on UPDATE/SEND_NEW application: a delayed or duplicated stale push
+	// renews TTR and settles repair debt again — the pre-fix behaviour of
+	// the reordered-UPDATE bug.
+	MutantStaleUpdate
+	// MutantIgnoreTTR makes a relay treat its copy as authoritative
+	// forever after its first refresh, never letting TTR expire.
+	MutantIgnoreTTR
+	// MutantAckAOffByOne answers POLL_ACK_A ("your copy is current") to
+	// pollers one version behind the authority, so they never receive the
+	// fresh content a POLL_ACK_B would carry.
+	MutantAckAOffByOne
+	// MutantFloodTTLPlusOne floods INVALIDATION one hop beyond the
+	// configured TTL, overreaching the paper's relay scope.
+	MutantFloodTTLPlusOne
+	// MutantFloodTTLMinusOne floods INVALIDATION one hop short of the
+	// configured TTL, starving the boundary nodes of version evidence.
+	MutantFloodTTLMinusOne
+	// MutantTTPDouble doubles the Δ-consistency window at query time.
+	MutantTTPDouble
+	// MutantStoreRegression force-installs authoritative copies even when
+	// older than the cached version, bypassing the cache's monotone guard
+	// and regressing the node's answers.
+	MutantStoreRegression
+
+	mutantMax = MutantStoreRegression
+)
+
+// String names the mutant for gate reports.
+func (m Mutant) String() string {
+	switch m {
+	case MutantNone:
+		return "none"
+	case MutantStaleUpdate:
+		return "stale-update-replay"
+	case MutantIgnoreTTR:
+		return "ignore-ttr"
+	case MutantAckAOffByOne:
+		return "acka-off-by-one"
+	case MutantFloodTTLPlusOne:
+		return "flood-ttl-plus-one"
+	case MutantFloodTTLMinusOne:
+		return "flood-ttl-minus-one"
+	case MutantTTPDouble:
+		return "ttp-double"
+	case MutantStoreRegression:
+		return "store-regression"
+	default:
+		return fmt.Sprintf("mutant(%d)", int(m))
+	}
 }
 
 // Role is a node's per-item protocol role (Fig 5's state diagram).

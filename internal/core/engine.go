@@ -126,6 +126,12 @@ type Engine struct {
 	getNewGiveUps uint64
 	applySends    uint64
 	applyGiveUps  uint64
+
+	// Monotonicity accounting: UPDATE/SEND_NEW pushes rejected because
+	// they carried an older version than the stored copy (duplicated or
+	// reordered in flight), and poll acks ignored for the same reason.
+	stalePushRejects uint64
+	staleAckRejects  uint64
 }
 
 // New builds an RPCC engine on the shared chassis.
@@ -222,6 +228,7 @@ func (e *Engine) OnQuery(k *sim.Kernel, host int, item data.ItemID, level consis
 			return
 		}
 		q.Route = "owner"
+		q.Source = host
 		e.ch.Answer(k, q, m.Current())
 		return
 	}
@@ -235,15 +242,18 @@ func (e *Engine) OnQuery(k *sim.Kernel, host int, item data.ItemID, level consis
 	switch {
 	case level == consistency.LevelWeak:
 		q.Route = "local"
+		q.Source = host
 		e.ch.Answer(k, q, cp)
 	case st.role == RoleRelay && e.ttrValid(k, st):
 		// A relay with a live TTR is the validation authority other
 		// peers poll; its own copy is exactly as fresh as the answer a
 		// poll would return, so it answers locally at any level.
 		q.Route = "relay-local"
+		q.Source = host
 		e.ch.Answer(k, q, cp)
 	case level == consistency.LevelDelta && e.ttpValid(k, st):
 		q.Route = "local"
+		q.Source = host
 		e.ch.Answer(k, q, cp)
 	default:
 		e.startPoll(k, q, cp.Version)
@@ -269,8 +279,10 @@ func (e *Engine) fetchMiss(k *sim.Kernel, q *node.Query) {
 		}
 		switch {
 		case q.Level == consistency.LevelWeak, fromOwner:
+			q.Source = from
 			e.ch.Answer(kk, q, c)
 		case q.Level == consistency.LevelDelta && e.ttpValid(kk, st):
+			q.Source = from
 			e.ch.Answer(kk, q, c)
 		default:
 			e.startPoll(kk, q, c.Version)
@@ -319,11 +331,21 @@ func (e *Engine) itemState(host int, item data.ItemID) *itemState {
 
 // ttpValid reports whether st's copy still satisfies Δ-consistency.
 func (e *Engine) ttpValid(k *sim.Kernel, st *itemState) bool {
-	return st.validatedOnce && k.Now()-st.lastValidated < e.cfg.TTP
+	win := e.cfg.TTP
+	if e.cfg.Mutant == MutantTTPDouble {
+		// Conformance mutant: honor twice the promised Δ window.
+		win *= 2
+	}
+	return st.validatedOnce && k.Now()-st.lastValidated < win
 }
 
 // ttrValid reports whether a relay's copy is still authoritative.
 func (e *Engine) ttrValid(k *sim.Kernel, st *itemState) bool {
+	if e.cfg.Mutant == MutantIgnoreTTR {
+		// Conformance mutant: a relay that was refreshed once stays an
+		// authority forever, never re-validating against the source.
+		return st.refreshedOnce
+	}
 	return st.refreshedOnce && k.Now()-st.lastRefreshed < e.cfg.TTR
 }
 
@@ -457,7 +479,16 @@ func (e *Engine) ttnTick(k *sim.Kernel, nd int) {
 		Origin:  nd,
 		Version: cur.Version,
 	}
-	_ = e.ch.Net.Flood(nd, e.cfg.InvalidationTTL, inv)
+	ttl := e.cfg.InvalidationTTL
+	switch e.cfg.Mutant {
+	case MutantFloodTTLPlusOne:
+		ttl++
+	case MutantFloodTTLMinusOne:
+		if ttl > 1 {
+			ttl--
+		}
+	}
+	_ = e.ch.Net.Flood(nd, ttl, inv)
 	ps.announced = cur.Version
 }
 
@@ -561,6 +592,31 @@ func (e *Engine) Warm(k *sim.Kernel, host int, c data.Copy) {
 	e.putCopy(k, host, c)
 }
 
+// SeedRelay installs host as an established relay for item: the copy is
+// stamped refreshed, the role set, and the source host's relay table
+// updated — the state the election and APPLY handshake would have reached
+// by this point. Conformance and benchmark harnesses use it to start
+// scenarios from a known relay topology instead of waiting out the
+// coefficient warm-up. The host must already cache the item (Warm first).
+func (e *Engine) SeedRelay(k *sim.Kernel, host int, item data.ItemID) error {
+	if host < 0 || host >= len(e.peers) {
+		return fmt.Errorf("core: seed relay host %d out of range", host)
+	}
+	if !e.ch.Stores[host].Contains(item) {
+		return fmt.Errorf("core: seed relay host %d does not cache item %d", host, item)
+	}
+	st := e.itemState(host, item)
+	st.role = RoleRelay
+	st.lastRefreshed = k.Now()
+	st.refreshedOnce = true
+	st.invAt = k.Now()
+	owner := e.ch.Reg.Owner(item)
+	if owner >= 0 && owner < len(e.peers) {
+		e.peers[owner].relays[host] = struct{}{}
+	}
+	return nil
+}
+
 // Role returns nd's current role for item (RoleNone when not cached).
 func (e *Engine) Role(nd int, item data.ItemID) Role {
 	st, ok := e.peers[nd].items[item]
@@ -614,6 +670,12 @@ func (e *Engine) RelayCountFor(item data.ItemID) int {
 // how many times a learned relay was forgotten after going quiet.
 func (e *Engine) PollStats() (direct, ring, fallback, forgets uint64) {
 	return e.pollDirect, e.pollRing, e.pollFallback, e.relayForgets
+}
+
+// StaleRejects reports how many stale UPDATE/SEND_NEW pushes and poll
+// acks the version-monotonicity guards discarded.
+func (e *Engine) StaleRejects() (pushes, acks uint64) {
+	return e.stalePushRejects, e.staleAckRejects
 }
 
 // RepairStats reports the §4.5 retry accounting: total GET_NEW and APPLY

@@ -62,8 +62,10 @@ func (e *Engine) onInvalidation(k *sim.Kernel, nd int, msg protocol.Message) {
 			st.applyGaveUp = false
 			st.applyAttempts = 0
 		}
+		// The watermark only advances: a duplicated or reordered stale
+		// announcement must not roll back what this node knows exists.
+		st.invVersion = msg.Version
 	}
-	st.invVersion = msg.Version
 	st.invAt = k.Now()
 	st.invHeard = true
 	if st.knownRelay < 0 {
@@ -79,15 +81,23 @@ func (e *Engine) onInvalidation(k *sim.Kernel, nd int, msg protocol.Message) {
 		if !have {
 			return
 		}
-		if cp.Version < msg.Version {
+		if cp.Version < st.invVersion {
 			// Missed one or more updates (e.g. while disconnected, §4.5):
 			// repair with GET_NEW. The debt clock starts at the first
-			// missed announcement and runs until a refresh lands.
+			// missed announcement and runs until a refresh lands. The
+			// comparison is against the watermark, not msg.Version, so a
+			// reordered stale announcement cannot mask a known gap.
 			if !st.debtOpen {
 				st.debtOpen = true
 				st.debtSince = k.Now()
 			}
 			e.sendGetNew(k, nd, msg.Item, st)
+			return
+		}
+		if msg.Version < st.invVersion {
+			// The copy covers the watermark, but this announcement is a
+			// stale replay: it is evidence from before the newest known
+			// version existed and cannot renew the relay's authority.
 			return
 		}
 		// Copy confirmed current: renew TTR (and the copy is trivially
@@ -188,22 +198,46 @@ func (e *Engine) onUpdate(k *sim.Kernel, nd int, msg protocol.Message) {
 		e.sendCancel(k, nd, msg.Item)
 		return
 	}
-	e.storeRefresh(k, nd, msg.Copy, st)
+	if e.cfg.Mutant != MutantStaleUpdate && e.cfg.Mutant != MutantStoreRegression {
+		if held, have := e.ch.Stores[nd].Peek(msg.Item); have && msg.Copy.Version < held.Version {
+			// A strictly newer copy is already held: this push is a
+			// reordered or duplicated leftover and carries no evidence at
+			// all. Rejecting it outright keeps application strictly
+			// version-monotone.
+			e.stalePushRejects++
+			return
+		}
+	}
+	// A push only proves the copy current when it is at least as new as
+	// every version announced to this node. A duplicated old push (equal
+	// to the held copy but behind the INVALIDATION watermark) must not
+	// renew TTR, revalidate TTP or settle repair debt — that would extend
+	// stale service by up to a full TTR on dead evidence.
+	fresh := msg.Copy.Version >= st.invVersion || e.cfg.Mutant == MutantStaleUpdate
+	e.storeRefresh(k, nd, msg.Copy, st, fresh)
 	switch st.role {
 	case RoleRelay:
-		st.lastRefreshed = k.Now()
-		st.refreshedOnce = true
-		e.resetGetNew(st)
-		e.flushPendingPolls(k, nd, msg.Item, st)
+		if fresh {
+			st.lastRefreshed = k.Now()
+			st.refreshedOnce = true
+			e.resetGetNew(st)
+			e.flushPendingPolls(k, nd, msg.Item, st)
+		} else {
+			e.sendGetNew(k, nd, msg.Item, st)
+		}
 	case RoleCandidate:
 		// The APPLY_ACK was lost but the owner is pushing to us: we are a
 		// relay in its table (Fig 6d line 28–31).
 		st.role = RoleRelay
 		e.resetApply(st)
-		st.lastRefreshed = k.Now()
-		st.refreshedOnce = true
 		e.roleChanged(k, nd, msg.Item, RoleCandidate, RoleRelay, "update-push")
-		e.flushPendingPolls(k, nd, msg.Item, st)
+		if fresh {
+			st.lastRefreshed = k.Now()
+			st.refreshedOnce = true
+			e.flushPendingPolls(k, nd, msg.Item, st)
+		} else {
+			e.sendGetNew(k, nd, msg.Item, st)
+		}
 	default:
 		// Plain cache node receiving UPDATE: the owner missed our CANCEL.
 		// Keep the fresh data, repeat the CANCEL (Fig 6d lines 32–35).
@@ -226,9 +260,20 @@ func (e *Engine) resetApply(st *itemState) {
 	st.applyGaveUp = false
 }
 
-// storeRefresh puts an authoritative copy and renews TTP.
-func (e *Engine) storeRefresh(k *sim.Kernel, nd int, c data.Copy, st *itemState) {
-	if _, _, err := e.ch.Stores[nd].PutEvict(c, k.Now()); err == nil {
+// storeRefresh puts an authoritative copy; validate marks it as a TTP
+// validation point. Callers pass false for copies that are not fresh
+// evidence (older than the newest version announced to this node): the
+// content is still worth keeping if the store accepts it, but it proves
+// nothing about currency.
+func (e *Engine) storeRefresh(k *sim.Kernel, nd int, c data.Copy, st *itemState, validate bool) {
+	_, _, err := e.ch.Stores[nd].PutEvict(c, k.Now())
+	if err != nil && e.cfg.Mutant == MutantStoreRegression {
+		// Conformance mutant: bypass the cache's version-monotone guard
+		// and install the older copy anyway.
+		e.ch.Stores[nd].Remove(c.ID)
+		err = e.ch.Stores[nd].Put(c, k.Now())
+	}
+	if err == nil && validate {
 		st.lastValidated = k.Now()
 		st.validatedOnce = true
 	}
@@ -268,7 +313,21 @@ func (e *Engine) onSendNew(k *sim.Kernel, nd int, msg protocol.Message) {
 	if !ok {
 		return
 	}
-	e.storeRefresh(k, nd, msg.Copy, st)
+	if e.cfg.Mutant != MutantStaleUpdate && e.cfg.Mutant != MutantStoreRegression {
+		if held, have := e.ch.Stores[nd].Peek(msg.Item); have && msg.Copy.Version < held.Version {
+			// Same monotone guard as onUpdate: a delayed repair reply that
+			// lost the race to a newer copy is a dead letter.
+			e.stalePushRejects++
+			return
+		}
+	}
+	fresh := msg.Copy.Version >= st.invVersion || e.cfg.Mutant == MutantStaleUpdate
+	e.storeRefresh(k, nd, msg.Copy, st, fresh)
+	if !fresh {
+		// The reply repairs less than what is known to exist (a reordered
+		// leftover from an earlier round): the repair is still owed.
+		return
+	}
 	e.resetGetNew(st)
 	if st.role == RoleRelay {
 		st.lastRefreshed = k.Now()
@@ -373,7 +432,14 @@ func (e *Engine) onPoll(k *sim.Kernel, nd int, msg protocol.Message) {
 // answerPoll sends POLL_ACK_A when the poller's copy matches (or exceeds)
 // the authority's, POLL_ACK_B carrying fresh content otherwise.
 func (e *Engine) answerPoll(nd int, msg protocol.Message, authority data.Copy) {
-	if msg.Version >= authority.Version {
+	current := msg.Version >= authority.Version
+	if e.cfg.Mutant == MutantAckAOffByOne {
+		// Conformance mutant: vouch for pollers one version behind, so
+		// they keep serving the superseded copy and never hear the fresh
+		// content a POLL_ACK_B would carry.
+		current = msg.Version+1 >= authority.Version
+	}
+	if current {
 		ack := protocol.Message{
 			Kind:    protocol.KindPollAckA,
 			Item:    msg.Item,
@@ -435,7 +501,9 @@ func (e *Engine) learnRelay(k *sim.Kernel, st *itemState, msg protocol.Message) 
 	}
 }
 
-// onPollAckA validates the poller's copy (Fig 6d lines 12–15).
+// onPollAckA validates the poller's copy (Fig 6d lines 12–15). Late or
+// duplicate acks for a settled poll fall through the e.polls lookup: the
+// first answer wins and everything after it is a dead letter.
 func (e *Engine) onPollAckA(k *sim.Kernel, nd int, msg protocol.Message) {
 	r, ok := e.polls[msg.Seq]
 	if !ok || r.host != nd || r.item != msg.Item {
@@ -443,14 +511,23 @@ func (e *Engine) onPollAckA(k *sim.Kernel, nd int, msg protocol.Message) {
 	}
 	delete(e.polls, msg.Seq)
 	st := e.itemState(nd, msg.Item)
-	st.lastValidated = k.Now()
-	st.validatedOnce = true
-	e.learnRelay(k, st, msg)
 	cp, have := e.ch.Stores[nd].Peek(msg.Item)
 	if !have {
 		e.ch.Fail(r.q, "copy-lost")
 		return
 	}
+	if msg.Version >= cp.Version {
+		// The ack vouches for at least the version we hold: genuine
+		// validation. When two authorities raced and the slower one was
+		// behind (its ack vouches for less than we now hold), it renews
+		// nothing and is not worth learning as a poll target.
+		st.lastValidated = k.Now()
+		st.validatedOnce = true
+		e.learnRelay(k, st, msg)
+	} else {
+		e.staleAckRejects++
+	}
+	r.q.Source = msg.Origin
 	e.ch.Answer(k, r.q, cp)
 }
 
@@ -463,13 +540,28 @@ func (e *Engine) onPollAckB(k *sim.Kernel, nd int, msg protocol.Message) {
 	}
 	delete(e.polls, msg.Seq)
 	st := e.itemState(nd, msg.Item)
+	if held, have := e.ch.Stores[nd].Peek(msg.Item); have && msg.Copy.Version < held.Version &&
+		e.cfg.Mutant != MutantStoreRegression {
+		// Conflicting answers raced and this relay was behind (a newer
+		// copy landed while the poll was in flight): keep the newer copy,
+		// learn nothing from the stale authority, and answer with what we
+		// hold — the cached version must never regress.
+		e.staleAckRejects++
+		r.q.Source = msg.Origin
+		e.ch.Answer(k, r.q, held)
+		return
+	}
 	e.learnRelay(k, st, msg)
-	e.storeRefresh(k, nd, msg.Copy, st)
+	// The ack's content validates TTP only when it covers the newest
+	// version this node knows exists; an answer from a TTR-stale relay
+	// behind the watermark is content without currency evidence.
+	e.storeRefresh(k, nd, msg.Copy, st, msg.Copy.Version >= st.invVersion)
 	// Answer with whatever is now stored — it is msg.Copy unless a newer
 	// version raced in, in which case newer is strictly better.
 	cp, have := e.ch.Stores[nd].Peek(msg.Item)
 	if !have {
 		cp = msg.Copy
 	}
+	r.q.Source = msg.Origin
 	e.ch.Answer(k, r.q, cp)
 }

@@ -1,0 +1,26 @@
+package experiment
+
+import (
+	"testing"
+
+	"github.com/manetlab/rpcc/internal/core"
+)
+
+// TestExperimentCannotReachMutants pins the containment property the
+// conformance mutants rely on: no experiment Config field maps onto
+// core.Config.Mutant, so every experiment-driven engine runs the clean
+// protocol. Only the oracle's gate (which builds core.Config directly)
+// may inject a mutant.
+func TestExperimentCannotReachMutants(t *testing.T) {
+	for _, s := range []StrategyKind{StrategyRPCCSC, StrategyRPCCDC, StrategyRPCCWC, StrategyRPCCHY} {
+		cfg := DefaultConfig(s, 1)
+		// Exercise every knob an experiment config can turn, to show none
+		// of them reaches the mutant field.
+		cfg.AdaptiveTTN = true
+		cfg.DisableEagerRefresh = true
+		cc := coreConfigFrom(cfg)
+		if cc.Mutant != core.MutantNone {
+			t.Fatalf("strategy %s: experiment config produced mutant %v", s, cc.Mutant)
+		}
+	}
+}

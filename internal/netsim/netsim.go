@@ -66,6 +66,30 @@ type Receiver func(k *sim.Kernel, node int, msg protocol.Message, meta Meta)
 // by the protocol trace tool and by tests that assert on message flows.
 type Tracer func(at time.Duration, node int, msg protocol.Message, meta Meta)
 
+// Perturbation is what a schedule perturber does to one final delivery:
+// suppress it, delay it, or deliver both an on-time and a delayed copy.
+// The zero value leaves the delivery untouched.
+type Perturbation struct {
+	// Delay postpones the delivery by this much virtual time (with Dup
+	// set, it is the duplicate copy that is delayed).
+	Delay time.Duration
+	// Dup delivers the message twice: once on schedule, once after Delay.
+	Dup bool
+	// Drop suppresses the delivery entirely, recorded as a loss drop.
+	Drop bool
+}
+
+// Perturber inspects every final delivery — unicast, flood and local
+// alike, just before the tracer and receiver would run — and returns the
+// schedule perturbation to apply. The conformance fuzzer uses it to
+// explore adversarial message interleavings. Implementations must be
+// deterministic and must not draw from kernel streams (the fuzzer
+// precomputes its perturbation plans), so runs with a nil perturber stay
+// byte-identical to runs built before the hook existed. The tracer and
+// receiver observe only what survives perturbation, at its actual
+// delivery time.
+type Perturber func(node int, msg protocol.Message, meta Meta) Perturbation
+
 // LossModel replaces the uniform per-reception loss draw when installed
 // with SetLossModel — e.g. a two-state Gilbert–Elliott chain producing
 // correlated loss bursts. Implementations draw from their own kernel
@@ -225,6 +249,10 @@ type Network struct {
 	dupProb    float64
 	reorderMax time.Duration
 	faultRand  *rand.Rand
+
+	// perturber is the conformance harness's schedule-perturbation hook;
+	// nil (the default) costs one pointer check per delivery.
+	perturber Perturber
 }
 
 // New constructs the network. churnProc and batteries are optional (nil
@@ -441,7 +469,53 @@ func (n *Network) Activity(node int) uint64 {
 // SetTracer installs a delivery observer (nil to remove).
 func (n *Network) SetTracer(t Tracer) { n.tracer = t }
 
+// SetPerturber installs (or with nil removes) a delivery-schedule
+// perturber. Install during setup, before the kernel runs.
+func (n *Network) SetPerturber(p Perturber) { n.perturber = p }
+
+// deliver applies any installed schedule perturbation and completes the
+// delivery. It is the single choke point every unicast, flood and local
+// delivery funnels through, so a perturber sees the whole message
+// schedule.
 func (n *Network) deliver(node int, msg protocol.Message, meta Meta) {
+	if n.perturber != nil {
+		p := n.perturber(node, msg, meta)
+		switch {
+		case p.Drop:
+			n.traffic.RecordDropped(msg.Kind, stats.DropLoss)
+			return
+		case p.Dup:
+			n.deliverFinal(node, msg, meta)
+			n.deliverDelayed(node, msg, meta, p.Delay)
+			return
+		case p.Delay > 0:
+			n.deliverDelayed(node, msg, meta, p.Delay)
+			return
+		}
+	}
+	n.deliverFinal(node, msg, meta)
+}
+
+// deliverDelayed re-schedules a perturbed delivery, re-checking that the
+// destination is still up at fire time (as the delivery-fault delay path
+// does) and stamping the actual delivery time into the meta.
+func (n *Network) deliverDelayed(node int, msg protocol.Message, meta Meta, d time.Duration) {
+	if d <= 0 {
+		n.deliverFinal(node, msg, meta)
+		return
+	}
+	n.k.After(d, "netsim.perturb", func(*sim.Kernel) {
+		if !n.Up(node) {
+			n.traffic.RecordDropped(msg.Kind, stats.DropDisconnected)
+			return
+		}
+		meta.At = n.k.Now()
+		n.deliverFinal(node, msg, meta)
+	})
+}
+
+// deliverFinal completes a delivery: traffic ledger, tracer, receiver.
+func (n *Network) deliverFinal(node int, msg protocol.Message, meta Meta) {
 	n.traffic.RecordDelivered(msg.Kind)
 	if n.tracer != nil {
 		n.tracer(n.k.Now(), node, msg, meta)

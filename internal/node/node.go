@@ -31,7 +31,12 @@ type Query struct {
 	// Route records how the strategy resolved the query ("local",
 	// "relay", "poll", "fetch", ...) — purely observational, surfaced in
 	// telemetry query spans.
-	Route    string
+	Route string
+	// Source is the node whose authority backed the answer: the host
+	// itself for local/owner reads, the peer that supplied or validated
+	// the copy otherwise. -1 means the strategy did not record it. Purely
+	// observational, consumed by the conformance oracle.
+	Source   int
 	resolved bool
 }
 
@@ -108,6 +113,11 @@ type Chassis struct {
 	seq     uint64
 	fetches map[uint64]*fetch
 
+	// answerObserver, when set, sees every answered query after audit and
+	// telemetry recording. The conformance oracle installs it to compare
+	// served copies against its reference model.
+	answerObserver func(k *sim.Kernel, q *Query, served data.Copy)
+
 	issued      uint64
 	answered    uint64
 	failed      uint64
@@ -158,7 +168,14 @@ func (c *Chassis) Begin(k *sim.Kernel, host int, item data.ItemID, level consist
 		Item:     item,
 		Level:    level,
 		IssuedAt: k.Now(),
+		Source:   -1,
 	}
+}
+
+// SetAnswerObserver installs a hook invoked for every answered query,
+// after auditing and telemetry. Pass nil to remove it.
+func (c *Chassis) SetAnswerObserver(fn func(k *sim.Kernel, q *Query, served data.Copy)) {
+	c.answerObserver = fn
 }
 
 // Answer resolves q with the served copy: it records latency, audits the
@@ -203,6 +220,9 @@ func (c *Chassis) Answer(k *sim.Kernel, q *Query, served data.Copy) {
 			IssuedNs:   q.IssuedAt.Nanoseconds(),
 			ResolvedNs: k.Now().Nanoseconds(),
 		})
+	}
+	if c.answerObserver != nil {
+		c.answerObserver(k, q, served)
 	}
 }
 

@@ -1,0 +1,74 @@
+package oracle
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestFuzzCleanTree fuzzes the unmutated protocol: with the envelope
+// inflation in place, no schedule perturbation may produce a divergence
+// on a correct implementation.
+func TestFuzzCleanTree(t *testing.T) {
+	findings, err := Fuzz(FuzzConfig{Seed: 7, Rounds: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("round %d (%s): %d divergences, first %s",
+			f.Round, f.Shrunk.Strategy, len(f.Divergences), f.Divergences[0])
+	}
+}
+
+// TestFuzzScenarioGeneratorIsDeterministic pins the same-seed discipline
+// of the generator itself.
+func TestFuzzScenarioGeneratorIsDeterministic(t *testing.T) {
+	a := randomScenario(rand.New(rand.NewSource(42)), "rpcc", 3)
+	b := randomScenario(rand.New(rand.NewSource(42)), "rpcc", 3)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("scenarios differ:\n%+v\nvs\n%+v", a, b)
+	}
+	c := randomScenario(rand.New(rand.NewSource(43)), "rpcc", 3)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical scenarios")
+	}
+}
+
+// TestFuzzScenariosExerciseTheNetwork guards against the generator
+// drifting into vacuity: across a campaign's rounds the scenarios must
+// actually answer queries.
+func TestFuzzScenariosExerciseTheNetwork(t *testing.T) {
+	var answered uint64
+	for round := 0; round < 10; round++ {
+		strategy := fuzzStrategies[round%len(fuzzStrategies)]
+		rng := rand.New(rand.NewSource(7*1_000_003 + int64(round)))
+		sc := randomScenario(rng, strategy, round)
+		rep, err := Run(sc)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		answered += rep.Answered
+	}
+	if answered < 100 {
+		t.Fatalf("10 fuzz rounds answered only %d queries — workload too thin", answered)
+	}
+}
+
+// TestShrinkPreservesReproduction shrinks a known-diverging scenario and
+// checks the minimised form still diverges and is no larger than the
+// original.
+func TestShrinkPreservesReproduction(t *testing.T) {
+	sc := Gates(1)[5].Scenario // ttp-double: cheapest diverging gate
+	shrunk := shrink(sc)
+	rep, err := Run(shrunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Divergences) == 0 {
+		t.Fatal("shrunk scenario no longer diverges")
+	}
+	if shrunk.HorizonMS > sc.HorizonMS || len(shrunk.Rules) > len(sc.Rules) {
+		t.Fatalf("shrunk scenario grew: horizon %d>%d or rules %d>%d",
+			shrunk.HorizonMS, sc.HorizonMS, len(shrunk.Rules), len(sc.Rules))
+	}
+}

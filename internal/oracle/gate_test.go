@@ -1,0 +1,83 @@
+package oracle
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestMutantGateCatalogue is the in-tree mutation gate: every mutant in
+// the catalogue must be detected (with an expected divergence kind) and
+// its clean control must stay silent.
+func TestMutantGateCatalogue(t *testing.T) {
+	for _, r := range RunGates(1) {
+		if r.Err != nil {
+			t.Errorf("%s: %v", r.Mutant, r.Err)
+			continue
+		}
+		if !r.Caught {
+			t.Errorf("%s: escaped (detected=%d first=%q falsePositives=%d)",
+				r.Mutant, r.Detected, r.FirstKind, r.FalsePositives)
+		}
+		if r.FalsePositives > 0 {
+			t.Errorf("%s: clean control produced %d divergences", r.Mutant, r.FalsePositives)
+		}
+	}
+}
+
+// TestMutantGateSecondSeed guards against the catalogue depending on one
+// lucky kernel schedule.
+func TestMutantGateSecondSeed(t *testing.T) {
+	for _, r := range RunGates(4) {
+		if r.Err != nil {
+			t.Errorf("%s: %v", r.Mutant, r.Err)
+			continue
+		}
+		if !r.Caught {
+			t.Errorf("%s: escaped at seed 4 (detected=%d)", r.Mutant, r.Detected)
+		}
+	}
+}
+
+// TestCleanSweepNoFalsePositives runs every strategy unmutated and
+// unperturbed: the oracle must observe hundreds of answers and flag
+// none.
+func TestCleanSweepNoFalsePositives(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		for _, sc := range CleanSweep(seed) {
+			rep, err := Run(sc)
+			if err != nil {
+				t.Errorf("seed %d %s: %v", seed, sc.Name, err)
+				continue
+			}
+			if len(rep.Divergences) > 0 {
+				t.Errorf("seed %d %s: %d false positives, first %s",
+					seed, sc.Name, len(rep.Divergences), rep.Divergences[0])
+			}
+			if rep.Answered == 0 {
+				t.Errorf("seed %d %s: sweep answered nothing — vacuous", seed, sc.Name)
+			}
+		}
+	}
+}
+
+// TestRunDeterminism pins the byte-identical same-seed discipline at the
+// oracle level: the same scenario must yield the same report, divergence
+// for divergence.
+func TestRunDeterminism(t *testing.T) {
+	sc := Gates(1)[0].Scenario
+	a, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Answered != b.Answered || a.Failed != b.Failed || a.Issued != b.Issued {
+		t.Fatalf("counters differ: (%d,%d,%d) vs (%d,%d,%d)",
+			a.Answered, a.Failed, a.Issued, b.Answered, b.Failed, b.Issued)
+	}
+	if !reflect.DeepEqual(a.Divergences, b.Divergences) {
+		t.Fatalf("divergences differ:\n%v\nvs\n%v", a.Divergences, b.Divergences)
+	}
+}

@@ -1,0 +1,264 @@
+package oracle
+
+import (
+	"fmt"
+)
+
+// Gate is one mutation-gate case: a scenario crafted so that the named
+// mutant produces at least one divergence the oracle must catch, while
+// the identical scenario with the mutant removed must be divergence-free
+// (no false positives).
+type Gate struct {
+	Mutant   string
+	Scenario Scenario
+	// WantKinds lists divergence kinds at least one of which the mutant
+	// run must produce.
+	WantKinds []string
+}
+
+// Gates returns the full mutant catalogue, every case seeded from base.
+// Each scenario's timing is derived from the Table 1 defaults (TTN 2min,
+// TTR 90s, TTP 4min, InvTTL 3); see DESIGN.md §11 for the per-case
+// timing arithmetic.
+func Gates(base int64) []Gate {
+	min := int64(60_000) // one minute in ms
+	return []Gate{
+		{
+			// A duplicated, 12-minute-delayed UPDATE v1 replays at ~22:00,
+			// four minutes after v2 committed. The mutant skips the
+			// monotone and freshness guards, so the stale push renews the
+			// relay's TTR and it resumes vouching for v1 until the
+			// horizon. SEND_NEW is dropped throughout so the relay cannot
+			// repair; the poller at node 9 sits 9 hops from the owner —
+			// beyond the poll fallback TTL — so the relay is its only
+			// authority. Clean runs reject the replay and those polls
+			// simply fail.
+			Mutant: "stale-update-replay",
+			Scenario: Scenario{
+				Name:     "gate-stale-update-replay",
+				Seed:     base,
+				Nodes:    10,
+				Strategy: "rpcc",
+				Mutant:   "stale-update-replay",
+
+				HorizonMS: 25 * min,
+				Warm:      []Placement{{Host: 2, Item: 0}, {Host: 9, Item: 0}},
+				Relays:    []Placement{{Host: 2, Item: 0}},
+				Commits:   []CommitEvent{{AtMS: 10 * min, Host: 0}, {AtMS: 18 * min, Host: 0}},
+				Pollers:   []Poller{{Host: 9, Item: 0, Level: "SC", StartMS: 20_000, PeriodMS: 5_000}},
+				Rules: []Rule{
+					{Kind: "UPDATE", Version: 1, Item: 0, To: -1, Occurrence: 1, DelayMS: 12 * min, Dup: true},
+					{Kind: "UPDATE", Version: 2, Item: 0, To: -1, Drop: true},
+					{Kind: "SEND_NEW", Version: -1, Item: 0, To: -1, Drop: true},
+				},
+			},
+			WantKinds: []string{DivStale},
+		},
+		{
+			// The relay's refresh evidence (UPDATE and SEND_NEW) is cut
+			// off after v1 commits. A correct relay lets its TTR lapse
+			// and escalates its own queries to the owner; the mutant
+			// treats "refreshed once" as "refreshed forever" and serves
+			// its frozen v0 locally for the rest of the run.
+			Mutant: "ignore-ttr",
+			Scenario: Scenario{
+				Name:     "gate-ignore-ttr",
+				Seed:     base,
+				Nodes:    4,
+				Strategy: "rpcc",
+				Mutant:   "ignore-ttr",
+
+				HorizonMS: 14 * min,
+				Warm:      []Placement{{Host: 1, Item: 0}},
+				Relays:    []Placement{{Host: 1, Item: 0}},
+				Commits:   []CommitEvent{{AtMS: 10 * min, Host: 0}},
+				Pollers:   []Poller{{Host: 1, Item: 0, Level: "SC", StartMS: 20_000, PeriodMS: 5_000}},
+				Rules: []Rule{
+					{Kind: "UPDATE", Version: -1, Item: 0, To: -1, Drop: true},
+					{Kind: "SEND_NEW", Version: -1, Item: 0, To: -1, Drop: true},
+				},
+			},
+			WantKinds: []string{DivStale},
+		},
+		{
+			// The poller validates against the owner every SC query. The
+			// off-by-one mutant vouches for copies one version behind,
+			// so after v1 commits the poller keeps serving v0 on the
+			// strength of POLL_ACK_A instead of receiving v1 content.
+			Mutant: "acka-off-by-one",
+			Scenario: Scenario{
+				Name:     "gate-acka-off-by-one",
+				Seed:     base,
+				Nodes:    4,
+				Strategy: "rpcc",
+				Mutant:   "acka-off-by-one",
+
+				HorizonMS: 14 * min,
+				Warm:      []Placement{{Host: 2, Item: 0}},
+				Commits:   []CommitEvent{{AtMS: 10 * min, Host: 0}},
+				Pollers:   []Poller{{Host: 2, Item: 0, Level: "SC", StartMS: 15_000, PeriodMS: 15_000}},
+				// Should the coefficient election promote the poller to
+				// relay, the push path must not heal its copy and mask
+				// the broken ACK.
+				Rules: []Rule{
+					{Kind: "UPDATE", Version: -1, Item: 0, To: 2, Drop: true},
+					{Kind: "SEND_NEW", Version: -1, Item: 0, To: 2, Drop: true},
+				},
+			},
+			WantKinds: []string{DivStale},
+		},
+		{
+			// Single source, InvTTL 2 on a 7-node line: the spec radius
+			// is {1,2}. The mutant floods one hop further, so node 3
+			// hears INVALIDATION at hops 3 — overreach on every tick.
+			Mutant: "flood-ttl-plus-one",
+			Scenario: Scenario{
+				Name:         "gate-flood-ttl-plus-one",
+				Seed:         base,
+				Nodes:        7,
+				Strategy:     "rpcc",
+				Mutant:       "flood-ttl-plus-one",
+				InvTTL:       2,
+				SingleSource: true,
+				CheckReach:   true,
+				HorizonMS:    5 * min,
+			},
+			WantKinds: []string{DivOverreach},
+		},
+		{
+			// Same setup, one hop short: node 2 — inside the spec radius
+			// — never hears any INVALIDATION, reported at Finish.
+			Mutant: "flood-ttl-minus-one",
+			Scenario: Scenario{
+				Name:         "gate-flood-ttl-minus-one",
+				Seed:         base,
+				Nodes:        7,
+				Strategy:     "rpcc",
+				Mutant:       "flood-ttl-minus-one",
+				InvTTL:       2,
+				SingleSource: true,
+				CheckReach:   true,
+				HorizonMS:    5 * min,
+			},
+			WantKinds: []string{DivUnderreach},
+		},
+		{
+			// Δ-consistency reuses a validated copy for at most TTP. The
+			// poller validates v0 at its first query (~0:20) and v1
+			// commits at 2:00; a correct node re-polls at 4:20, while
+			// the doubled window keeps serving local v0 until 8:20 —
+			// past the TTP+TTR envelope, which expires at 7:32.
+			Mutant: "ttp-double",
+			Scenario: Scenario{
+				Name:     "gate-ttp-double",
+				Seed:     base,
+				Nodes:    4,
+				Strategy: "rpcc",
+				Mutant:   "ttp-double",
+
+				HorizonMS: 12 * min,
+				Warm:      []Placement{{Host: 2, Item: 0}},
+				Commits:   []CommitEvent{{AtMS: 2 * min, Host: 0}},
+				Pollers:   []Poller{{Host: 2, Item: 0, Level: "DC", StartMS: 20_000, PeriodMS: 20_000}},
+				// As in the ACK gate: block the push path so a relay
+				// promotion cannot refresh the copy out from under the
+				// doubled window.
+				Rules: []Rule{
+					{Kind: "UPDATE", Version: -1, Item: 0, To: 2, Drop: true},
+					{Kind: "SEND_NEW", Version: -1, Item: 0, To: 2, Drop: true},
+				},
+			},
+			WantKinds: []string{DivStale},
+		},
+		{
+			// The relay holds v2 when a duplicated UPDATE v1 replays 6.5
+			// minutes late. The clean handler rejects the regression; the
+			// mutant force-installs it (Remove+Put past the store's
+			// monotone backstop), so the relay's local SC answers drop
+			// from v2 back to v1 — a monotone-read divergence. TTR is
+			// raised to TTN so the relay's local-answer authority spans
+			// the whole INVALIDATION period and the replay cannot hide
+			// in a TTR gap; the 6.5-minute delay lands the replay half a
+			// period after a tick, giving the regressed copy a ~90s
+			// serving window before authority lapses. SEND_NEW is
+			// dropped so the relay cannot quietly re-repair.
+			Mutant: "store-regression",
+			Scenario: Scenario{
+				Name:     "gate-store-regression",
+				Seed:     base,
+				Nodes:    4,
+				Strategy: "rpcc",
+				Mutant:   "store-regression",
+				TTRMS:    2 * min,
+
+				HorizonMS: 20 * min,
+				Warm:      []Placement{{Host: 2, Item: 0}},
+				Relays:    []Placement{{Host: 2, Item: 0}},
+				Commits:   []CommitEvent{{AtMS: 10 * min, Host: 0}, {AtMS: 14 * min, Host: 0}},
+				Pollers:   []Poller{{Host: 2, Item: 0, Level: "SC", StartMS: 20_000, PeriodMS: 5_000}},
+				Rules: []Rule{
+					{Kind: "UPDATE", Version: 1, Item: 0, To: -1, Occurrence: 1, DelayMS: 13 * min / 2, Dup: true},
+					{Kind: "SEND_NEW", Version: -1, Item: 0, To: -1, Drop: true},
+				},
+			},
+			WantKinds: []string{DivMonotone, DivStale},
+		},
+	}
+}
+
+// GateResult is the outcome of one gate case.
+type GateResult struct {
+	Mutant string
+	// Detected is how many divergences the mutant run produced.
+	Detected int
+	// FirstKind is the kind of the first divergence ("" when none).
+	FirstKind string
+	// FalsePositives is how many divergences the clean control produced.
+	FalsePositives int
+	// Caught means the mutant run diverged with an expected kind AND the
+	// clean control stayed silent.
+	Caught bool
+	Err    error
+}
+
+// RunGates executes the whole catalogue for one seed: each case once
+// with the mutant injected and once as a clean control (same scenario,
+// mutant stripped).
+func RunGates(seed int64) []GateResult {
+	gates := Gates(seed)
+	results := make([]GateResult, 0, len(gates))
+	for _, g := range gates {
+		res := GateResult{Mutant: g.Mutant}
+		mutRep, err := Run(g.Scenario)
+		if err != nil {
+			res.Err = fmt.Errorf("mutant run: %w", err)
+			results = append(results, res)
+			continue
+		}
+		clean := g.Scenario
+		clean.Mutant = ""
+		clean.Name += "-clean"
+		cleanRep, err := Run(clean)
+		if err != nil {
+			res.Err = fmt.Errorf("clean control: %w", err)
+			results = append(results, res)
+			continue
+		}
+		res.Detected = len(mutRep.Divergences)
+		res.FalsePositives = len(cleanRep.Divergences)
+		wantKind := false
+		if len(mutRep.Divergences) > 0 {
+			res.FirstKind = mutRep.Divergences[0].Kind
+			for _, d := range mutRep.Divergences {
+				for _, w := range g.WantKinds {
+					if d.Kind == w {
+						wantKind = true
+					}
+				}
+			}
+		}
+		res.Caught = wantKind && res.FalsePositives == 0
+		results = append(results, res)
+	}
+	return results
+}

@@ -1,0 +1,41 @@
+package oracle
+
+import "fmt"
+
+// CleanSweep returns one unmutated, unperturbed scenario per strategy:
+// an 8-node line with two active sources and a mixed-level query
+// workload. The conformance gate requires every one of these to finish
+// with zero divergences — the oracle's false-positive check.
+func CleanSweep(seed int64) []Scenario {
+	const min = int64(60_000)
+	var out []Scenario
+	for _, strategy := range fuzzStrategies {
+		sc := Scenario{
+			Name:      fmt.Sprintf("sweep-%s", strategy),
+			Seed:      seed,
+			Nodes:     8,
+			Strategy:  strategy,
+			HorizonMS: 20 * min,
+			Warm: []Placement{
+				{Host: 2, Item: 0}, {Host: 3, Item: 0}, {Host: 5, Item: 1},
+			},
+			Commits: []CommitEvent{
+				{AtMS: 3 * min, Host: 0}, {AtMS: 7 * min, Host: 0},
+				{AtMS: 11 * min, Host: 0}, {AtMS: 15 * min, Host: 0},
+				{AtMS: 5 * min, Host: 1}, {AtMS: 13 * min, Host: 1},
+			},
+			Pollers: []Poller{
+				{Host: 2, Item: 0, Level: "SC", StartMS: 15_000, PeriodMS: 9_000},
+				{Host: 3, Item: 0, Level: "DC", StartMS: 20_000, PeriodMS: 13_000},
+				{Host: 4, Item: 0, Level: "WC", StartMS: 25_000, PeriodMS: 11_000},
+				{Host: 5, Item: 1, Level: "SC", StartMS: 30_000, PeriodMS: 17_000},
+				{Host: 6, Item: 1, Level: "DC", StartMS: 35_000, PeriodMS: 19_000},
+			},
+		}
+		if strategy == "rpcc" {
+			sc.Relays = []Placement{{Host: 2, Item: 0}}
+		}
+		out = append(out, sc)
+	}
+	return out
+}

@@ -138,6 +138,7 @@ func (a *Adaptive) OnQuery(k *sim.Kernel, host int, item data.ItemID, level cons
 			return
 		}
 		q.Route = "owner"
+		q.Source = host
 		a.ch.Answer(k, q, m.Current())
 		return
 	}
@@ -146,6 +147,7 @@ func (a *Adaptive) OnQuery(k *sim.Kernel, host int, item data.ItemID, level cons
 		it := a.item(host, item)
 		if it.validatedOnce && k.Now()-it.lastValidated < it.window {
 			q.Route = "window"
+			q.Source = host
 			a.hits.Inc()
 			a.ch.Answer(k, q, cp)
 			return
@@ -247,6 +249,7 @@ func (a *Adaptive) onAck(k *sim.Kernel, nd int, msg protocol.Message) {
 		a.ch.Fail(q, "copy-lost")
 		return
 	}
+	q.Source = msg.Origin
 	a.ch.Answer(k, q, cp)
 }
 
@@ -265,6 +268,7 @@ func (a *Adaptive) onReply(k *sim.Kernel, nd int, msg protocol.Message) {
 	it.lastValidated = k.Now()
 	it.validatedOnce = true
 	_ = a.ch.Stores[nd].Put(msg.Copy, k.Now())
+	q.Source = msg.Origin
 	a.ch.Answer(k, q, msg.Copy)
 }
 

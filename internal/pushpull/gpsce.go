@@ -221,6 +221,7 @@ func (g *GPSCE) OnQuery(k *sim.Kernel, host int, item data.ItemID, level consist
 			return
 		}
 		q.Route = "owner"
+		q.Source = host
 		g.ch.Answer(k, q, m.Current())
 		return
 	}
@@ -242,6 +243,7 @@ func (g *GPSCE) OnQuery(k *sim.Kernel, host int, item data.ItemID, level consist
 				g.registry[from][host] = g.ch.Net.Position(host)
 			}
 			g.items[host][item] = st
+			q.Source = from
 			g.ch.Answer(kk, q, c)
 		})
 		return
@@ -253,6 +255,7 @@ func (g *GPSCE) OnQuery(k *sim.Kernel, host int, item data.ItemID, level consist
 	}
 	if st.valid {
 		q.Route = "local"
+		q.Source = host
 		g.ch.Answer(k, q, cp)
 		return
 	}
@@ -391,5 +394,6 @@ func (g *GPSCE) onDataReply(k *sim.Kernel, nd int, msg protocol.Message) {
 			st.posKnown = true
 		}
 	}
+	q.Source = msg.Origin
 	g.ch.Answer(k, q, msg.Copy)
 }

@@ -118,6 +118,7 @@ func (p *Pull) OnQuery(k *sim.Kernel, host int, item data.ItemID, level consiste
 			return
 		}
 		q.Route = "owner"
+		q.Source = host
 		p.ch.Answer(k, q, m.Current())
 		return
 	}
@@ -209,6 +210,7 @@ func (p *Pull) onAck(k *sim.Kernel, nd int, msg protocol.Message) {
 		p.ch.Fail(q, "copy-lost")
 		return
 	}
+	q.Source = msg.Origin
 	p.ch.Answer(k, q, cp)
 }
 
@@ -219,5 +221,6 @@ func (p *Pull) onReply(k *sim.Kernel, nd int, msg protocol.Message) {
 	}
 	delete(p.rounds, msg.Seq)
 	_ = p.ch.Stores[nd].Put(msg.Copy, k.Now())
+	q.Source = msg.Origin
 	p.ch.Answer(k, q, msg.Copy)
 }

@@ -142,6 +142,7 @@ func (p *Push) OnQuery(k *sim.Kernel, host int, item data.ItemID, level consiste
 			return
 		}
 		q.Route = "owner"
+		q.Source = host
 		p.ch.Answer(k, q, m.Current())
 		return
 	}
@@ -221,7 +222,7 @@ func (p *Push) onIR(k *sim.Kernel, nd int, msg protocol.Message) {
 		// Stale: refetch from the source, then answer the parked queries
 		// with the fresh copy.
 		parked := p.takeParked(nd, msg.Item)
-		p.ch.FetchDirect(k, nd, msg.Item, func(kk *sim.Kernel, c data.Copy, _ int, ok bool) {
+		p.ch.FetchDirect(k, nd, msg.Item, func(kk *sim.Kernel, c data.Copy, from int, ok bool) {
 			if !ok {
 				for _, w := range parked {
 					p.ch.Fail(w.q, "refetch-timeout")
@@ -230,6 +231,7 @@ func (p *Push) onIR(k *sim.Kernel, nd int, msg protocol.Message) {
 			}
 			_ = p.ch.Stores[nd].Put(c, kk.Now())
 			for _, w := range parked {
+				w.q.Source = from
 				p.ch.Answer(kk, w.q, c)
 			}
 		})
@@ -241,9 +243,10 @@ func (p *Push) onIR(k *sim.Kernel, nd int, msg protocol.Message) {
 		if len(parked) == 0 {
 			return
 		}
-		p.ch.FetchDirect(k, nd, msg.Item, func(kk *sim.Kernel, c data.Copy, _ int, ok bool) {
+		p.ch.FetchDirect(k, nd, msg.Item, func(kk *sim.Kernel, c data.Copy, from int, ok bool) {
 			for _, w := range parked {
 				if ok {
+					w.q.Source = from
 					p.ch.Answer(kk, w.q, c)
 				} else {
 					p.ch.Fail(w.q, "refetch-timeout")
@@ -252,8 +255,10 @@ func (p *Push) onIR(k *sim.Kernel, nd int, msg protocol.Message) {
 		})
 		return
 	}
-	// Copy is current as of this IR: answer everything parked.
+	// Copy is current as of this IR: the IR's origin is the authority
+	// vouching for the local copy.
 	for _, w := range p.takeParked(nd, msg.Item) {
+		w.q.Source = msg.Origin
 		p.ch.Answer(k, w.q, cp)
 	}
 }
