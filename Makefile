@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-hotpath bench-compare figures telemetry-smoke chaos-smoke conform-smoke clean
+.PHONY: all build test race vet check bench bench-hotpath bench-compare bench-wire figures telemetry-smoke chaos-smoke conform-smoke wire-smoke clean
 
 all: check
 
@@ -19,7 +19,7 @@ test:
 # the pooled network layer, the reused radio snapshot builder, and the
 # stats merge.
 race:
-	$(GO) test -race ./internal/fleet/ ./internal/sim/ ./internal/stats/ ./internal/experiment/ ./internal/netsim/ ./internal/radio/
+	$(GO) test -race ./internal/fleet/ ./internal/sim/ ./internal/stats/ ./internal/experiment/ ./internal/netsim/ ./internal/radio/ ./internal/wire/ ./internal/wire/cluster/ ./internal/oracle/
 
 vet:
 	$(GO) vet ./...
@@ -103,6 +103,23 @@ conform-smoke:
 	$(GO) run ./cmd/conform -seeds 5 -fuzz 25 > $(CONFORM_TMP)/b.txt
 	cmp $(CONFORM_TMP)/a.txt $(CONFORM_TMP)/b.txt
 	@tail -3 $(CONFORM_TMP)/a.txt
+
+# Sim-to-wire gate: build everything, then boot a 5-node loopback UDP
+# cluster of live daemons for ~10 s of wall time. Every served answer is
+# judged against the live oracle's staleness envelopes; any divergence,
+# unclean shutdown, or vacuous (zero-answer) run exits non-zero.
+wire-smoke: build
+	$(GO) run ./cmd/wiretest -n 5 -duration 10s -v
+
+# Regenerate the committed wire benchmark artefact (BENCH_wire.json):
+# frame codec encode/decode ns/op plus the end-to-end loopback SC query
+# RTT over real UDP. benchdiff's delta table needs two inputs; feeding
+# the same run twice makes the JSON a plain export of the measurements.
+WIRE_BENCH_TMP ?= /tmp/rpcc-bench-wire.txt
+bench-wire:
+	$(GO) test -run '^$$' -bench 'BenchmarkFrameMarshal|BenchmarkFrameUnmarshal' -benchtime 1s -count 3 ./internal/protocol/ > $(WIRE_BENCH_TMP)
+	$(GO) test -run '^$$' -bench BenchmarkLoopbackQueryRTT -benchtime 2s ./internal/wire/cluster/ >> $(WIRE_BENCH_TMP)
+	$(GO) run ./cmd/benchdiff -json BENCH_wire.json -name wire $(WIRE_BENCH_TMP) $(WIRE_BENCH_TMP) > /dev/null
 
 # Full paper reproduction (5 simulated hours per run), journaled so an
 # interrupted sweep resumes with `make figures` again.

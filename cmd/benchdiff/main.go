@@ -63,6 +63,7 @@ type artefact struct {
 
 func main() {
 	jsonOut := flag.String("json", "", "also write the comparison as JSON to this file")
+	name := flag.String("name", "hotpath", "artefact name recorded in the JSON export")
 	fleetFile := flag.String("fleet", "", "fleet bench export (BENCH_fleet.json) to embed in the JSON artefact")
 	fleetBase := flag.Float64("fleet-baseline", 0, "baseline runs_per_sec to compare the fleet export against")
 	flag.Parse()
@@ -70,13 +71,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-json out.json] [-fleet BENCH_fleet.json] old.txt new.txt")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), flag.Arg(1), *jsonOut, *fleetFile, *fleetBase); err != nil {
+	if err := run(flag.Arg(0), flag.Arg(1), *jsonOut, *name, *fleetFile, *fleetBase); err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(1)
 	}
 }
 
-func run(oldPath, newPath, jsonOut, fleetFile string, fleetBase float64) error {
+func run(oldPath, newPath, jsonOut, name, fleetFile string, fleetBase float64) error {
 	oldM, err := parseFile(oldPath)
 	if err != nil {
 		return err
@@ -93,7 +94,7 @@ func run(oldPath, newPath, jsonOut, fleetFile string, fleetBase float64) error {
 	if jsonOut == "" {
 		return nil
 	}
-	art := artefact{Name: "hotpath", Benchmarks: comps}
+	art := artefact{Name: name, Benchmarks: comps}
 	if fleetFile != "" {
 		fb, err := readFleet(fleetFile)
 		if err != nil {

@@ -25,6 +25,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"github.com/manetlab/rpcc/internal/data"
@@ -95,6 +96,19 @@ func run() error {
 	}
 	hub := telemetry.NewHub(level)
 
+	// A deterministic simulation cannot stop midway, so the first
+	// interrupt defers: the run finishes and every sink flushes. A second
+	// interrupt gets the default fatal behaviour back.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		if _, ok := <-sigc; ok {
+			fmt.Fprintln(os.Stderr, "chaos: interrupt — finishing the run so metrics/telemetry flush (interrupt again to abort)")
+			signal.Stop(sigc)
+		}
+	}()
+
 	start := time.Now()
 	res, rep, err := experiment.RunChaos(cfg, hub, campaign)
 	if err != nil {
@@ -161,12 +175,9 @@ func runSweep(base experiment.Config, campaign faults.Config, sweep, parallel in
 		return res, nil
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	frep, err := fleet.Run(ctx, jobs, fleet.Options{Parallel: parallel, Progress: os.Stderr, Execute: execute})
-	if err != nil {
-		return err
-	}
+	frep, runErr := fleet.Run(ctx, jobs, fleet.Options{Parallel: parallel, Progress: os.Stderr, Execute: execute})
 
 	failed := 0
 	var merged *telemetry.Snapshot
@@ -191,10 +202,16 @@ func runSweep(base experiment.Config, campaign faults.Config, sweep, parallel in
 			}
 		}
 	}
+	// Flush the merged metrics of every completed run even when the sweep
+	// was interrupted — partial telemetry beats none.
 	if metricsOut != "" && merged != nil {
 		if err := writeMetricsFile(metricsOut, merged); err != nil {
 			return err
 		}
+	}
+	if runErr != nil {
+		return fmt.Errorf("sweep interrupted (%d/%d runs completed): %w",
+			frep.Executed, len(frep.Records), runErr)
 	}
 	fmt.Printf("\nsweep: %d seeds, %d failed, %v wall (%.2f runs/s)\n",
 		sweep, failed, frep.Wall.Round(time.Millisecond), frep.RunsPerSec())

@@ -22,9 +22,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"github.com/manetlab/rpcc/internal/oracle"
 )
@@ -47,10 +50,17 @@ func run() error {
 		return fmt.Errorf("-seeds must be >= 1")
 	}
 
+	// Conform writes plain stdout, not telemetry sinks; graceful shutdown
+	// here means stopping at a phase/seed boundary so the partial verdict
+	// printed so far is complete and parseable, never cut mid-line.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	interrupted := func() bool { return ctx.Err() != nil }
+
 	failures := 0
 
 	fmt.Printf("== mutant gate: %d mutants x %d seeds ==\n", len(oracle.Gates(1)), *seeds)
-	for seed := int64(1); seed <= *seeds; seed++ {
+	for seed := int64(1); seed <= *seeds && !interrupted(); seed++ {
 		for _, r := range oracle.RunGates(seed) {
 			switch {
 			case r.Err != nil:
@@ -68,7 +78,7 @@ func run() error {
 	}
 
 	fmt.Printf("== clean sweep: %d strategies x %d seeds ==\n", len(oracle.CleanSweep(1)), *seeds)
-	for seed := int64(1); seed <= *seeds; seed++ {
+	for seed := int64(1); seed <= *seeds && !interrupted(); seed++ {
 		for _, sc := range oracle.CleanSweep(seed) {
 			rep, err := oracle.Run(sc)
 			switch {
@@ -88,7 +98,7 @@ func run() error {
 		}
 	}
 
-	if *fuzz > 0 {
+	if *fuzz > 0 && !interrupted() {
 		fmt.Printf("== fuzz: %d rounds, seed %d ==\n", *fuzz, *fuzzSeed)
 		findings, err := oracle.Fuzz(oracle.FuzzConfig{Seed: *fuzzSeed, Rounds: *fuzz})
 		if err != nil {
@@ -107,6 +117,9 @@ func run() error {
 		}
 	}
 
+	if interrupted() {
+		return fmt.Errorf("interrupted with %d failure(s) so far; verdict incomplete", failures)
+	}
 	if failures > 0 {
 		return fmt.Errorf("%d check(s) failed", failures)
 	}

@@ -1,0 +1,83 @@
+// Command wiretest boots an N-node loopback UDP cluster of live rpcc
+// daemons (internal/wire/cluster), drives each node's workload for a
+// wall-clock duration, and judges every served answer against the
+// differential oracle's staleness envelopes. Exit status is non-zero
+// when any divergence is found, when shutdown is unclean, or when the
+// cluster served nothing (a vacuously "clean" run) — so the command
+// doubles as the `make wire-smoke` CI gate.
+//
+// Examples:
+//
+//	wiretest                      # 5 nodes, 10 s, rpcc-sc
+//	wiretest -n 10 -duration 10s  # the acceptance shape
+//	wiretest -strategy rpcc-hy -v # mixed levels, per-node detail
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/manetlab/rpcc/internal/wire/cluster"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "wiretest:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	def := cluster.DefaultConfig()
+	var (
+		n        = flag.Int("n", def.N, "number of daemons")
+		duration = flag.Duration("duration", def.Duration, "wall-clock run length")
+		strategy = flag.String("strategy", def.Strategy, "rpcc-sc | rpcc-dc | rpcc-wc | rpcc-hy")
+		seed     = flag.Int64("seed", def.Seed, "workload seed base")
+		cacheNum = flag.Int("cachenum", def.CacheNum, "foreign items cached per node")
+		query    = flag.Duration("query", def.QueryInterval, "mean query interval per node")
+		update   = flag.Duration("update", def.UpdateInterval, "mean update interval per node")
+		ttn      = flag.Duration("ttn", def.TTN, "invalidation announcement interval")
+		ttr      = flag.Duration("ttr", def.TTR, "relay freshness window")
+		ttp      = flag.Duration("ttp", def.TTP, "delta-consistency window")
+		coeff    = flag.Duration("coeff", def.CoeffPeriod, "coefficient recomputation period")
+		slack    = flag.Duration("slack", def.Slack, "oracle in-flight forgiveness")
+		inflate  = flag.Duration("inflate", def.Inflate, "oracle envelope inflation for real-network delay")
+		drain    = flag.Duration("drain", def.Drain, "per-daemon shutdown drain deadline")
+		verbose  = flag.Bool("v", false, "print per-node summaries and every divergence")
+	)
+	flag.Parse()
+
+	cfg := cluster.Config{
+		N: *n, Strategy: *strategy, Seed: *seed, Duration: *duration, Drain: *drain,
+		CacheNum: *cacheNum, QueryInterval: *query, UpdateInterval: *update,
+		TTN: *ttn, TTR: *ttr, TTP: *ttp, CoeffPeriod: *coeff,
+		Slack: *slack, Inflate: *inflate,
+	}
+	rep, err := cluster.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep)
+	if *verbose {
+		for _, s := range rep.NodeSummaries {
+			fmt.Println(" ", s)
+		}
+	}
+	for _, d := range rep.Divergences {
+		fmt.Println("  divergence:", d)
+	}
+	for _, e := range rep.StopErrors {
+		fmt.Println("  stop error:", e)
+	}
+	if rep.Answered == 0 {
+		return fmt.Errorf("no query was answered in %v — the cluster never exchanged useful traffic", *duration)
+	}
+	if !rep.Clean() {
+		return fmt.Errorf("%d divergences, %d stop errors", len(rep.Divergences), len(rep.StopErrors))
+	}
+	fmt.Printf("clean: %d answers judged against the %s envelopes (slack=%v inflate=%v), zero divergences\n",
+		rep.Judged, rep.Strategy, *slack, *inflate)
+	return nil
+}

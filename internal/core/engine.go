@@ -10,7 +10,6 @@ import (
 	"github.com/manetlab/rpcc/internal/netsim"
 	"github.com/manetlab/rpcc/internal/node"
 	"github.com/manetlab/rpcc/internal/protocol"
-	"github.com/manetlab/rpcc/internal/radio"
 	"github.com/manetlab/rpcc/internal/sim"
 	"github.com/manetlab/rpcc/internal/telemetry"
 )
@@ -456,9 +455,8 @@ func (e *Engine) ttnTick(k *sim.Kernel, nd int) {
 	if cur.Version > ps.announced {
 		// MAC-layer disconnection discovery (§4.5): unreachable relay
 		// peers are dropped from the table before pushing.
-		g := e.ch.Net.Graph()
 		for _, relay := range sortedRelays(ps.relays) {
-			if g.Hops(nd, relay) == radio.Unreachable {
+			if !e.ch.Net.Reachable(nd, relay) {
 				delete(ps.relays, relay)
 				e.ch.Hub.RelayMembership(telemetry.MembershipPrune)
 				continue

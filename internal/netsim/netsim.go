@@ -365,6 +365,14 @@ func (n *Network) Graph() *radio.Graph {
 	return g
 }
 
+// Reachable reports whether a link-layer path currently exists between
+// the two nodes — the MAC-layer disconnection check of §4.5. It reads
+// the same epoch-cached topology snapshot as routing, so calling it
+// draws no randomness and perturbs nothing.
+func (n *Network) Reachable(from, to int) bool {
+	return n.Graph().Hops(from, to) != radio.Unreachable
+}
+
 // Rebuilds returns how many times the topology snapshot has been rebuilt —
 // the cache-miss count behind Graph(). Tests use it to assert refresh and
 // invalidation behaviour without relying on snapshot identity (the builder

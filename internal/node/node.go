@@ -14,7 +14,6 @@ import (
 	"github.com/manetlab/rpcc/internal/cache"
 	"github.com/manetlab/rpcc/internal/consistency"
 	"github.com/manetlab/rpcc/internal/data"
-	"github.com/manetlab/rpcc/internal/netsim"
 	"github.com/manetlab/rpcc/internal/protocol"
 	"github.com/manetlab/rpcc/internal/sim"
 	"github.com/manetlab/rpcc/internal/stats"
@@ -101,7 +100,7 @@ func (c Config) Validate() error {
 // instance (one simulation run).
 type Chassis struct {
 	cfg     Config
-	Net     *netsim.Network
+	Net     Transport
 	Reg     *data.Registry
 	Stores  []*cache.Store
 	Latency *stats.Latency
@@ -126,7 +125,7 @@ type Chassis struct {
 }
 
 // NewChassis wires the shared plumbing. All dependencies are required.
-func NewChassis(cfg Config, net *netsim.Network, reg *data.Registry, stores []*cache.Store, lat *stats.Latency, aud *consistency.Auditor) (*Chassis, error) {
+func NewChassis(cfg Config, net Transport, reg *data.Registry, stores []*cache.Store, lat *stats.Latency, aud *consistency.Auditor) (*Chassis, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}

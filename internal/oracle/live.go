@@ -1,0 +1,257 @@
+package oracle
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/manetlab/rpcc/internal/consistency"
+	"github.com/manetlab/rpcc/internal/data"
+)
+
+// Live judging: the wire subsystem (internal/wire) runs the same engine
+// over real UDP sockets, where the omniscient in-run Model cannot sit on
+// the event path — deliveries happen on many goroutines across many
+// kernels, and wall clocks replace the virtual clock. Instead, a
+// LiveRecorder collects two thread-safe ledgers during the run — every
+// commit at an item's owner and every answer served anywhere — and
+// JudgeLive replays the Model's rules over them afterwards.
+//
+// The rules are the sim oracle's, restated over wall time:
+//
+//  1. Torn: a served copy's value must equal the canonical content for
+//     its (item, version).
+//  2. Uncommitted: a served version must exist in its item's commit
+//     history, committed no later than the answer (plus slack for clock
+//     and ledger-ordering skew).
+//  3. Staleness envelope: an SC/DC answer must be no older than the
+//     version current at (answer time − envelope − slack − inflate).
+//     Inflate widens every envelope for real-network soundness: UDP
+//     delivery, scheduler jitter and timer coalescing add latencies the
+//     protocol's virtual-time analysis never sees.
+//  4. Monotone reads: per (node, item), served versions never regress.
+//
+// Reachability rules (overreach/underreach) need the topology oracle and
+// do not apply on a single loopback segment.
+
+// LiveCommit is one committed write at an item's owner.
+type LiveCommit struct {
+	Item    data.ItemID
+	Version data.Version
+	// At is the commit instant, measured from the recorder epoch.
+	At time.Duration
+}
+
+// LiveAnswer is one served answer observed at any node.
+type LiveAnswer struct {
+	Node  int
+	Item  data.ItemID
+	Level consistency.Level
+	// Served is the full served copy, so torn detection can compare the
+	// actual content against the canonical value.
+	Served data.Copy
+	// At is the answer instant, measured from the recorder epoch.
+	At time.Duration
+}
+
+// LiveRecorder accumulates commit and answer ledgers during a live run.
+// All methods are safe for concurrent use; every node of an in-process
+// cluster shares one recorder.
+type LiveRecorder struct {
+	mu      sync.Mutex
+	epoch   time.Time
+	commits []LiveCommit
+	answers []LiveAnswer
+}
+
+// NewLiveRecorder starts a recorder; the epoch is the construction
+// instant and all recorded times are offsets from it.
+func NewLiveRecorder(epoch time.Time) *LiveRecorder {
+	return &LiveRecorder{epoch: epoch}
+}
+
+// Commit records that item reached version at wall-clock instant at.
+func (r *LiveRecorder) Commit(item data.ItemID, v data.Version, at time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.commits = append(r.commits, LiveCommit{Item: item, Version: v, At: at.Sub(r.epoch)})
+}
+
+// Answer records a served answer at wall-clock instant at.
+func (r *LiveRecorder) Answer(node int, item data.ItemID, level consistency.Level, served data.Copy, at time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.answers = append(r.answers, LiveAnswer{
+		Node: node, Item: item, Level: level, Served: served, At: at.Sub(r.epoch),
+	})
+}
+
+// Ledgers returns copies of the recorded commit and answer ledgers.
+func (r *LiveRecorder) Ledgers() (commits []LiveCommit, answers []LiveAnswer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]LiveCommit(nil), r.commits...), append([]LiveAnswer(nil), r.answers...)
+}
+
+// LiveSpec parameterises live judging.
+type LiveSpec struct {
+	// Envelopes maps each audited consistency level to its staleness
+	// bound; levels absent from the map (WC) skip the staleness rule.
+	Envelopes map[consistency.Level]time.Duration
+	// Slack forgives in-flight answers and ledger-ordering skew.
+	Slack time.Duration
+	// Inflate widens every envelope for real-network delay soundness.
+	Inflate time.Duration
+}
+
+// Validate reports spec errors.
+func (s LiveSpec) Validate() error {
+	if s.Slack < 0 || s.Inflate < 0 {
+		return fmt.Errorf("oracle: negative slack %v or inflate %v", s.Slack, s.Inflate)
+	}
+	for l, env := range s.Envelopes {
+		if !l.Valid() {
+			return fmt.Errorf("oracle: envelope for invalid level %d", l)
+		}
+		if env < 0 {
+			return fmt.Errorf("oracle: negative envelope %v for %v", env, l)
+		}
+	}
+	return nil
+}
+
+// timeline is one item's commit history, sorted by version.
+type timeline struct {
+	versions []data.Version
+	times    []time.Duration
+}
+
+// commitTime returns when v was committed; version 0 (the pre-seeded
+// placement copy) is committed at the epoch.
+func (tl *timeline) commitTime(v data.Version) (time.Duration, bool) {
+	if v == 0 {
+		return 0, true
+	}
+	i := sort.Search(len(tl.versions), func(i int) bool { return tl.versions[i] >= v })
+	if i < len(tl.versions) && tl.versions[i] == v {
+		return tl.times[i], true
+	}
+	return 0, false
+}
+
+// versionAt returns the newest version committed at or before t.
+func (tl *timeline) versionAt(t time.Duration) data.Version {
+	i := sort.Search(len(tl.times), func(i int) bool { return tl.times[i] > t })
+	if i == 0 {
+		return 0
+	}
+	return tl.versions[i-1]
+}
+
+// JudgeLive replays the oracle rules over a live run's ledgers and
+// returns every divergence found (empty means the run conformed).
+func JudgeLive(commits []LiveCommit, answers []LiveAnswer, spec LiveSpec) ([]Divergence, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Build per-item commit timelines. Commits arrive from one writer per
+	// item, so versions are already increasing per item; sort defensively
+	// anyway (ledger append order is cross-item).
+	lines := make(map[data.ItemID]*timeline)
+	for _, c := range commits {
+		tl := lines[c.Item]
+		if tl == nil {
+			tl = &timeline{}
+			lines[c.Item] = tl
+		}
+		tl.versions = append(tl.versions, c.Version)
+		tl.times = append(tl.times, c.At)
+	}
+	for item, tl := range lines {
+		idx := make([]int, len(tl.versions))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return tl.versions[idx[a]] < tl.versions[idx[b]] })
+		vs := make([]data.Version, len(idx))
+		ts := make([]time.Duration, len(idx))
+		for i, j := range idx {
+			vs[i], ts[i] = tl.versions[j], tl.times[j]
+		}
+		for i := 1; i < len(ts); i++ {
+			if ts[i] < ts[i-1] {
+				return nil, fmt.Errorf("oracle: item %d commit times regress (v%d at %v after v%d at %v)",
+					item, vs[i], ts[i], vs[i-1], ts[i-1])
+			}
+		}
+		tl.versions, tl.times = vs, ts
+	}
+	emptyLine := &timeline{}
+	lineFor := func(item data.ItemID) *timeline {
+		if tl := lines[item]; tl != nil {
+			return tl
+		}
+		return emptyLine
+	}
+
+	// Judge answers in time order so the monotone watermark is causal.
+	ordered := append([]LiveAnswer(nil), answers...)
+	sort.SliceStable(ordered, func(a, b int) bool { return ordered[a].At < ordered[b].At })
+
+	type hostItem struct {
+		node int
+		item data.ItemID
+	}
+	watermark := make(map[hostItem]data.Version)
+
+	var divs []Divergence
+	for _, a := range ordered {
+		d := Divergence{At: a.At, Node: a.Node, Item: a.Item, Level: a.Level.String(), Served: a.Served.Version}
+		tl := lineFor(a.Item)
+
+		switch {
+		case a.Served.ID != a.Item || !a.Served.Consistent():
+			d.Kind = DivTorn
+			d.Detail = fmt.Sprintf("served copy of item %d value %q", a.Served.ID, a.Served.Value)
+			divs = append(divs, d)
+		default:
+			committedAt, known := tl.commitTime(a.Served.Version)
+			switch {
+			case !known:
+				d.Kind = DivUncommitted
+				d.Detail = "version absent from the owner's commit ledger"
+				divs = append(divs, d)
+			case committedAt > a.At+spec.Slack:
+				d.Kind = DivUncommitted
+				d.Detail = fmt.Sprintf("committed at %v, after the answer", committedAt)
+				divs = append(divs, d)
+			default:
+				if env, audited := spec.Envelopes[a.Level]; audited {
+					horizon := a.At - env - spec.Slack - spec.Inflate
+					if horizon > 0 {
+						minOK := tl.versionAt(horizon)
+						if a.Served.Version < minOK {
+							d.Kind = DivStale
+							d.MinOK = minOK
+							divs = append(divs, d)
+						}
+					}
+				}
+			}
+		}
+
+		key := hostItem{a.Node, a.Item}
+		if prev, ok := watermark[key]; ok && a.Served.Version < prev {
+			divs = append(divs, Divergence{
+				At: a.At, Node: a.Node, Item: a.Item, Kind: DivMonotone,
+				Level: a.Level.String(), Served: a.Served.Version, MinOK: prev,
+			})
+		}
+		if a.Served.Version > watermark[key] {
+			watermark[key] = a.Served.Version
+		}
+	}
+	return divs, nil
+}

@@ -1,0 +1,197 @@
+package oracle
+
+import (
+	"testing"
+	"time"
+
+	"github.com/manetlab/rpcc/internal/consistency"
+	"github.com/manetlab/rpcc/internal/data"
+)
+
+func liveCopy(item data.ItemID, v data.Version) data.Copy {
+	return data.Copy{ID: item, Version: v, Value: data.ValueFor(item, v)}
+}
+
+func liveSpec() LiveSpec {
+	return LiveSpec{
+		Envelopes: map[consistency.Level]time.Duration{
+			consistency.LevelStrong: time.Second,
+			consistency.LevelDelta:  3 * time.Second,
+		},
+		Slack:   100 * time.Millisecond,
+		Inflate: 200 * time.Millisecond,
+	}
+}
+
+func kinds(divs []Divergence) []string {
+	out := make([]string, len(divs))
+	for i, d := range divs {
+		out[i] = d.Kind
+	}
+	return out
+}
+
+func TestJudgeLiveCleanRun(t *testing.T) {
+	commits := []LiveCommit{
+		{Item: 1, Version: 1, At: 2 * time.Second},
+		{Item: 1, Version: 2, At: 5 * time.Second},
+	}
+	answers := []LiveAnswer{
+		// v0 before any commit.
+		{Node: 0, Item: 1, Level: consistency.LevelStrong, Served: liveCopy(1, 0), At: time.Second},
+		// Fresh answers after each commit.
+		{Node: 0, Item: 1, Level: consistency.LevelStrong, Served: liveCopy(1, 1), At: 3 * time.Second},
+		{Node: 2, Item: 1, Level: consistency.LevelDelta, Served: liveCopy(1, 2), At: 6 * time.Second},
+		// Slightly stale WC answer: unaudited for staleness.
+		{Node: 3, Item: 1, Level: consistency.LevelWeak, Served: liveCopy(1, 1), At: 20 * time.Second},
+	}
+	divs, err := JudgeLive(commits, answers, liveSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(divs) != 0 {
+		t.Fatalf("clean run judged divergent: %+v", divs)
+	}
+}
+
+func TestJudgeLiveTorn(t *testing.T) {
+	answers := []LiveAnswer{
+		// Value does not match the claimed (item, version).
+		{Node: 0, Item: 1, Level: consistency.LevelWeak,
+			Served: data.Copy{ID: 1, Version: 2, Value: "corrupt"}, At: time.Second},
+		// Copy of a different item entirely (distinct node, so the first
+		// answer's watermark cannot add a monotone divergence here).
+		{Node: 1, Item: 1, Level: consistency.LevelWeak, Served: liveCopy(2, 0), At: 2 * time.Second},
+	}
+	divs, err := JudgeLive(nil, answers, liveSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(divs) != 2 || divs[0].Kind != DivTorn || divs[1].Kind != DivTorn {
+		t.Fatalf("want two torn divergences, got %v", kinds(divs))
+	}
+}
+
+func TestJudgeLiveUncommitted(t *testing.T) {
+	commits := []LiveCommit{{Item: 1, Version: 1, At: 5 * time.Second}}
+	answers := []LiveAnswer{
+		// Version that never existed.
+		{Node: 0, Item: 1, Level: consistency.LevelWeak, Served: liveCopy(1, 7), At: 6 * time.Second},
+		// Version served well before its commit instant (beyond slack).
+		{Node: 1, Item: 1, Level: consistency.LevelWeak, Served: liveCopy(1, 1), At: time.Second},
+	}
+	divs, err := JudgeLive(commits, answers, liveSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(divs) != 2 || divs[0].Kind != DivUncommitted || divs[1].Kind != DivUncommitted {
+		t.Fatalf("want two uncommitted divergences, got %v", kinds(divs))
+	}
+	// Inside slack the same early answer is forgiven.
+	spec := liveSpec()
+	spec.Slack = 10 * time.Second
+	if divs, err = JudgeLive(commits, answers[1:], spec); err != nil || len(divs) != 0 {
+		t.Fatalf("slack did not forgive an in-flight answer: %v %v", divs, err)
+	}
+}
+
+func TestJudgeLiveStaleEnvelope(t *testing.T) {
+	commits := []LiveCommit{
+		{Item: 1, Version: 1, At: 1 * time.Second},
+		{Item: 1, Version: 2, At: 2 * time.Second},
+	}
+	// v1 served long after v2 committed: outside SC's 1s envelope
+	// (+0.1s slack +0.2s inflate → horizon 8.7s, minOK v2).
+	stale := LiveAnswer{Node: 0, Item: 1, Level: consistency.LevelStrong,
+		Served: liveCopy(1, 1), At: 10 * time.Second}
+	divs, err := JudgeLive(commits, []LiveAnswer{stale}, liveSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(divs) != 1 || divs[0].Kind != DivStale || divs[0].MinOK != 2 {
+		t.Fatalf("want one stale divergence with minOK=2, got %+v", divs)
+	}
+
+	// A wide enough inflate absorbs the same answer: real-network delay
+	// must widen, never narrow, the envelope.
+	spec := liveSpec()
+	spec.Inflate = 10 * time.Second
+	if divs, err = JudgeLive(commits, []LiveAnswer{stale}, spec); err != nil || len(divs) != 0 {
+		t.Fatalf("inflate did not widen the envelope: %v %v", divs, err)
+	}
+
+	// The same answer at WC is unaudited.
+	weak := stale
+	weak.Level = consistency.LevelWeak
+	if divs, err = JudgeLive(commits, []LiveAnswer{weak}, liveSpec()); err != nil || len(divs) != 0 {
+		t.Fatalf("WC answer audited for staleness: %v %v", divs, err)
+	}
+}
+
+func TestJudgeLiveMonotone(t *testing.T) {
+	commits := []LiveCommit{
+		{Item: 1, Version: 1, At: time.Second},
+		{Item: 1, Version: 2, At: 2 * time.Second},
+	}
+	answers := []LiveAnswer{
+		{Node: 0, Item: 1, Level: consistency.LevelWeak, Served: liveCopy(1, 2), At: 3 * time.Second},
+		// Same node regresses to v1: monotone violation even at WC.
+		{Node: 0, Item: 1, Level: consistency.LevelWeak, Served: liveCopy(1, 1), At: 4 * time.Second},
+		// A different node at v1 is fine — watermarks are per (node, item).
+		{Node: 1, Item: 1, Level: consistency.LevelWeak, Served: liveCopy(1, 1), At: 4 * time.Second},
+	}
+	divs, err := JudgeLive(commits, answers, liveSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(divs) != 1 || divs[0].Kind != DivMonotone || divs[0].Node != 0 || divs[0].MinOK != 2 {
+		t.Fatalf("want one monotone divergence at node 0, got %+v", divs)
+	}
+}
+
+func TestJudgeLiveCommitRegressionErrors(t *testing.T) {
+	commits := []LiveCommit{
+		{Item: 1, Version: 1, At: 5 * time.Second},
+		{Item: 1, Version: 2, At: 2 * time.Second}, // newer version, earlier time
+	}
+	if _, err := JudgeLive(commits, nil, liveSpec()); err == nil {
+		t.Fatal("regressing commit times accepted")
+	}
+}
+
+func TestLiveSpecValidate(t *testing.T) {
+	bad := []LiveSpec{
+		{Slack: -time.Second},
+		{Inflate: -time.Second},
+		{Envelopes: map[consistency.Level]time.Duration{consistency.LevelStrong: -1}},
+		{Envelopes: map[consistency.Level]time.Duration{consistency.Level(99): time.Second}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+	if err := liveSpec().Validate(); err != nil {
+		t.Errorf("good spec rejected: %v", err)
+	}
+}
+
+func TestLiveRecorderLedgers(t *testing.T) {
+	epoch := time.Unix(1000, 0)
+	rec := NewLiveRecorder(epoch)
+	rec.Commit(1, 1, epoch.Add(time.Second))
+	rec.Answer(0, 1, consistency.LevelStrong, liveCopy(1, 1), epoch.Add(2*time.Second))
+	commits, answers := rec.Ledgers()
+	if len(commits) != 1 || commits[0].At != time.Second {
+		t.Fatalf("commits = %+v", commits)
+	}
+	if len(answers) != 1 || answers[0].At != 2*time.Second || answers[0].Node != 0 {
+		t.Fatalf("answers = %+v", answers)
+	}
+	// Returned slices are copies: mutating them must not corrupt the ledger.
+	commits[0].Version = 99
+	c2, _ := rec.Ledgers()
+	if c2[0].Version != 1 {
+		t.Fatal("ledger aliased by its copy")
+	}
+}

@@ -1,0 +1,73 @@
+package protocol
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/manetlab/rpcc/internal/data"
+)
+
+// TestEveryKindOnTheWire is the exhaustiveness guard for the codec side:
+// adding a Kind without wiring it through naming, sizing, the message
+// codec, and the frame envelope must fail here, not silently fall off
+// the wire. (The stats.Traffic accounting side of the guard lives in
+// internal/stats, which owns the per-kind arrays.)
+func TestEveryKindOnTheWire(t *testing.T) {
+	if NumKinds != len(kindNames) {
+		t.Fatalf("NumKinds=%d but kindNames has %d entries — name the new kind", NumKinds, len(kindNames))
+	}
+	for k := Kind(1); int(k) < NumKinds; k++ {
+		if !k.Valid() {
+			t.Fatalf("kind %d invalid inside the declared range", k)
+		}
+		if name := k.String(); name == "" || strings.HasPrefix(name, "Kind(") {
+			t.Errorf("kind %d has no wire name", k)
+		}
+
+		msg := Message{Kind: k, Item: 2, Origin: 5, Version: 6, Seq: 8}
+		if k.carriesContent() {
+			msg.Copy = data.Copy{ID: 2, Version: 6, Value: data.ValueFor(2, 6), WrittenAt: 1}
+		}
+		if msg.Size() <= 0 {
+			t.Errorf("%v: non-positive nominal size", k)
+		}
+		if err := msg.Validate(); err != nil {
+			t.Errorf("%v: canonical message invalid: %v", k, err)
+		}
+
+		// Message codec entry.
+		buf, err := Marshal(msg)
+		if err != nil {
+			t.Errorf("%v: no codec encode entry: %v", k, err)
+			continue
+		}
+		got, err := Unmarshal(buf)
+		if err != nil {
+			t.Errorf("%v: no codec decode entry: %v", k, err)
+			continue
+		}
+		if got.Kind != k {
+			t.Errorf("%v: decoded as %v", k, got.Kind)
+		}
+
+		// Frame envelope entry (the real-transport path).
+		fbuf, err := MarshalFrame(Frame{From: 5, To: 2, Seq: 1, Msg: msg})
+		if err != nil {
+			t.Errorf("%v: no frame encode entry: %v", k, err)
+			continue
+		}
+		if fr, err := UnmarshalFrame(fbuf); err != nil {
+			t.Errorf("%v: no frame decode entry: %v", k, err)
+		} else if fr.Msg.Kind != k {
+			t.Errorf("%v: frame decoded payload as %v", k, fr.Msg.Kind)
+		}
+	}
+
+	// The sentinel itself must stay outside the wire.
+	if kindMax.Valid() {
+		t.Error("sentinel kindMax reports valid")
+	}
+	if _, err := Marshal(Message{Kind: kindMax}); err == nil {
+		t.Error("sentinel kindMax marshalled")
+	}
+}

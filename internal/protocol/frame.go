@@ -1,0 +1,118 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Frame is the transport envelope that wraps a Message when it crosses a
+// real network. The simulator needs no envelope (addressing lives in the
+// event, not the bytes), but a UDP datagram must carry its own routing
+// header: who sent it, who it is for, and — for floods — how many hops
+// of life it has left so a multi-segment deployment can re-propagate.
+//
+// Wire layout, integers varint/uvarint-encoded unless noted:
+//
+//	magic byte 0xAF | version byte | flags byte |
+//	from | to | ttl | seq | payload = Marshal(Msg) (rest of datagram)
+//
+// Flags: bit 0 = flood (To is meaningless; every receiver delivers).
+type Frame struct {
+	// From is the sending node id.
+	From int
+	// To is the destination node id for unicast frames; ignored when
+	// Flood is set.
+	To int
+	// TTL is the remaining hop budget of a flood (0 for unicasts).
+	TTL int
+	// Flood marks a broadcast frame: every node on the segment delivers
+	// it except the origin.
+	Flood bool
+	// Seq is a sender-local sequence number used for flood suppression
+	// and tracing; it is independent of Msg.Seq.
+	Seq uint64
+	// Msg is the protocol message being carried.
+	Msg Message
+}
+
+const (
+	frameMagic   = 0xAF
+	frameVersion = 1
+
+	frameFlagFlood = 1 << 0
+
+	// maxFrameTTL bounds decoded hop budgets; no MANET flood is deeper,
+	// and the cap keeps a hostile TTL from looking like a sane one.
+	maxFrameTTL = 1024
+)
+
+// MarshalFrame encodes f, including its embedded message, into a single
+// datagram-sized buffer.
+func MarshalFrame(f Frame) ([]byte, error) {
+	if f.From < 0 {
+		return nil, fmt.Errorf("protocol: frame from %d must be >= 0", f.From)
+	}
+	if !f.Flood && f.To < 0 {
+		return nil, fmt.Errorf("protocol: unicast frame to %d must be >= 0", f.To)
+	}
+	if f.TTL < 0 || f.TTL > maxFrameTTL {
+		return nil, fmt.Errorf("protocol: frame ttl %d out of range [0,%d]", f.TTL, maxFrameTTL)
+	}
+	payload, err := Marshal(f.Msg)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, len(payload)+24)
+	buf = append(buf, frameMagic, frameVersion)
+	var flags byte
+	if f.Flood {
+		flags |= frameFlagFlood
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendVarint(buf, int64(f.From))
+	buf = binary.AppendVarint(buf, int64(f.To))
+	buf = binary.AppendVarint(buf, int64(f.TTL))
+	buf = binary.AppendUvarint(buf, f.Seq)
+	return append(buf, payload...), nil
+}
+
+// UnmarshalFrame decodes a datagram back into a Frame. Like Unmarshal it
+// is bounded and total: arbitrary input returns an error, never panics,
+// and never allocates more than the datagram itself justifies.
+func UnmarshalFrame(buf []byte) (Frame, error) {
+	d := &decoder{buf: buf}
+	if d.byte() != frameMagic {
+		return Frame{}, fmt.Errorf("protocol: bad frame magic")
+	}
+	if v := d.byte(); v != frameVersion && d.err == nil {
+		return Frame{}, fmt.Errorf("protocol: unsupported frame version %d", v)
+	}
+	flags := d.byte()
+	if flags&^byte(frameFlagFlood) != 0 && d.err == nil {
+		return Frame{}, fmt.Errorf("protocol: unknown frame flag bits %#x", flags)
+	}
+	var f Frame
+	f.Flood = flags&frameFlagFlood != 0
+	f.From = int(d.varint())
+	f.To = int(d.varint())
+	f.TTL = int(d.varint())
+	f.Seq = d.uvarint()
+	if d.err != nil {
+		return Frame{}, d.err
+	}
+	if f.From < 0 {
+		return Frame{}, fmt.Errorf("protocol: frame from %d must be >= 0", f.From)
+	}
+	if !f.Flood && f.To < 0 {
+		return Frame{}, fmt.Errorf("protocol: unicast frame to %d must be >= 0", f.To)
+	}
+	if f.TTL < 0 || f.TTL > maxFrameTTL {
+		return Frame{}, fmt.Errorf("protocol: frame ttl %d out of range [0,%d]", f.TTL, maxFrameTTL)
+	}
+	msg, err := Unmarshal(buf[d.off:])
+	if err != nil {
+		return Frame{}, err
+	}
+	f.Msg = msg
+	return f, nil
+}

@@ -68,6 +68,11 @@ type gpsceItem struct {
 type GPSCE struct {
 	cfg GPSCEConfig
 	ch  *node.Chassis
+	// net is the chassis transport narrowed to its geo-aware interface;
+	// GPSCE is the one strategy that cannot run over a position-blind
+	// transport (it geo-routes invalidations), so the narrowing happens
+	// once at construction and fails loudly.
+	net node.GeoTransport
 	// registry is the source-side state: per source node, the last known
 	// position of every registered cache node of its item.
 	registry []map[int]geo.Point
@@ -87,9 +92,14 @@ func NewGPSCE(cfg GPSCEConfig, ch *node.Chassis) (*GPSCE, error) {
 	if ch == nil {
 		return nil, fmt.Errorf("pushpull: nil chassis")
 	}
+	gnet, ok := ch.Net.(node.GeoTransport)
+	if !ok {
+		return nil, fmt.Errorf("pushpull: gpsce requires a position-aware transport (got %T)", ch.Net)
+	}
 	g := &GPSCE{
 		cfg:      cfg,
 		ch:       ch,
+		net:      gnet,
 		registry: make([]map[int]geo.Point, ch.Net.Len()),
 		items:    make([]map[data.ItemID]*gpsceItem, ch.Net.Len()),
 		rounds:   make(map[uint64]*node.Query),
@@ -117,10 +127,10 @@ func (g *GPSCE) Warm(k *sim.Kernel, host int, c data.Copy) {
 	owner := g.ch.Reg.Owner(c.ID)
 	g.items[host][c.ID] = &gpsceItem{
 		valid:     true,
-		sourcePos: g.ch.Net.Position(owner),
+		sourcePos: g.net.Position(owner),
 		posKnown:  true,
 	}
-	g.registry[owner][host] = g.ch.Net.Position(host)
+	g.registry[owner][host] = g.net.Position(host)
 }
 
 // Start installs receivers and schedules the staggered position refresh.
@@ -154,7 +164,7 @@ func (g *GPSCE) registerTick(k *sim.Kernel, nd int) {
 	defer k.After(g.cfg.ReRegisterEvery, "gpsce.register", func(kk *sim.Kernel) {
 		g.registerTick(kk, nd)
 	})
-	myPos := g.ch.Net.Position(nd)
+	myPos := g.net.Position(nd)
 	items := make([]data.ItemID, 0, len(g.items[nd]))
 	for item := range g.items[nd] {
 		items = append(items, item)
@@ -173,7 +183,7 @@ func (g *GPSCE) registerTick(k *sim.Kernel, nd int) {
 			Pos:    myPos,
 			HasPos: true,
 		}
-		_ = g.ch.Net.GeoUnicast(nd, owner, st.sourcePos, reg)
+		_ = g.net.GeoUnicast(nd, owner, st.sourcePos, reg)
 	}
 }
 
@@ -189,7 +199,7 @@ func (g *GPSCE) OnUpdate(k *sim.Kernel, host int) {
 	if err != nil {
 		panic(fmt.Sprintf("pushpull: master update failed: %v", err))
 	}
-	srcPos := g.ch.Net.Position(host)
+	srcPos := g.net.Position(host)
 	cacheNodes := make([]int, 0, len(g.registry[host]))
 	for cacheNode := range g.registry[host] {
 		cacheNodes = append(cacheNodes, cacheNode)
@@ -206,7 +216,7 @@ func (g *GPSCE) OnUpdate(k *sim.Kernel, host int) {
 			HasPos:  true,
 		}
 		g.invs.Inc()
-		_ = g.ch.Net.GeoUnicast(host, cacheNode, lastPos, inv)
+		_ = g.net.GeoUnicast(host, cacheNode, lastPos, inv)
 	}
 }
 
@@ -238,9 +248,9 @@ func (g *GPSCE) OnQuery(k *sim.Kernel, host int, item data.ItemID, level consist
 			_ = g.ch.Stores[host].Put(c, kk.Now())
 			st := &gpsceItem{valid: true}
 			if from == g.ch.Reg.Owner(item) {
-				st.sourcePos = g.ch.Net.Position(from)
+				st.sourcePos = g.net.Position(from)
 				st.posKnown = true
-				g.registry[from][host] = g.ch.Net.Position(host)
+				g.registry[from][host] = g.net.Position(host)
 			}
 			g.items[host][item] = st
 			q.Source = from
@@ -268,15 +278,15 @@ func (g *GPSCE) OnQuery(k *sim.Kernel, host int, item data.ItemID, level consist
 		Item:   item,
 		Origin: host,
 		Seq:    q.Seq,
-		Pos:    g.ch.Net.Position(host),
+		Pos:    g.net.Position(host),
 		HasPos: true,
 	}
 	owner := g.ch.Reg.Owner(item)
 	target := st.sourcePos
 	if !st.posKnown {
-		target = g.ch.Net.Position(owner) // degraded: no better belief
+		target = g.net.Position(owner) // degraded: no better belief
 	}
-	if err := g.ch.Net.GeoUnicast(host, owner, target, req); err != nil {
+	if err := g.net.GeoUnicast(host, owner, target, req); err != nil {
 		delete(g.rounds, q.Seq)
 		g.ch.Fail(q, "fetch-send")
 		return
@@ -318,10 +328,10 @@ func (g *GPSCE) onRegister(k *sim.Kernel, nd int, msg protocol.Message) {
 		Item:    msg.Item,
 		Origin:  nd,
 		Version: m.Current().Version,
-		Pos:     g.ch.Net.Position(nd),
+		Pos:     g.net.Position(nd),
 		HasPos:  true,
 	}
-	_ = g.ch.Net.GeoUnicast(nd, msg.Origin, msg.Pos, ack)
+	_ = g.net.GeoUnicast(nd, msg.Origin, msg.Pos, ack)
 }
 
 // onGeoInv updates the cache node's view: stale versions invalidate the
@@ -367,11 +377,11 @@ func (g *GPSCE) onDataRequest(k *sim.Kernel, nd int, msg protocol.Message) {
 		Version: cur.Version,
 		Copy:    cur,
 		Seq:     msg.Seq,
-		Pos:     g.ch.Net.Position(nd),
+		Pos:     g.net.Position(nd),
 		HasPos:  true,
 	}
 	if msg.HasPos {
-		_ = g.ch.Net.GeoUnicast(nd, msg.Origin, msg.Pos, reply)
+		_ = g.net.GeoUnicast(nd, msg.Origin, msg.Pos, reply)
 		return
 	}
 	_ = g.ch.Net.Unicast(nd, msg.Origin, reply)

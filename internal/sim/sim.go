@@ -151,6 +151,17 @@ func (k *Kernel) EventsFired() uint64 { return k.events }
 // Pending returns the number of events waiting in the queue.
 func (k *Kernel) Pending() int { return len(k.queue) }
 
+// NextEventAt returns the due time of the earliest queued event, or false
+// when the queue is empty. A real-time executive (internal/wire) uses it
+// to sleep exactly until the next event instead of busy-polling; a
+// cancelled head event may cause one early wake-up, which is harmless.
+func (k *Kernel) NextEventAt() (time.Duration, bool) {
+	if len(k.queue) == 0 {
+		return 0, false
+	}
+	return k.queue[0].when, true
+}
+
 // ErrPastEvent is returned when an event is scheduled before Now.
 var ErrPastEvent = errors.New("sim: event scheduled in the past")
 

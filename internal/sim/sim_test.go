@@ -371,3 +371,23 @@ func TestSteadyStateSchedulingDoesNotAllocate(t *testing.T) {
 		t.Errorf("steady-state schedule+fire allocates %.2f/op, want 0", avg)
 	}
 }
+
+func TestNextEventAt(t *testing.T) {
+	k := NewKernel()
+	if _, ok := k.NextEventAt(); ok {
+		t.Fatal("empty queue reported a next event")
+	}
+	k.After(5*time.Second, "b", func(*Kernel) {})
+	k.After(2*time.Second, "a", func(*Kernel) {})
+	if when, ok := k.NextEventAt(); !ok || when != 2*time.Second {
+		t.Fatalf("next = (%v, %v), want (2s, true)", when, ok)
+	}
+	k.RunUntil(3 * time.Second)
+	if when, ok := k.NextEventAt(); !ok || when != 5*time.Second {
+		t.Fatalf("after draining: next = (%v, %v), want (5s, true)", when, ok)
+	}
+	k.RunUntil(10 * time.Second)
+	if _, ok := k.NextEventAt(); ok {
+		t.Fatal("drained queue reported a next event")
+	}
+}

@@ -1,0 +1,67 @@
+package stats
+
+import (
+	"testing"
+
+	"github.com/manetlab/rpcc/internal/protocol"
+)
+
+// TestTrafficCoversEveryKind is the accounting half of the protocol
+// exhaustiveness guard: every message kind must have its own size/kind
+// row in the Traffic ledger — tx, bytes, originated, delivered and
+// dropped — and must never bleed into the invalid-kind slot. A new Kind
+// added to internal/protocol lands here automatically because the
+// arrays are sized by protocol.NumKinds; this test pins the behaviour
+// so a refactor to sparse maps cannot silently drop a kind.
+func TestTrafficCoversEveryKind(t *testing.T) {
+	tr := NewTraffic()
+	for k := protocol.Kind(1); int(k) < protocol.NumKinds; k++ {
+		bytes := 10 + int(k)
+		tr.RecordOriginated(k)
+		tr.RecordTx(k, bytes)
+		tr.RecordDelivered(k)
+		tr.RecordDropped(k, DropLoss)
+
+		if got := tr.Tx(k); got != 1 {
+			t.Errorf("%v: tx row = %d, want 1", k, got)
+		}
+		if got := tr.Originated(k); got != 1 {
+			t.Errorf("%v: originated row = %d, want 1", k, got)
+		}
+		if got := tr.Delivered(k); got != 1 {
+			t.Errorf("%v: delivered row = %d, want 1", k, got)
+		}
+		if got := tr.Dropped(k); got != 1 {
+			t.Errorf("%v: dropped row = %d, want 1", k, got)
+		}
+	}
+	if tr.Invalid() != 0 {
+		t.Fatalf("valid kinds bled into the invalid slot: %d", tr.Invalid())
+	}
+	if got, want := tr.TotalTx(), uint64(protocol.NumKinds-1); got != want {
+		t.Fatalf("total tx = %d, want %d (one per kind)", got, want)
+	}
+
+	// Every kind must appear in the snapshot with its own byte size.
+	snap := tr.Snapshot()
+	seen := make(map[protocol.Kind]KindCount, len(snap))
+	for _, kc := range snap {
+		seen[kc.Kind] = kc
+	}
+	for k := protocol.Kind(1); int(k) < protocol.NumKinds; k++ {
+		kc, ok := seen[k]
+		if !ok {
+			t.Errorf("%v: missing from snapshot", k)
+			continue
+		}
+		if want := uint64(10 + int(k)); kc.Bytes != want {
+			t.Errorf("%v: snapshot bytes = %d, want %d", k, kc.Bytes, want)
+		}
+	}
+
+	// The invalid kind is surfaced, not silently binned.
+	tr.RecordTx(protocol.KindInvalid, 1)
+	if tr.Invalid() != 1 {
+		t.Fatalf("invalid kind not surfaced: %d", tr.Invalid())
+	}
+}

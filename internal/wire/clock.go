@@ -1,0 +1,154 @@
+// Package wire binds the simulator's protocol engines to real UDP
+// sockets. The deterministic event kernel (internal/sim) becomes a
+// real-time executive: virtual time is mapped 1:1 onto wall time elapsed
+// since daemon start, so every TTR/TTP/TTN comparison the engine makes
+// has exactly the simulator's semantics, while deliveries arrive from
+// the network instead of from scheduled events.
+//
+// Threading model: the engine stays single-threaded on the kernel
+// goroutine, exactly as in simulation. The socket read loop is the only
+// other goroutine touching protocol state, and it does so exclusively by
+// injecting closures into the clock, which runs them on the kernel
+// goroutine between events. Nothing else crosses the boundary.
+package wire
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/manetlab/rpcc/internal/sim"
+)
+
+// Clock drives a sim.Kernel against wall time. Virtual time t on the
+// kernel corresponds to wall instant start+t; the loop sleeps until the
+// next due event (or an injection) instead of busy-polling.
+type Clock struct {
+	k *sim.Kernel
+	// idleTick bounds how long the loop sleeps with an empty queue, so a
+	// quiet daemon still notices stop requests promptly.
+	idleTick time.Duration
+
+	start  time.Time
+	inject chan func(*sim.Kernel)
+	quit   chan struct{}
+	done   chan struct{}
+
+	startOnce sync.Once
+	quitOnce  sync.Once
+}
+
+// NewClock wraps k. Call Start to begin advancing it.
+func NewClock(k *sim.Kernel) *Clock {
+	return &Clock{
+		k:        k,
+		idleTick: 50 * time.Millisecond,
+		inject:   make(chan func(*sim.Kernel), 1024),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start marks the epoch (virtual t=0) and launches the executive
+// goroutine. Everything scheduled on the kernel before Start runs at its
+// offset from the epoch. Start is idempotent.
+func (c *Clock) Start() {
+	c.startOnce.Do(func() {
+		c.start = time.Now()
+		go c.loop()
+	})
+}
+
+// Epoch returns the wall instant of virtual t=0 (zero before Start).
+func (c *Clock) Epoch() time.Time { return c.start }
+
+// Elapsed returns the current virtual time (wall time since Start).
+func (c *Clock) Elapsed() time.Duration { return time.Since(c.start) }
+
+// Inject runs fn on the kernel goroutine at the current virtual instant.
+// It is the only way other goroutines (socket readers, signal handlers)
+// may touch engine state. Returns false if the clock has stopped and fn
+// will never run.
+func (c *Clock) Inject(fn func(*sim.Kernel)) bool {
+	// Check quit first: a two-way select with both channels ready picks
+	// randomly, and after Stop the refusal must be deterministic.
+	select {
+	case <-c.quit:
+		return false
+	default:
+	}
+	select {
+	case <-c.quit:
+		return false
+	case c.inject <- fn:
+		return true
+	}
+}
+
+// Stop halts the executive and waits up to deadline for the loop to
+// finish its current handler and exit. A deadline of zero waits
+// indefinitely. Stop is idempotent; later calls just re-wait.
+func (c *Clock) Stop(deadline time.Duration) error {
+	c.quitOnce.Do(func() { close(c.quit) })
+	if deadline <= 0 {
+		<-c.done
+		return nil
+	}
+	select {
+	case <-c.done:
+		return nil
+	case <-time.After(deadline):
+		return fmt.Errorf("wire: clock did not stop within %v", deadline)
+	}
+}
+
+func (c *Clock) loop() {
+	defer close(c.done)
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	for {
+		// Fire everything due at the current wall offset, then sleep
+		// until the next event is due (or idleTick with an empty queue).
+		c.k.RunUntil(time.Since(c.start))
+		wait := c.idleTick
+		if next, ok := c.k.NextEventAt(); ok {
+			if d := next - time.Since(c.start); d < wait {
+				wait = d
+			}
+		}
+		if wait < 0 {
+			wait = 0
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(wait)
+
+		select {
+		case fn := <-c.inject:
+			// Advance the clock first so the injection (a datagram
+			// delivery, typically) is stamped with the instant it
+			// actually happened, then drain any backlog.
+			c.k.RunUntil(time.Since(c.start))
+			fn(c.k)
+		drain:
+			for {
+				select {
+				case fn := <-c.inject:
+					fn(c.k)
+				default:
+					break drain
+				}
+			}
+		case <-timer.C:
+		case <-c.quit:
+			// Final drain: run everything already due so in-flight
+			// handlers complete, then exit. Nothing new is admitted.
+			c.k.RunUntil(time.Since(c.start))
+			return
+		}
+	}
+}

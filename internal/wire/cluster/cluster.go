@@ -1,0 +1,259 @@
+// Package cluster boots N in-process rpcc daemons on 127.0.0.1 UDP,
+// drives each node's workload for a wall-clock duration, records every
+// commit and served answer, and judges the run with the differential
+// oracle's staleness envelopes (internal/oracle.JudgeLive) — the PR 5
+// conformance gate graduated from simulation to real sockets.
+//
+// Protocol timers default to a scaled-down Table 1 (seconds instead of
+// minutes, preserving the TTN:TTR:TTP ratios) so a ~10 s smoke run
+// crosses several announcement and validation windows; envelopes scale
+// with the timers and are inflated for real-network delay soundness.
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/manetlab/rpcc/internal/consistency"
+	"github.com/manetlab/rpcc/internal/core"
+	"github.com/manetlab/rpcc/internal/data"
+	"github.com/manetlab/rpcc/internal/oracle"
+	"github.com/manetlab/rpcc/internal/wire"
+)
+
+// Config parameterises a loopback cluster run.
+type Config struct {
+	// N is the number of daemons (>= 2).
+	N int
+	// Strategy is one of the wire rpcc-* variants.
+	Strategy string
+	// Seed decorrelates the daemons' workload streams.
+	Seed int64
+	// Duration is the wall-clock run length.
+	Duration time.Duration
+	// Drain bounds each daemon's shutdown wait.
+	Drain time.Duration
+	// CacheNum is how many foreign items each node caches (capped at
+	// N-1); node i caches items i+1 .. i+CacheNum (mod N).
+	CacheNum int
+	// QueryInterval / UpdateInterval are each node's workload means.
+	QueryInterval  time.Duration
+	UpdateInterval time.Duration
+	// TTN / TTR / TTP / CoeffPeriod override the protocol timers
+	// (zero keeps the scaled-down defaults below).
+	TTN, TTR, TTP, CoeffPeriod time.Duration
+	// Slack forgives in-flight answers at judging time.
+	Slack time.Duration
+	// Inflate widens every staleness envelope for real-network delay.
+	Inflate time.Duration
+}
+
+// DefaultConfig returns the wire-smoke shape: 5 nodes, 10 seconds,
+// Table 1 timers scaled 60:1 (TTN 2 s, TTR 1.5 s, TTP 4 s).
+func DefaultConfig() Config {
+	return Config{
+		N:              5,
+		Strategy:       wire.StrategyRPCCSC,
+		Seed:           1,
+		Duration:       10 * time.Second,
+		Drain:          2 * time.Second,
+		CacheNum:       4,
+		QueryInterval:  250 * time.Millisecond,
+		UpdateInterval: time.Second,
+		TTN:            2 * time.Second,
+		TTR:            1500 * time.Millisecond,
+		TTP:            4 * time.Second,
+		CoeffPeriod:    time.Second,
+		Slack:          time.Second,
+		Inflate:        2 * time.Second,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.N < 2 {
+		return fmt.Errorf("cluster: n %d must be >= 2", c.N)
+	}
+	if _, err := wire.ParseStrategy(c.Strategy); err != nil {
+		return err
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("cluster: non-positive duration %v", c.Duration)
+	}
+	if c.CacheNum < 1 {
+		return fmt.Errorf("cluster: cache num %d must be >= 1", c.CacheNum)
+	}
+	if c.QueryInterval <= 0 || c.UpdateInterval <= 0 {
+		return fmt.Errorf("cluster: non-positive workload intervals")
+	}
+	if c.Slack < 0 || c.Inflate < 0 {
+		return fmt.Errorf("cluster: negative slack or inflate")
+	}
+	return nil
+}
+
+// coreConfig derives the engine configuration.
+func (c Config) coreConfig() core.Config {
+	cc := core.DefaultConfig()
+	if c.TTN > 0 {
+		cc.TTN = c.TTN
+	}
+	if c.TTR > 0 {
+		cc.TTR = c.TTR
+	}
+	if c.TTP > 0 {
+		cc.TTP = c.TTP
+	}
+	if c.CoeffPeriod > 0 {
+		cc.CoeffPeriod = c.CoeffPeriod
+	}
+	return cc
+}
+
+// spec derives the oracle envelopes from the effective timers, the same
+// shape the sim oracle uses for RPCC: SC answers come from an authority
+// validated within TTR, DC additionally tolerates one TTP window of
+// local reuse, WC is unaudited for staleness.
+func (c Config) spec(cc core.Config) oracle.LiveSpec {
+	return oracle.LiveSpec{
+		Envelopes: map[consistency.Level]time.Duration{
+			consistency.LevelStrong: cc.TTR,
+			consistency.LevelDelta:  cc.TTP + cc.TTR,
+		},
+		Slack:   c.Slack,
+		Inflate: c.Inflate,
+	}
+}
+
+// Report is the outcome of one cluster run.
+type Report struct {
+	N        int
+	Strategy string
+	Elapsed  time.Duration
+
+	Issued   uint64
+	Answered uint64
+	Failed   uint64
+	Commits  int
+	Judged   int
+
+	TotalTx    uint64
+	TotalBytes uint64
+
+	DecodeErrors uint64
+	StopErrors   []error
+
+	Divergences []oracle.Divergence
+
+	NodeSummaries []string
+}
+
+// Clean reports a violation-free run with a clean shutdown.
+func (r Report) Clean() bool { return len(r.Divergences) == 0 && len(r.StopErrors) == 0 }
+
+// String renders the one-line verdict.
+func (r Report) String() string {
+	verdict := "CONFORMANT"
+	if !r.Clean() {
+		verdict = "DIVERGENT"
+	}
+	return fmt.Sprintf("%s: %d nodes (%s) over %v: issued=%d answered=%d failed=%d commits=%d judged=%d tx=%d divergences=%d stop-errors=%d",
+		verdict, r.N, r.Strategy, r.Elapsed.Round(time.Millisecond), r.Issued, r.Answered,
+		r.Failed, r.Commits, r.Judged, r.TotalTx, len(r.Divergences), len(r.StopErrors))
+}
+
+// Run executes one loopback cluster end to end and judges it.
+func Run(cfg Config) (Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return Report{}, err
+	}
+	cc := cfg.coreConfig()
+
+	// Bind every socket first (port 0 → kernel-assigned), so the full
+	// peer table exists before any daemon is constructed.
+	conns := make([]*net.UDPConn, cfg.N)
+	peers := make(map[int]string, cfg.N)
+	closeAll := func() {
+		for _, c := range conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}
+	for i := 0; i < cfg.N; i++ {
+		conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 0})
+		if err != nil {
+			closeAll()
+			return Report{}, fmt.Errorf("cluster: bind node %d: %w", i, err)
+		}
+		conns[i] = conn
+		peers[i] = conn.LocalAddr().String()
+	}
+
+	rec := oracle.NewLiveRecorder(time.Now())
+	nodes := make([]*wire.Node, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		nd, err := wire.NewNode(wire.NodeConfig{
+			Self:           i,
+			Nodes:          cfg.N,
+			Peers:          peers,
+			Conn:           conns[i],
+			Seed:           cfg.Seed + int64(i)*1000003,
+			Strategy:       cfg.Strategy,
+			Core:           cc,
+			Placement:      wire.CyclicPlacement(i, cfg.N, cfg.CacheNum),
+			QueryInterval:  cfg.QueryInterval,
+			UpdateInterval: cfg.UpdateInterval,
+			OnAnswer:       rec.Answer,
+			OnCommit: func(item data.ItemID, v data.Version, at time.Time) {
+				rec.Commit(item, v, at)
+			},
+		})
+		if err != nil {
+			closeAll()
+			return Report{}, fmt.Errorf("cluster: build node %d: %w", i, err)
+		}
+		nodes[i] = nd
+	}
+
+	started := time.Now()
+	for i, nd := range nodes {
+		if err := nd.Start(); err != nil {
+			for j := 0; j <= i; j++ {
+				nodes[j].Stop(cfg.Drain)
+			}
+			return Report{}, fmt.Errorf("cluster: start node %d: %w", i, err)
+		}
+	}
+	time.Sleep(cfg.Duration)
+
+	rep := Report{N: cfg.N, Strategy: cfg.Strategy}
+	for _, nd := range nodes {
+		if err := nd.Stop(cfg.Drain); err != nil {
+			rep.StopErrors = append(rep.StopErrors, err)
+		}
+	}
+	rep.Elapsed = time.Since(started)
+
+	for _, nd := range nodes {
+		ch := nd.Chassis()
+		rep.Issued += ch.Issued()
+		rep.Answered += ch.Answered()
+		rep.Failed += ch.Failed()
+		rep.TotalTx += nd.Traffic().TotalTx()
+		rep.TotalBytes += nd.Traffic().TotalBytes()
+		rep.DecodeErrors += nd.Transport().DecodeErrors()
+		rep.NodeSummaries = append(rep.NodeSummaries, nd.Summary())
+	}
+
+	commits, answers := rec.Ledgers()
+	rep.Commits = len(commits)
+	rep.Judged = len(answers)
+	divs, err := oracle.JudgeLive(commits, answers, cfg.spec(cc))
+	if err != nil {
+		return rep, err
+	}
+	rep.Divergences = divs
+	return rep, nil
+}

@@ -1,0 +1,85 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenerateCompose(t *testing.T) {
+	cfg := DefaultComposeConfig()
+	cfg.N = 3
+	cfg.Strategy = StrategyRPCCDC
+	yml, err := cfg.GenerateCompose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if !strings.Contains(yml, "rpcc-node-"+string(rune('0'+i))+":") {
+			t.Errorf("service %d missing", i)
+		}
+	}
+	// Every container carries the same full peer table, by service DNS name.
+	want := "-peers=0=rpcc-node-0:9000,1=rpcc-node-1:9000,2=rpcc-node-2:9000"
+	if got := strings.Count(yml, want); got != 3 {
+		t.Errorf("peer table appears %d times, want 3\n%s", got, yml)
+	}
+	if !strings.Contains(yml, "-strategy=rpcc-dc") {
+		t.Error("strategy flag missing")
+	}
+	// Per-node seeds must differ or workloads run in lockstep.
+	if !strings.Contains(yml, "-seed=1\n") || !strings.Contains(yml, "-seed=3\n") {
+		t.Error("per-node seeds not decorrelated")
+	}
+	if !strings.Contains(yml, "stop_grace_period") {
+		t.Error("no stop grace period: SIGTERM drain would be cut short")
+	}
+}
+
+func TestGenerateChurn(t *testing.T) {
+	sh, err := DefaultComposeConfig().GenerateChurn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sh, "#!/bin/sh") {
+		t.Error("missing shebang")
+	}
+	for _, frag := range []string{`PREFIX="rpcc-node-"`, "docker start", "docker stop", "MIN_UP=3"} {
+		if !strings.Contains(sh, frag) {
+			t.Errorf("churn script missing %q", frag)
+		}
+	}
+}
+
+func TestComposeValidate(t *testing.T) {
+	bad := map[string]func(*ComposeConfig){
+		"one node":     func(c *ComposeConfig) { c.N = 1 },
+		"bad strategy": func(c *ComposeConfig) { c.Strategy = "tcp" },
+		"empty image":  func(c *ComposeConfig) { c.Image = "" },
+		"bad port":     func(c *ComposeConfig) { c.Port = 70000 },
+		"zero cache":   func(c *ComposeConfig) { c.CacheNum = 0 },
+	}
+	for name, f := range bad {
+		c := DefaultComposeConfig()
+		f(&c)
+		if _, err := c.GenerateCompose(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestCyclicPlacement(t *testing.T) {
+	got := CyclicPlacement(1, 5, 3)
+	for i, want := range []int{2, 3, 4} {
+		if int(got[i]) != want {
+			t.Fatalf("placement = %v", got)
+		}
+	}
+	for _, item := range CyclicPlacement(4, 5, 10) {
+		if item == 4 {
+			t.Fatal("placement contains self")
+		}
+	}
+	if n := len(CyclicPlacement(0, 3, 10)); n != 2 {
+		t.Fatalf("capped placement has %d items, want 2", n)
+	}
+}

@@ -1,0 +1,300 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/manetlab/rpcc/internal/netsim"
+	"github.com/manetlab/rpcc/internal/node"
+	"github.com/manetlab/rpcc/internal/protocol"
+	"github.com/manetlab/rpcc/internal/sim"
+	"github.com/manetlab/rpcc/internal/stats"
+)
+
+// TransportConfig parameterises a UDP transport.
+type TransportConfig struct {
+	// Self is this daemon's node id.
+	Self int
+	// Nodes is the cluster width (node ids are 0..Nodes-1).
+	Nodes int
+	// Peers maps node id -> "host:port". Every id the protocol may
+	// address must be present; Self's entry is its advertised address.
+	Peers map[int]string
+	// Conn, when non-nil, is a pre-bound socket to use instead of
+	// listening on Peers[Self] — the loopback cluster harness binds all
+	// sockets first to learn their kernel-assigned ports.
+	Conn *net.UDPConn
+}
+
+// Validate reports configuration errors.
+func (c TransportConfig) Validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("wire: nodes %d must be > 0", c.Nodes)
+	}
+	if c.Self < 0 || c.Self >= c.Nodes {
+		return fmt.Errorf("wire: self %d out of range [0,%d)", c.Self, c.Nodes)
+	}
+	if len(c.Peers) == 0 {
+		return fmt.Errorf("wire: empty peer table")
+	}
+	for id := range c.Peers {
+		if id < 0 || id >= c.Nodes {
+			return fmt.Errorf("wire: peer id %d out of range [0,%d)", id, c.Nodes)
+		}
+	}
+	if _, ok := c.Peers[c.Self]; !ok && c.Conn == nil {
+		return fmt.Errorf("wire: no listen address for self (%d) and no pre-bound socket", c.Self)
+	}
+	return nil
+}
+
+// Transport is a node.Transport over a UDP socket: one socket per
+// daemon, a static peer table, and a single-segment broadcast domain —
+// every peer is one hop away, and Flood sends one datagram per peer.
+// This models the paper's single radio cell; multi-hop topologies come
+// from running segments behind forwarders, not from this layer.
+type Transport struct {
+	cfg   TransportConfig
+	clock *Clock
+	conn  *net.UDPConn
+	// addrs is the resolved peer table, indexed by node id (nil =
+	// unknown peer).
+	addrs   []*net.UDPAddr
+	peerIDs []int // known peer ids, ascending, for deterministic floods
+
+	// receivers is written before the clock starts and read only on the
+	// kernel goroutine; only Self's entry is ever consulted.
+	receivers []netsim.Receiver
+
+	traffic *stats.Traffic
+	// activity counts this node's radio send/receive events. Confined to
+	// the kernel goroutine (sends happen in handlers, receives in
+	// injected deliveries).
+	activity uint64
+	sendSeq  uint64
+
+	// Read-loop diagnostics (crossed by the reader goroutine).
+	decodeErrs  atomic.Uint64
+	misdelivers atomic.Uint64
+
+	closeOnce sync.Once
+	closeErr  error
+	readDone  chan struct{}
+}
+
+// Compile-time conformance with the engine-facing interface.
+var _ node.Transport = (*Transport)(nil)
+
+// NewTransport binds (or adopts) the socket and resolves the peer table.
+// Call Run to start the read loop once the clock exists.
+func NewTransport(cfg TransportConfig, clock *Clock, traffic *stats.Traffic) (*Transport, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if clock == nil || traffic == nil {
+		return nil, fmt.Errorf("wire: nil clock or traffic")
+	}
+	t := &Transport{
+		cfg:       cfg,
+		clock:     clock,
+		traffic:   traffic,
+		addrs:     make([]*net.UDPAddr, cfg.Nodes),
+		receivers: make([]netsim.Receiver, cfg.Nodes),
+		readDone:  make(chan struct{}),
+	}
+	for id, addr := range cfg.Peers {
+		ua, err := net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("wire: resolve peer %d (%q): %w", id, addr, err)
+		}
+		t.addrs[id] = ua
+		t.peerIDs = append(t.peerIDs, id)
+	}
+	sort.Ints(t.peerIDs)
+	if cfg.Conn != nil {
+		t.conn = cfg.Conn
+	} else {
+		la, err := net.ResolveUDPAddr("udp", cfg.Peers[cfg.Self])
+		if err != nil {
+			return nil, fmt.Errorf("wire: resolve listen address: %w", err)
+		}
+		conn, err := net.ListenUDP("udp", la)
+		if err != nil {
+			return nil, fmt.Errorf("wire: listen: %w", err)
+		}
+		t.conn = conn
+	}
+	return t, nil
+}
+
+// Run starts the socket read loop. Call once, after the receivers are
+// installed; Close terminates it.
+func (t *Transport) Run() { go t.readLoop() }
+
+// LocalAddr returns the socket's bound address.
+func (t *Transport) LocalAddr() *net.UDPAddr { return t.conn.LocalAddr().(*net.UDPAddr) }
+
+// Close shuts the socket and waits for the read loop to exit.
+func (t *Transport) Close() error {
+	t.closeOnce.Do(func() {
+		t.closeErr = t.conn.Close()
+		<-t.readDone
+	})
+	return t.closeErr
+}
+
+// DecodeErrors returns how many datagrams failed frame decoding.
+func (t *Transport) DecodeErrors() uint64 { return t.decodeErrs.Load() }
+
+// Misdelivers returns how many well-formed frames were addressed to a
+// different node (a peer-table error) or echoed back from self.
+func (t *Transport) Misdelivers() uint64 { return t.misdelivers.Load() }
+
+// Len returns the cluster width.
+func (t *Transport) Len() int { return t.cfg.Nodes }
+
+// Kernel returns the clock's kernel.
+func (t *Transport) Kernel() *sim.Kernel { return t.clock.k }
+
+// SetReceiver installs nd's delivery callback. Only Self's receiver ever
+// fires on this transport; the engine installs one per node regardless,
+// which is harmless.
+func (t *Transport) SetReceiver(nd int, r netsim.Receiver) error {
+	if nd < 0 || nd >= t.cfg.Nodes {
+		return fmt.Errorf("wire: receiver node %d out of range", nd)
+	}
+	t.receivers[nd] = r
+	return nil
+}
+
+// Up reports whether nd is in the peer table. A static table has no
+// liveness oracle; an unreachable-but-listed peer is discovered the way
+// a real radio discovers it — by silence.
+func (t *Transport) Up(nd int) bool {
+	return nd >= 0 && nd < t.cfg.Nodes && t.addrs[nd] != nil
+}
+
+// Reachable reports whether both endpoints are in the peer table; on a
+// single segment every listed peer is link-reachable.
+func (t *Transport) Reachable(from, to int) bool { return t.Up(from) && t.Up(to) }
+
+// Activity returns Self's radio activity counter (foreign nodes read 0:
+// their activity happens in their own daemons).
+func (t *Transport) Activity(nd int) uint64 {
+	if nd == t.cfg.Self {
+		return t.activity
+	}
+	return 0
+}
+
+// Unicast sends msg to exactly one peer. Sends must originate from Self:
+// a daemon has no authority to speak as another node, and an engine that
+// tries indicates an assembly bug (a periodic duty not gated to Self).
+func (t *Transport) Unicast(from, to int, msg protocol.Message) error {
+	if err := msg.Validate(); err != nil {
+		return err
+	}
+	if from != t.cfg.Self {
+		return fmt.Errorf("wire: unicast from %d, but this daemon is node %d", from, t.cfg.Self)
+	}
+	if !t.Up(to) {
+		return fmt.Errorf("wire: unicast to unknown peer %d", to)
+	}
+	t.sendSeq++
+	buf, err := protocol.MarshalFrame(protocol.Frame{
+		From: from, To: to, Seq: t.sendSeq, Msg: msg,
+	})
+	if err != nil {
+		return err
+	}
+	t.traffic.RecordOriginated(msg.Kind)
+	t.traffic.RecordTx(msg.Kind, len(buf))
+	t.activity++
+	if _, err := t.conn.WriteToUDP(buf, t.addrs[to]); err != nil {
+		return fmt.Errorf("wire: unicast to %d: %w", to, err)
+	}
+	return nil
+}
+
+// Flood broadcasts msg to every listed peer except the origin, in
+// ascending id order — the single-segment equivalent of a TTL-bounded
+// flood (every node is one hop away, so any ttl >= 1 covers the
+// segment). The origin never receives its own flood, matching netsim.
+func (t *Transport) Flood(origin, ttl int, msg protocol.Message) error {
+	if err := msg.Validate(); err != nil {
+		return err
+	}
+	if origin != t.cfg.Self {
+		return fmt.Errorf("wire: flood from %d, but this daemon is node %d", origin, t.cfg.Self)
+	}
+	if ttl <= 0 {
+		return fmt.Errorf("wire: flood ttl %d must be > 0", ttl)
+	}
+	t.sendSeq++
+	buf, err := protocol.MarshalFrame(protocol.Frame{
+		From: origin, TTL: ttl, Flood: true, Seq: t.sendSeq, Msg: msg,
+	})
+	if err != nil {
+		return err
+	}
+	t.traffic.RecordOriginated(msg.Kind)
+	for _, id := range t.peerIDs {
+		if id == origin {
+			continue
+		}
+		t.traffic.RecordTx(msg.Kind, len(buf))
+		t.activity++
+		if _, err := t.conn.WriteToUDP(buf, t.addrs[id]); err != nil {
+			return fmt.Errorf("wire: flood to %d: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// readLoop decodes datagrams and injects deliveries onto the kernel
+// goroutine. It exits when the socket closes.
+func (t *Transport) readLoop() {
+	defer close(t.readDone)
+	buf := make([]byte, 65536)
+	for {
+		n, _, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed (or fatally broken): the daemon is shutting down
+		}
+		f, err := protocol.UnmarshalFrame(buf[:n])
+		if err != nil {
+			t.decodeErrs.Add(1)
+			continue
+		}
+		if f.From == t.cfg.Self || (!f.Flood && f.To != t.cfg.Self) {
+			t.misdelivers.Add(1)
+			continue
+		}
+		frame := f // capture a stable copy for the closure
+		if !t.clock.Inject(func(k *sim.Kernel) { t.deliver(k, frame) }) {
+			// Clock stopped: drain and discard until the socket closes.
+			continue
+		}
+	}
+}
+
+// deliver runs on the kernel goroutine: account the reception and hand
+// the message to Self's receiver with simulator-shaped metadata.
+func (t *Transport) deliver(k *sim.Kernel, f protocol.Frame) {
+	t.traffic.RecordDelivered(f.Msg.Kind)
+	t.activity++
+	r := t.receivers[t.cfg.Self]
+	if r == nil {
+		return
+	}
+	r(k, t.cfg.Self, f.Msg, netsim.Meta{
+		Hops:    1,
+		At:      k.Now(),
+		SentAt:  k.Now(), // sender clocks are not comparable; flight time reads as 0
+		Flood:   f.Flood,
+		FloodID: f.Seq,
+	})
+}

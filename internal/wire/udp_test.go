@@ -1,0 +1,198 @@
+package wire
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"github.com/manetlab/rpcc/internal/netsim"
+	"github.com/manetlab/rpcc/internal/protocol"
+	"github.com/manetlab/rpcc/internal/sim"
+	"github.com/manetlab/rpcc/internal/stats"
+)
+
+// boot builds n transports on loopback with a shared peer table. The
+// returned start function launches the read loops and clocks; install
+// receivers first, as a daemon would (receivers are written before any
+// other goroutine exists, so they need no locking afterwards).
+func boot(t *testing.T, n int) ([]*Transport, []*Clock, func()) {
+	t.Helper()
+	conns := make([]*net.UDPConn, n)
+	peers := make(map[int]string, n)
+	for i := 0; i < n; i++ {
+		conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = conn
+		peers[i] = conn.LocalAddr().String()
+	}
+	trs := make([]*Transport, n)
+	clocks := make([]*Clock, n)
+	for i := 0; i < n; i++ {
+		k := sim.NewKernel(sim.WithSeed(int64(i + 1)))
+		clocks[i] = NewClock(k)
+		tr, err := NewTransport(TransportConfig{
+			Self: i, Nodes: n, Peers: peers, Conn: conns[i],
+		}, clocks[i], stats.NewTraffic())
+		if err != nil {
+			t.Fatal(err)
+		}
+		trs[i] = tr
+	}
+	t.Cleanup(func() {
+		for i := range trs {
+			clocks[i].Stop(time.Second)
+			trs[i].Close()
+		}
+	})
+	start := func() {
+		for i := range trs {
+			trs[i].Run()
+			clocks[i].Start()
+		}
+	}
+	return trs, clocks, start
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestUDPUnicastDelivers(t *testing.T) {
+	trs, _, start := boot(t, 2)
+	got := make(chan protocol.Message, 1)
+	trs[1].SetReceiver(1, func(k *sim.Kernel, nd int, msg protocol.Message, meta netsim.Meta) {
+		if nd != 1 || meta.Flood || meta.Hops != 1 {
+			t.Errorf("bad delivery: nd=%d meta=%+v", nd, meta)
+		}
+		got <- msg
+	})
+	start()
+	want := protocol.Message{Kind: protocol.KindPoll, Item: 1, Origin: 0, Seq: 42}
+	if err := trs[0].Unicast(0, 1, want); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-got:
+		if msg.Kind != want.Kind || msg.Seq != want.Seq || msg.Item != want.Item {
+			t.Fatalf("delivered %+v, sent %+v", msg, want)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("unicast never delivered")
+	}
+}
+
+func TestUDPFloodReachesAllButOrigin(t *testing.T) {
+	trs, _, start := boot(t, 4)
+	got := make(chan int, 8)
+	for i := 1; i < 4; i++ {
+		i := i
+		trs[i].SetReceiver(i, func(k *sim.Kernel, nd int, msg protocol.Message, meta netsim.Meta) {
+			if !meta.Flood {
+				t.Errorf("node %d: flood delivered with Flood=false", i)
+			}
+			got <- i
+		})
+	}
+	origin := make(chan int, 1)
+	trs[0].SetReceiver(0, func(k *sim.Kernel, nd int, msg protocol.Message, meta netsim.Meta) {
+		origin <- nd
+	})
+	start()
+	msg := protocol.Message{Kind: protocol.KindInvalidation, Item: 0, Origin: 0, Version: 3}
+	if err := trs[0].Flood(0, 8, msg); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for len(seen) < 3 {
+		select {
+		case i := <-got:
+			seen[i] = true
+		case <-time.After(5 * time.Second):
+			t.Fatalf("flood reached only %v", seen)
+		}
+	}
+	select {
+	case <-origin:
+		t.Fatal("origin received its own flood")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestUDPRejectsForeignSendsAndBadPeers(t *testing.T) {
+	trs, _, start := boot(t, 2)
+	start()
+	msg := protocol.Message{Kind: protocol.KindPoll, Item: 1, Origin: 1}
+	if err := trs[0].Unicast(1, 0, msg); err == nil {
+		t.Error("unicast from a foreign node accepted")
+	}
+	if err := trs[0].Flood(1, 4, msg); err == nil {
+		t.Error("flood from a foreign node accepted")
+	}
+	if err := trs[0].Unicast(0, 7, msg); err == nil {
+		t.Error("unicast to an unknown peer accepted")
+	}
+	if err := trs[0].Flood(0, 0, msg); err == nil {
+		t.Error("flood with zero ttl accepted")
+	}
+	if err := trs[0].Unicast(0, 1, protocol.Message{}); err == nil {
+		t.Error("invalid message accepted")
+	}
+}
+
+func TestUDPDropsGarbageAndMisaddressed(t *testing.T) {
+	trs, _, start := boot(t, 2)
+	start()
+	raw, err := net.Dial("udp", trs[1].LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+
+	// Garbage datagram: counted as a decode error, never delivered.
+	if _, err := raw.Write([]byte{0xDE, 0xAD, 0xBE, 0xEF}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "decode error count", func() bool { return trs[1].DecodeErrors() == 1 })
+
+	// Well-formed frame addressed to a different node: dropped.
+	buf, err := protocol.MarshalFrame(protocol.Frame{
+		From: 0, To: 5, Seq: 1,
+		Msg: protocol.Message{Kind: protocol.KindPoll, Item: 1, Origin: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := raw.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "misdeliver count", func() bool { return trs[1].Misdelivers() == 1 })
+}
+
+func TestUDPInterfaceSemantics(t *testing.T) {
+	trs, clocks, start := boot(t, 3)
+	start()
+	if trs[0].Len() != 3 {
+		t.Fatalf("len = %d", trs[0].Len())
+	}
+	if trs[0].Kernel() != clocks[0].k {
+		t.Fatal("kernel mismatch")
+	}
+	if !trs[0].Up(1) || !trs[0].Reachable(0, 2) {
+		t.Fatal("listed peers must be up and reachable")
+	}
+	if trs[0].Up(9) || trs[0].Reachable(0, 9) {
+		t.Fatal("unlisted peers must be down")
+	}
+	if err := trs[0].SetReceiver(99, nil); err == nil {
+		t.Fatal("out-of-range receiver accepted")
+	}
+}
