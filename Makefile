@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-hotpath bench-compare bench-wire figures telemetry-smoke chaos-smoke conform-smoke wire-smoke clean
+.PHONY: all build test race vet check bench bench-hotpath bench-compare bench-wire bench-scale figures telemetry-smoke chaos-smoke conform-smoke wire-smoke scale-smoke clean
 
 all: check
 
@@ -65,7 +65,7 @@ telemetry-smoke:
 	$(GO) run ./cmd/telemetrylint \
 		-prom $(TELEMETRY_TMP)/metrics.prom \
 		-jsonl $(TELEMETRY_TMP)/spans.jsonl \
-		-require rpcc_delivery_latency_seconds,rpcc_delivery_hops,rpcc_queries_issued_total,rpcc_staleness_seconds,rpcc_tx_total
+		-require rpcc_delivery_latency_seconds,rpcc_delivery_hops,rpcc_queries_issued_total,rpcc_staleness_seconds,rpcc_tx_total,rpcc_topology_snapshots_total
 
 # Chaos soak gate: the seeded demonstration campaign (partition + bursty
 # loss + crash + relay assassination over 25 simulated minutes, sub-second
@@ -120,6 +120,37 @@ bench-wire:
 	$(GO) test -run '^$$' -bench 'BenchmarkFrameMarshal|BenchmarkFrameUnmarshal' -benchtime 1s -count 3 ./internal/protocol/ > $(WIRE_BENCH_TMP)
 	$(GO) test -run '^$$' -bench BenchmarkLoopbackQueryRTT -benchtime 2s ./internal/wire/cluster/ >> $(WIRE_BENCH_TMP)
 	$(GO) run ./cmd/benchdiff -json BENCH_wire.json -name wire $(WIRE_BENCH_TMP) $(WIRE_BENCH_TMP) > /dev/null
+
+# Scale gate: a 10k-node kinetic+sharded run (auto region count) runs
+# twice with the same seed; both runs must pass cmd/scale's invariant
+# gate (answers exist, no torn/future answers, no watermark regressions
+# — non-zero exit otherwise) and produce byte-identical stdout.
+SCALE_TMP ?= /tmp/rpcc-scale-smoke
+scale-smoke:
+	mkdir -p $(SCALE_TMP)
+	$(GO) run ./cmd/scale -nodes 10000 -simtime 60s -seed 1 > $(SCALE_TMP)/a.txt
+	$(GO) run ./cmd/scale -nodes 10000 -simtime 60s -seed 1 > $(SCALE_TMP)/b.txt
+	cmp $(SCALE_TMP)/a.txt $(SCALE_TMP)/b.txt
+	@cat $(SCALE_TMP)/a.txt
+
+# Regenerate the committed scale benchmark artefact (BENCH_scale.json):
+# kinetic+sharded runs at 1k/10k/100k against the pre-scale-work
+# baseline (serial kernel, full rebuilds, per-flip churn resampling,
+# unbounded route tables) at 1k/10k. The baseline is intractable at
+# 100k, so that row feeds the kinetic measurement to both sides
+# (delta 1.0, bench-wire style) and stands as a plain absolute export.
+SCALE_BENCH_NEW ?= /tmp/rpcc-bench-scale-new.txt
+SCALE_BENCH_BASE ?= /tmp/rpcc-bench-scale-base.txt
+bench-scale:
+	$(GO) build -o /tmp/rpcc-scale-bin ./cmd/scale
+	rm -f $(SCALE_BENCH_NEW) $(SCALE_BENCH_BASE)
+	/tmp/rpcc-scale-bin -nodes 1000 -simtime 60s -seed 1 -bench $(SCALE_BENCH_NEW) > /dev/null
+	/tmp/rpcc-scale-bin -nodes 10000 -simtime 60s -seed 1 -bench $(SCALE_BENCH_NEW) > /dev/null
+	/tmp/rpcc-scale-bin -nodes 100000 -simtime 30s -seed 1 -bench $(SCALE_BENCH_NEW) > /dev/null
+	/tmp/rpcc-scale-bin -nodes 1000 -simtime 60s -seed 1 -baseline -bench $(SCALE_BENCH_BASE) > /dev/null
+	/tmp/rpcc-scale-bin -nodes 10000 -simtime 60s -seed 1 -baseline -bench $(SCALE_BENCH_BASE) > /dev/null
+	grep 'nodes=100000' $(SCALE_BENCH_NEW) >> $(SCALE_BENCH_BASE)
+	$(GO) run ./cmd/benchdiff -json BENCH_scale.json -name scale $(SCALE_BENCH_BASE) $(SCALE_BENCH_NEW)
 
 # Full paper reproduction (5 simulated hours per run), journaled so an
 # interrupted sweep resumes with `make figures` again.

@@ -1,0 +1,168 @@
+// Command scale runs one large-population scenario through the sharded
+// kinetic stack and reports, deterministically, what the fleet did.
+//
+//	scale -nodes 10000 -simtime 60s
+//	scale -nodes 100000 -simtime 30s -bench /tmp/scale_new.txt
+//	scale -nodes 10000 -simtime 60s -kinetic=false -shards 1   # baseline leg
+//
+// The stdout report is a pure function of the flags (sim-derived metrics
+// only), so `make scale-smoke` byte-compares two runs for determinism.
+// Wall-clock throughput (nodes simulated per wall-second) and peak RSS go
+// to stderr, and -bench appends a `go test -bench`-format line so
+// cmd/benchdiff can diff a kinetic+sharded run against the full-rebuild
+// baseline into BENCH_scale.json.
+//
+// Above -scale-threshold nodes the per-host workload intervals stretch
+// proportionally, holding the fleet-wide query/update rate at the Table 1
+// scenario's: population scaling probes topology and cache maintenance,
+// not an ever-growing query storm.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime/pprof"
+	"syscall"
+	"time"
+
+	"github.com/manetlab/rpcc/internal/experiment"
+)
+
+// workloadScaleThreshold is the population above which per-host workload
+// intervals stretch with n.
+const workloadScaleThreshold = 1000
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "scale:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		nodes    = flag.Int("nodes", 10_000, "total peer population")
+		simtime  = flag.Duration("simtime", time.Minute, "simulated horizon")
+		shards   = flag.Int("shards", 0, "region count (0 = auto)")
+		parallel = flag.Bool("parallel", false, "one goroutine per region window")
+		kinetic  = flag.Bool("kinetic", true, "kinetic topology maintenance (false = full rebuilds)")
+		seed     = flag.Int64("seed", 1, "root RNG seed")
+		strategy = flag.String("strategy", "rpcc-sc", "consistency strategy")
+		benchOut = flag.String("bench", "", "append a go-bench-format wall-time line to this file")
+		baseline = flag.Bool("baseline", false, "pre-scale-work configuration: serial, full rebuilds, per-flip churn resampling, unbounded route tables")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	)
+	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	cfg := experiment.ScaleConfig{
+		Config:   experiment.DefaultConfig(experiment.StrategyKind(*strategy), *seed),
+		Shards:   *shards,
+		Parallel: *parallel,
+	}
+	cfg.NPeers = *nodes
+	cfg.SimTime = *simtime
+	cfg.DisableKinetic = !*kinetic
+	// Scale-run resource bounds: per-destination route tables capped, and
+	// churn folded into topology at epoch granularity (forwarding still
+	// checks liveness per hop) — at 100k nodes per-flip resampling would
+	// dwarf the simulation itself.
+	cfg.RouteTableCap = 256
+	cfg.LazyChurnRefresh = true
+	if *baseline {
+		// What every run looked like before the scale work: one serial
+		// kernel, a full topology rebuild whenever the epoch rolls or any
+		// node's churn state flips, a wholesale route reset at each
+		// rebuild, and unbounded route tables.
+		cfg.Shards = 1
+		cfg.DisableKinetic = true
+		cfg.RouteTableCap = 0
+		cfg.LazyChurnRefresh = false
+		*kinetic = false
+	}
+	// Hold terrain density at the Table 1 scenario's by growing the area
+	// with the population (the per-region split keeps it; the total must
+	// too).
+	side := 1500 * math.Sqrt(float64(*nodes)/50.0)
+	cfg.AreaWidth = side
+	cfg.AreaHeight = side
+	if *nodes > workloadScaleThreshold {
+		f := time.Duration(*nodes / workloadScaleThreshold)
+		cfg.QueryInterval *= f
+		cfg.UpdateInterval *= f
+	}
+
+	start := time.Now()
+	res, err := experiment.RunScale(cfg)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+
+	// Deterministic report: everything here derives from the seed.
+	fmt.Printf("nodes=%d shards=%d simtime=%v strategy=%s kinetic=%v baseline=%v seed=%d\n",
+		*nodes, res.Shards, *simtime, *strategy, *kinetic, *baseline, *seed)
+	fmt.Printf("queries: issued=%d answered=%d failed=%d\n", res.Issued, res.Answered, res.Failed)
+	fmt.Printf("traffic: tx=%d bytes=%d\n", res.TotalTx, res.TotalBytes)
+	fmt.Printf("consistency: violations=%d torn=%d future=%d\n",
+		res.Violations, res.TornAnswers, res.FutureAnswers)
+	fmt.Printf("sync: barriers=%d mail=%d gossip_violations=%d\n",
+		res.Barriers, res.MailDelivered, res.GossipViolations)
+	t := res.Topology
+	fmt.Printf("topology: full_rebuilds=%d kinetic_samples=%d makes=%d breaks=%d rebins=%d cert_checks=%d\n",
+		t.FullRebuilds, t.KineticSamples, t.LinkMakes, t.LinkBreaks, t.Rebins, t.CertChecks)
+	fmt.Printf("routes: repaired=%d dropped=%d full_resets=%d\n",
+		t.RoutesRepaired, t.RoutesDropped, t.RouteFullResets)
+
+	// Non-deterministic performance report, kept off stdout.
+	nodesPerSec := float64(*nodes) / wall.Seconds()
+	fmt.Fprintf(os.Stderr, "wall=%.2fs nodes_per_wall_sec=%.1f peak_rss_kb=%d\n",
+		wall.Seconds(), nodesPerSec, peakRSSKB())
+
+	if *benchOut != "" {
+		f, err := os.OpenFile(*benchOut, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(f, "BenchmarkScaleRun/nodes=%d \t1\t%d ns/op\n", *nodes, wall.Nanoseconds())
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
+	// Invariant gate: a scale run that answers nothing, tears an answer,
+	// or regresses a watermark is a failure regardless of throughput.
+	if res.Answered == 0 {
+		return fmt.Errorf("no queries answered")
+	}
+	if res.TornAnswers != 0 || res.FutureAnswers != 0 {
+		return fmt.Errorf("consistency violations: torn=%d future=%d", res.TornAnswers, res.FutureAnswers)
+	}
+	if res.GossipViolations != 0 {
+		return fmt.Errorf("%d cross-region watermark regressions", res.GossipViolations)
+	}
+	return nil
+}
+
+// peakRSSKB returns the process's peak resident set size in KiB
+// (ru_maxrss is KiB on Linux).
+func peakRSSKB() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return int64(ru.Maxrss)
+}

@@ -124,6 +124,24 @@ type Config struct {
 	// SerializeTx gives each node a single radio with MAC-style queueing
 	// instead of the idealised parallel radio (the A10 ablation).
 	SerializeTx bool
+	// DisableKinetic reverts topology maintenance to per-snapshot full
+	// rebuilds. Kinetic maintenance (the default) is byte-identical in
+	// behaviour — netsim's equivalence gates pin that — so this switch
+	// exists for A/B cost measurement and as the baseline leg of the
+	// scale benchmark, not for correctness.
+	DisableKinetic bool
+	// RouteTableCap bounds the live per-destination route tables kept by
+	// each topology snapshot (0 = unlimited). Scale runs set a cap so
+	// persistent route state stays linear in the cap rather than
+	// quadratic in peers.
+	RouteTableCap int
+	// LazyChurnRefresh folds churn flips into the topology only at
+	// refresh epochs instead of invalidating the snapshot per flip.
+	// Forwarding still checks per-hop liveness, so downed nodes never
+	// relay; only route choice sees churn at epoch granularity. Scale
+	// runs enable it — at 100k peers per-flip resampling costs more than
+	// the rest of the simulation.
+	LazyChurnRefresh bool
 }
 
 // DefaultConfig returns the Table 1 scenario for one strategy.

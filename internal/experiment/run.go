@@ -115,6 +115,29 @@ type runEnv struct {
 	aud     *consistency.Auditor
 }
 
+// assembled is one fully wired scenario stack bound to a kernel. The
+// serial path assembles one and runs its kernel to the horizon; the
+// sharded scale path (scale.go) assembles one per region on the
+// sub-kernels of a ShardedKernel and lets the lockstep windows drive
+// them all.
+type assembled struct {
+	cfg       Config
+	hub       *telemetry.Hub
+	k         *sim.Kernel
+	field     *mobility.Field
+	churn     *churn.Process
+	batteries []*energy.Battery
+	net       *netsim.Network
+	reg       *data.Registry
+	stores    []*cache.Store
+	aud       *consistency.Auditor
+	lat       *stats.Latency
+	traffic   *stats.Traffic
+	chassis   *node.Chassis
+	strat     Strategy
+	timeline  []uint64
+}
+
 // runScenario builds and runs one scenario. preRun, if non-nil, fires
 // after the stack is assembled and started but before the kernel runs —
 // anything it schedules lands on the same event queue. A nil preRun is
@@ -124,10 +147,30 @@ func runScenario(cfg Config, hub *telemetry.Hub, preRun func(env runEnv) error) 
 		return Result{}, err
 	}
 	k := sim.NewKernel(sim.WithSeed(cfg.Seed), sim.WithHorizon(cfg.SimTime))
-
-	terrain, err := geo.NewTerrain(cfg.AreaWidth, cfg.AreaHeight)
+	a, err := assembleScenario(cfg, hub, k)
 	if err != nil {
 		return Result{}, err
+	}
+	if preRun != nil {
+		if err := preRun(runEnv{
+			k: k, net: a.net, churn: a.churn, reg: a.reg, stores: a.stores,
+			chassis: a.chassis, strat: a.strat, traffic: a.traffic, aud: a.aud,
+		}); err != nil {
+			return Result{}, err
+		}
+	}
+	k.Run()
+	return a.finalize(), nil
+}
+
+// assembleScenario wires the full stack — terrain, mobility, churn,
+// energy, network, data, caches, auditor, chassis, strategy, workload
+// and the traffic timeline — onto the caller's kernel, leaving the
+// kernel unrun.
+func assembleScenario(cfg Config, hub *telemetry.Hub, k *sim.Kernel) (*assembled, error) {
+	terrain, err := geo.NewTerrain(cfg.AreaWidth, cfg.AreaHeight)
+	if err != nil {
+		return nil, err
 	}
 	mobCfg := mobility.Config{
 		Terrain:    terrain,
@@ -143,7 +186,7 @@ func runScenario(cfg Config, hub *telemetry.Hub, preRun func(env runEnv) error) 
 		return k.Stream(fmt.Sprintf("mobility.%d", i))
 	})
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 
 	churnCfg := churn.Config{
@@ -153,14 +196,14 @@ func runScenario(cfg Config, hub *telemetry.Hub, preRun func(env runEnv) error) 
 	}
 	churnProc, err := churn.NewProcess(churnCfg, cfg.NPeers, k)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 
 	batteries := make([]*energy.Battery, cfg.NPeers)
 	for i := range batteries {
 		b, err := energy.NewBattery(energy.DefaultConfig())
 		if err != nil {
-			return Result{}, err
+			return nil, err
 		}
 		batteries[i] = b
 	}
@@ -172,21 +215,24 @@ func runScenario(cfg Config, hub *telemetry.Hub, preRun func(env runEnv) error) 
 	}
 	netCfg.LossRate = cfg.LossRate
 	netCfg.SerializeTx = cfg.SerializeTx
+	netCfg.Kinetic = !cfg.DisableKinetic
+	netCfg.RouteTableCap = cfg.RouteTableCap
+	netCfg.LazyChurnRefresh = cfg.LazyChurnRefresh
 	traffic := stats.NewTraffic()
 	network, err := netsim.New(netCfg, k, field, churnProc, batteries, traffic)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 
 	reg, err := data.NewRegistry(cfg.NPeers)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	stores := make([]*cache.Store, cfg.NPeers)
 	for i := range stores {
 		stores[i], err = cache.NewStore(cfg.CacheNum)
 		if err != nil {
-			return Result{}, err
+			return nil, err
 		}
 	}
 
@@ -194,12 +240,12 @@ func runScenario(cfg Config, hub *telemetry.Hub, preRun func(env runEnv) error) 
 	// poll round trip at the default hop latency.
 	aud, err := consistency.NewAuditor(reg, cfg.TTP, 5*time.Second)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	lat := stats.NewLatency()
 	chassis, err := node.NewChassis(node.DefaultConfig(), network, reg, stores, lat, aud)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	chassis.Hub = hub
 	if tr := hub.Tracer(); tr != nil {
@@ -208,7 +254,7 @@ func runScenario(cfg Config, hub *telemetry.Hub, preRun func(env runEnv) error) 
 
 	strat, levelFor, err := buildStrategy(cfg, k, chassis, churnProc, field, batteries)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 
 	var domains [][]data.ItemID
@@ -216,7 +262,7 @@ func runScenario(cfg Config, hub *telemetry.Hub, preRun func(env runEnv) error) 
 		domains = warmCaches(k, cfg, reg, stores, strat)
 	}
 	if err := strat.Start(k); err != nil {
-		return Result{}, err
+		return nil, err
 	}
 
 	wlCfg := workload.Config{
@@ -227,7 +273,7 @@ func runScenario(cfg Config, hub *telemetry.Hub, preRun func(env runEnv) error) 
 	}
 	if cfg.Popularity == workload.PopularityCached {
 		if domains == nil {
-			return Result{}, fmt.Errorf("experiment: cached-domain workload requires WarmCaches")
+			return nil, fmt.Errorf("experiment: cached-domain workload requires WarmCaches")
 		}
 		wlCfg.Domain = func(host int) []data.ItemID { return domains[host] }
 	}
@@ -240,43 +286,43 @@ func runScenario(cfg Config, hub *telemetry.Hub, preRun func(env runEnv) error) 
 		},
 	)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	wl.Start(k)
 
+	a := &assembled{
+		cfg: cfg, hub: hub, k: k, field: field, churn: churnProc,
+		batteries: batteries, net: network, reg: reg, stores: stores,
+		aud: aud, lat: lat, traffic: traffic, chassis: chassis, strat: strat,
+	}
+
 	// Sample the traffic total in 60 windows for the timeline.
-	timeline := make([]uint64, 0, 60)
+	a.timeline = make([]uint64, 0, 60)
 	var lastTx uint64
-	if stop, err := k.Every(cfg.SimTime/60, "experiment.timeline", func(*sim.Kernel) {
+	_, _ = k.Every(cfg.SimTime/60, "experiment.timeline", func(*sim.Kernel) {
 		cur := traffic.TotalTx()
-		timeline = append(timeline, cur-lastTx)
+		a.timeline = append(a.timeline, cur-lastTx)
 		lastTx = cur
-	}); err == nil {
-		defer stop()
-	}
+	})
+	return a, nil
+}
 
-	if preRun != nil {
-		if err := preRun(runEnv{
-			k: k, net: network, churn: churnProc, reg: reg, stores: stores,
-			chassis: chassis, strat: strat, traffic: traffic, aud: aud,
-		}); err != nil {
-			return Result{}, err
-		}
-	}
+// finalize folds traffic, the topology-maintenance counters and the sim
+// clock into the hub, then collects the run's Result. Call exactly once,
+// after the kernel has run to its horizon.
+func (a *assembled) finalize() Result {
+	a.hub.AttachTraffic(a.traffic)
+	publishTopologyStats(a.hub, a.net.TopologyStats())
+	a.hub.Finish(a.k.Now())
 
-	k.Run()
-
-	hub.AttachTraffic(traffic)
-	hub.Finish(k.Now())
-
-	res := collect(cfg, strat, traffic, lat, chassis, stores)
-	res.Telemetry = hub.Snapshot()
-	res.TrafficTimeline = timeline
+	res := collect(a.cfg, a.strat, a.traffic, a.lat, a.chassis, a.stores)
+	res.Telemetry = a.hub.Snapshot()
+	res.TrafficTimeline = a.timeline
 	res.MinBatteryCE = 1
 	capacity := energy.DefaultConfig().Capacity
-	drains := make([]float64, 0, len(batteries))
-	for _, b := range batteries {
-		ce := b.CE(k.Now())
+	drains := make([]float64, 0, len(a.batteries))
+	for _, b := range a.batteries {
+		ce := b.CE(a.k.Now())
 		drain := capacity * (1 - ce)
 		drains = append(drains, drain)
 		res.EnergyDrained += drain
@@ -285,7 +331,43 @@ func runScenario(cfg Config, hub *telemetry.Hub, preRun func(env runEnv) error) 
 		}
 	}
 	res.EnergyFairness = jainIndex(drains)
-	return res, nil
+	return res
+}
+
+// publishTopologyStats exposes netsim's topology-maintenance counters as
+// telemetry: how snapshots were produced (full rebuild vs kinetic
+// sample), the kinetic machinery behind them (certificate checks, cell
+// rebins, link make/break events) and what happened to route state at
+// each sample. Counter handles are nil-safe, so a nil hub is a no-op.
+func publishTopologyStats(hub *telemetry.Hub, s netsim.TopologyStats) {
+	snapshots := func(mode string) *telemetry.Counter {
+		return hub.Counter("rpcc_topology_snapshots_total",
+			"Topology snapshots by production mode.", telemetry.Label{Key: "mode", Value: mode})
+	}
+	snapshots("full_rebuild").Add(s.FullRebuilds)
+	snapshots("kinetic_sample").Add(s.KineticSamples)
+
+	links := func(dir string) *telemetry.Counter {
+		return hub.Counter("rpcc_topology_link_events_total",
+			"Kinetic link make/break events.", telemetry.Label{Key: "dir", Value: dir})
+	}
+	links("make").Add(s.LinkMakes)
+	links("break").Add(s.LinkBreaks)
+
+	kinetic := func(event string) *telemetry.Counter {
+		return hub.Counter("rpcc_topology_kinetic_work_total",
+			"Kinetic maintenance events processed.", telemetry.Label{Key: "event", Value: event})
+	}
+	kinetic("cert_check").Add(s.CertChecks)
+	kinetic("rebin").Add(s.Rebins)
+
+	routes := func(outcome string) *telemetry.Counter {
+		return hub.Counter("rpcc_topology_route_maintenance_total",
+			"Route-table outcomes at topology samples.", telemetry.Label{Key: "outcome", Value: outcome})
+	}
+	routes("repaired").Add(s.RoutesRepaired)
+	routes("dropped").Add(s.RoutesDropped)
+	routes("full_reset").Add(s.RouteFullResets)
 }
 
 // jainIndex computes Jain's fairness index (Σx)²/(n·Σx²) over xs,

@@ -1,0 +1,120 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// scaleTestConfig is a short Table-1-shaped scenario sized for unit
+// tests.
+func scaleTestConfig(n int, seed int64) Config {
+	cfg := DefaultConfig(StrategyRPCCSC, seed)
+	cfg.NPeers = n
+	cfg.SimTime = 2 * time.Minute
+	return cfg
+}
+
+// stripVolatile clears the fields that legitimately differ between the
+// plain and sharded paths (snapshot pointers, the embedded Config) so
+// the rest can be compared wholesale.
+func stripVolatile(r Result) Result {
+	r.Telemetry = nil
+	r.Config = Config{}
+	return r
+}
+
+// TestRunScaleSerialMatchesRun: below the auto-shard floor RunScale is
+// one region on one sub-kernel, and the sharded kernel's degenerate
+// single-shard case is event-identical to a plain kernel — so the whole
+// Result must match Run exactly.
+func TestRunScaleSerialMatchesRun(t *testing.T) {
+	cfg := scaleTestConfig(24, 7)
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	scaled, err := RunScale(ScaleConfig{Config: cfg})
+	if err != nil {
+		t.Fatalf("RunScale: %v", err)
+	}
+	if scaled.Shards != 1 {
+		t.Fatalf("auto-sharding picked %d shards for %d peers", scaled.Shards, cfg.NPeers)
+	}
+	if got, want := stripVolatile(scaled.Result), stripVolatile(plain); !reflect.DeepEqual(got, want) {
+		t.Fatalf("single-shard RunScale diverges from Run:\n got %+v\nwant %+v", got, want)
+	}
+	if scaled.GossipViolations != 0 {
+		t.Fatalf("gossip violations on a single shard: %d", scaled.GossipViolations)
+	}
+}
+
+// TestRunScaleSharded runs three regions in lockstep (serial and
+// parallel workers), checks the run is deterministic across worker
+// modes, and that the consistency invariants and watermark monotonicity
+// hold in every region.
+func TestRunScaleSharded(t *testing.T) {
+	cfg := ScaleConfig{Config: scaleTestConfig(90, 11), Shards: 3}
+	serial, err := RunScale(cfg)
+	if err != nil {
+		t.Fatalf("RunScale(serial): %v", err)
+	}
+	cfg.Parallel = true
+	parallel, err := RunScale(cfg)
+	if err != nil {
+		t.Fatalf("RunScale(parallel): %v", err)
+	}
+
+	if serial.Shards != 3 || len(serial.PerShard) != 3 {
+		t.Fatalf("expected 3 shards, got %d (%d results)", serial.Shards, len(serial.PerShard))
+	}
+	if serial.Answered == 0 {
+		t.Fatal("no queries answered across the fleet")
+	}
+	for i, r := range serial.PerShard {
+		if r.Answered == 0 {
+			t.Errorf("region %d answered nothing", i)
+		}
+		if r.TornAnswers != 0 || r.FutureAnswers != 0 {
+			t.Errorf("region %d consistency violations: torn=%d future=%d", i, r.TornAnswers, r.FutureAnswers)
+		}
+	}
+	if serial.GossipViolations != 0 {
+		t.Fatalf("watermark regressions: %d", serial.GossipViolations)
+	}
+	if serial.MailDelivered == 0 {
+		t.Fatal("no cross-region mail delivered; gossip is not running")
+	}
+	if serial.Barriers == 0 {
+		t.Fatal("no lockstep barriers executed")
+	}
+	if serial.Topology.KineticSamples == 0 {
+		t.Fatal("kinetic plane produced no incremental samples")
+	}
+
+	if got, want := stripVolatile(parallel.Result), stripVolatile(serial.Result); !reflect.DeepEqual(got, want) {
+		t.Fatalf("parallel workers diverge from serial:\n got %+v\nwant %+v", got, want)
+	}
+	if parallel.GossipViolations != serial.GossipViolations ||
+		parallel.MailDelivered != serial.MailDelivered {
+		t.Fatal("synchronization counters diverge between worker modes")
+	}
+}
+
+// TestRunScaleValidation covers shard-count edge cases.
+func TestRunScaleValidation(t *testing.T) {
+	cfg := ScaleConfig{Config: scaleTestConfig(10, 1), Shards: 8}
+	if _, err := RunScale(cfg); err == nil {
+		t.Error("8 shards over 10 peers accepted (leaves <2 per region)")
+	}
+	cfg.Shards = -1
+	if _, err := RunScale(cfg); err == nil {
+		t.Error("negative shard count accepted")
+	}
+	if got := autoShards(100_000); got != 16 {
+		t.Errorf("autoShards(100k) = %d, want 16", got)
+	}
+	if got := autoShards(50); got != 1 {
+		t.Errorf("autoShards(50) = %d, want 1", got)
+	}
+}

@@ -1,0 +1,276 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/manetlab/rpcc/internal/netsim"
+	"github.com/manetlab/rpcc/internal/sim"
+	"github.com/manetlab/rpcc/internal/telemetry"
+)
+
+// scaleAutoShardFloor is the peer count below which auto-sharding stays
+// serial: one region, one kernel — exactly the path every figure runs.
+const scaleAutoShardFloor = 2000
+
+// scaleGossipInterval paces the cross-region watermark gossip.
+const scaleGossipInterval = time.Second
+
+// ScaleConfig parameterises one large-scale run: the base scenario
+// (NPeers is the TOTAL across all regions) plus the sharding controls.
+type ScaleConfig struct {
+	Config
+
+	// Shards is the region count; 0 picks automatically (1 below 2000
+	// peers, then one region per ~2500 peers, at most 16). Each region is
+	// an independent protocol stack on its own sub-kernel — peers query
+	// within their region, and regions exchange progress watermarks
+	// through the sharded kernel's bounded-lookahead mail.
+	Shards int
+	// Parallel runs each region's window on its own goroutine. The
+	// result is identical either way (the sharded-kernel equivalence
+	// tests pin it); on a single-core host this is pure overhead.
+	Parallel bool
+}
+
+// ScaleResult is a merged large-scale run report.
+type ScaleResult struct {
+	Result
+
+	// Shards is the region count actually used.
+	Shards int
+	// PerShard holds each region's own Result (nil when Shards == 1 —
+	// the merged Result IS the single region's).
+	PerShard []Result
+	// Barriers / MailDelivered count sharded-kernel synchronization
+	// work (zero when Shards == 1).
+	Barriers      uint64
+	MailDelivered uint64
+	// GossipViolations counts cross-region watermark regressions — a
+	// receiver observing a sender's answered-query counter move
+	// backwards, which a correct lockstep schedule makes impossible.
+	GossipViolations uint64
+	// Topology aggregates the per-region networks' topology-maintenance
+	// counters.
+	Topology netsim.TopologyStats
+}
+
+// autoShards picks the region count for n peers.
+func autoShards(n int) int {
+	if n < scaleAutoShardFloor {
+		return 1
+	}
+	s := n / 2500
+	if s < 2 {
+		s = 2
+	}
+	if s > 16 {
+		s = 16
+	}
+	return s
+}
+
+// RunScale executes one scenario at scale: the peers split into S
+// equal-density regions, each assembled as an independent stack on a
+// sub-kernel of a ShardedKernel (lookahead = the per-hop forwarding
+// delay, the minimum time anything could cross a region boundary), run
+// in lockstep, and merged into one report. Regions gossip monotone
+// answered-query watermarks through the barrier mail; any regression is
+// reported as a GossipViolation. S = 1 is the degenerate case — one
+// region on one sub-kernel, which the sharded-kernel tests prove
+// event-identical to a plain serial kernel — so small runs behave
+// exactly like Run.
+func RunScale(cfg ScaleConfig) (ScaleResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return ScaleResult{}, err
+	}
+	s := cfg.Shards
+	if s == 0 {
+		s = autoShards(cfg.NPeers)
+	}
+	if s < 1 {
+		return ScaleResult{}, fmt.Errorf("experiment: bad shard count %d", s)
+	}
+	if cfg.NPeers/s < 2 {
+		return ScaleResult{}, fmt.Errorf("experiment: %d peers across %d shards leaves <2 per region", cfg.NPeers, s)
+	}
+	lookahead := netsim.DefaultConfig().HopBase
+	sk, err := sim.NewShardedKernel(s, lookahead, cfg.SimTime, cfg.Seed)
+	if err != nil {
+		return ScaleResult{}, err
+	}
+	sk.SetParallel(cfg.Parallel)
+
+	// Split peers evenly (remainder to the low regions) and scale each
+	// region's area by its peer share so node density matches the base
+	// scenario.
+	stacks := make([]*assembled, s)
+	base, rem := cfg.NPeers/s, cfg.NPeers%s
+	for i := 0; i < s; i++ {
+		sub := cfg.Config
+		sub.NPeers = base
+		if i < rem {
+			sub.NPeers++
+		}
+		// Width stays; the height carries the region's peer share, so each
+		// region is a horizontal strip of the base terrain at unchanged
+		// node density.
+		share := float64(sub.NPeers) / float64(cfg.NPeers)
+		sub.AreaWidth = cfg.AreaWidth
+		sub.AreaHeight = cfg.AreaHeight * share
+		sub.Seed = cfg.Seed // sub-kernel seeds already differ per shard
+		if err := sub.Validate(); err != nil {
+			return ScaleResult{}, fmt.Errorf("experiment: shard %d config: %w", i, err)
+		}
+		hub := telemetry.NewHub(telemetry.LevelMetrics)
+		a, err := assembleScenario(sub, hub, sk.Shard(i))
+		if err != nil {
+			return ScaleResult{}, fmt.Errorf("experiment: shard %d assemble: %w", i, err)
+		}
+		stacks[i] = a
+	}
+
+	// Watermark gossip: every region periodically mails its answered
+	// counter to the next region; receivers assert per-sender
+	// monotonicity. lastSeen[j] and gossipViol[j] are touched only by
+	// shard j's handlers, so parallel windows need no locking.
+	lastSeen := make([][]uint64, s)
+	gossipViol := make([]uint64, s)
+	for i := range lastSeen {
+		lastSeen[i] = make([]uint64, s)
+	}
+	for i := 0; s > 1 && i < s; i++ {
+		i := i
+		next := (i + 1) % s
+		if _, err := sk.Shard(i).Every(scaleGossipInterval, "scale.gossip", func(k *sim.Kernel) {
+			w := stacks[i].chassis.Answered()
+			if err := sk.Send(i, next, lookahead, "scale.watermark", func(*sim.Kernel) {
+				if w < lastSeen[next][i] {
+					gossipViol[next]++
+				} else {
+					lastSeen[next][i] = w
+				}
+			}); err != nil {
+				panic(fmt.Sprintf("experiment: watermark send %d->%d: %v", i, next, err))
+			}
+		}); err != nil {
+			return ScaleResult{}, err
+		}
+	}
+
+	sk.Run()
+
+	out := ScaleResult{
+		Shards:        s,
+		PerShard:      make([]Result, s),
+		Barriers:      sk.Barriers(),
+		MailDelivered: sk.Delivered(),
+	}
+	for i, a := range stacks {
+		out.PerShard[i] = a.finalize()
+		out.Topology.Add(a.net.TopologyStats())
+	}
+	for _, v := range gossipViol {
+		out.GossipViolations += v
+	}
+	out.Result = mergeResults(cfg.Config, out.PerShard)
+	return out, nil
+}
+
+// mergeResults folds per-region results into one report for the whole
+// population. Counters sum; means weight by the contributing population
+// (answered queries for latency/staleness, peers for hit ratio);
+// quantiles take the per-region maximum, a conservative upper bound —
+// exact cross-region quantiles would need the raw samples, which the
+// regions do not retain.
+func mergeResults(total Config, rs []Result) Result {
+	if len(rs) == 1 {
+		// One region IS the population; copying keeps the weighted means
+		// bit-exact (a multiply/divide round trip is not).
+		m := rs[0]
+		m.Strategy = total.Strategy
+		m.Config = total
+		return m
+	}
+	m := Result{Strategy: total.Strategy, Config: total, MinBatteryCE: 1}
+	var latWeight, staleWeight uint64
+	var hitWeight float64
+	var fairWeight float64
+	for _, r := range rs {
+		m.TotalTx += r.TotalTx
+		m.TotalBytes += r.TotalBytes
+		m.Issued += r.Issued
+		m.Answered += r.Answered
+		m.Failed += r.Failed
+		m.Violations += r.Violations
+		m.TornAnswers += r.TornAnswers
+		m.FutureAnswers += r.FutureAnswers
+		m.RelayCount += r.RelayCount
+		m.RoleCache += r.RoleCache
+		m.RoleCand += r.RoleCand
+		m.RoleRelay += r.RoleRelay
+		m.PollDirect += r.PollDirect
+		m.PollRing += r.PollRing
+		m.PollFallback += r.PollFallback
+		m.RelayForgets += r.RelayForgets
+		m.EnergyDrained += r.EnergyDrained
+
+		m.MeanLatency += time.Duration(float64(r.MeanLatency) * float64(r.Answered))
+		m.MeanStaleness += time.Duration(float64(r.MeanStaleness) * float64(r.Answered))
+		latWeight += r.Answered
+		staleWeight += r.Answered
+		if r.P50Latency > m.P50Latency {
+			m.P50Latency = r.P50Latency
+		}
+		if r.P99Latency > m.P99Latency {
+			m.P99Latency = r.P99Latency
+		}
+		if r.MaxLatency > m.MaxLatency {
+			m.MaxLatency = r.MaxLatency
+		}
+		if r.MaxStaleness > m.MaxStaleness {
+			m.MaxStaleness = r.MaxStaleness
+		}
+		if r.MinBatteryCE < m.MinBatteryCE {
+			m.MinBatteryCE = r.MinBatteryCE
+		}
+
+		peers := float64(r.Config.NPeers)
+		m.MeanHitRatio += r.MeanHitRatio * peers
+		hitWeight += peers
+		m.EnergyFairness += r.EnergyFairness * peers
+		fairWeight += peers
+
+		for w, v := range r.TrafficTimeline {
+			for len(m.TrafficTimeline) <= w {
+				m.TrafficTimeline = append(m.TrafficTimeline, 0)
+			}
+			m.TrafficTimeline[w] += v
+		}
+		if r.Telemetry != nil {
+			if m.Telemetry == nil {
+				m.Telemetry = r.Telemetry
+			} else if err := m.Telemetry.Merge(r.Telemetry); err != nil {
+				// Snapshots from identically configured regions always
+				// merge; a failure means a schema bug, not run data.
+				panic(fmt.Sprintf("experiment: telemetry merge: %v", err))
+			}
+		}
+	}
+	if latWeight > 0 {
+		m.MeanLatency = time.Duration(float64(m.MeanLatency) / float64(latWeight))
+	}
+	if staleWeight > 0 {
+		m.MeanStaleness = time.Duration(float64(m.MeanStaleness) / float64(staleWeight))
+	}
+	if hitWeight > 0 {
+		m.MeanHitRatio /= hitWeight
+	}
+	if fairWeight > 0 {
+		m.EnergyFairness /= fairWeight
+	}
+	if hours := total.SimTime.Hours(); hours > 0 {
+		m.TxPerHour = float64(m.TotalTx) / hours
+	}
+	return m
+}

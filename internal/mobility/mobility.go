@@ -85,6 +85,13 @@ type Waypoint struct {
 	moves    uint64 // subnet crossings observed so far
 	lastCell int
 	lastSeen time.Duration
+
+	// future buffers legs generated ahead of cur by analytic peeks (the
+	// kinetic topology plane asks about times the simulation clock has not
+	// reached yet). advance consumes the buffer before drawing fresh legs,
+	// so the node's private RNG sees exactly the same draw sequence whether
+	// or not anything ever peeked.
+	future []leg
 }
 
 // NewWaypoint creates a trajectory starting at a uniform-random position.
@@ -163,8 +170,75 @@ func (w *Waypoint) advance(t time.Duration) {
 		t = w.lastSeen
 	}
 	for t > w.cur.pauseTill {
-		w.cur = w.nextLeg(w.cur.to, w.cur.pauseTill)
+		if len(w.future) > 0 {
+			w.cur = w.future[0]
+			w.future = w.future[1:]
+		} else {
+			w.cur = w.nextLeg(w.cur.to, w.cur.pauseTill)
+		}
 	}
+}
+
+// legAt returns the leg covering time t without advancing the trajectory:
+// legs beyond the current one are generated into the peek buffer, where a
+// later advance picks them up in order. t earlier than the current leg
+// returns the current leg (positions before departAt clamp to its origin,
+// which matches what PositionAt reports for non-advancing queries).
+func (w *Waypoint) legAt(t time.Duration) leg {
+	if t <= w.cur.pauseTill {
+		return w.cur
+	}
+	last := w.cur
+	if n := len(w.future); n > 0 {
+		last = w.future[n-1]
+	}
+	for t > last.pauseTill {
+		last = w.nextLeg(last.to, last.pauseTill)
+		w.future = append(w.future, last)
+	}
+	for i := range w.future {
+		if t <= w.future[i].pauseTill {
+			return w.future[i]
+		}
+	}
+	return last
+}
+
+// PeekPosition returns the node position at time t — which may be in the
+// simulation's future — without advancing the trajectory, counting subnet
+// crossings, or otherwise perturbing what later PositionAt calls observe.
+// The position is computed with the same leg interpolation as PositionAt,
+// so peeking at a time and then querying it yields bit-identical points.
+func (w *Waypoint) PeekPosition(t time.Duration) geo.Point {
+	return legPos(w.legAt(t), t)
+}
+
+// Segment describes the node's motion at time t as one linear piece: the
+// effective speed (metres/second; 0 while pausing), the velocity vector
+// realising it, and the virtual time the piece ends (arrival at the
+// waypoint, or the end of the pause). Between t and End the position
+// moves along a straight line at exactly Vel, which is what lets the
+// kinetic topology plane solve link-crossing times analytically instead
+// of polling.
+type Segment struct {
+	Speed float64
+	Vel   geo.Point
+	End   time.Duration
+}
+
+// SegmentAt returns the linear motion piece covering time t (future times
+// allowed; like PeekPosition it does not advance the trajectory).
+func (w *Waypoint) SegmentAt(t time.Duration) Segment {
+	l := w.legAt(t)
+	if t < l.arriveAt && l.arriveAt > l.departAt {
+		secs := (l.arriveAt - l.departAt).Seconds()
+		return Segment{
+			Speed: l.from.Dist(l.to) / secs,
+			Vel:   l.to.Sub(l.from).Scale(1 / secs),
+			End:   l.arriveAt,
+		}
+	}
+	return Segment{Speed: 0, End: l.pauseTill}
 }
 
 // PositionAt returns the node position at virtual time t. Calls must use
@@ -187,7 +261,14 @@ func (w *Waypoint) PositionAt(t time.Duration) geo.Point {
 }
 
 func (w *Waypoint) positionOnLeg(t time.Duration) geo.Point {
-	l := w.cur
+	return legPos(w.cur, t)
+}
+
+// legPos interpolates a position on one leg. Both the advancing PositionAt
+// path and the non-mutating PeekPosition path go through this single
+// formula, so the two agree bit-for-bit at equal times — the property the
+// kinetic topology plane's exactness argument rests on.
+func legPos(l leg, t time.Duration) geo.Point {
 	switch {
 	case t <= l.departAt:
 		return l.from
@@ -236,6 +317,18 @@ func (f *Field) Len() int { return len(f.nodes) }
 
 // Node returns the trajectory of node i.
 func (f *Field) Node(i int) *Waypoint { return f.nodes[i] }
+
+// PeekPosition returns node i's position at time t (future times allowed)
+// without advancing any trajectory state. See Waypoint.PeekPosition.
+func (f *Field) PeekPosition(i int, t time.Duration) geo.Point {
+	return f.nodes[i].PeekPosition(t)
+}
+
+// SegmentAt returns node i's linear motion piece covering time t. See
+// Waypoint.SegmentAt.
+func (f *Field) SegmentAt(i int, t time.Duration) Segment {
+	return f.nodes[i].SegmentAt(t)
+}
 
 // PositionsAt fills dst with every node's position at time t, allocating
 // when dst is too small, and returns the slice.

@@ -146,6 +146,28 @@ type Config struct {
 	// the switch exists so the determinism regression tests can compare
 	// the memoized hot path against the reference path.
 	DisableRouteCache bool
+	// Kinetic switches topology maintenance from per-snapshot full
+	// rebuilds to the event-driven kinetic plane (kinetic.go): link
+	// make/break times are predicted from the motion legs, scheduled as
+	// kernel events, and snapshots are produced by repacking the
+	// incrementally maintained adjacency plus repairing route tables
+	// in place. Requires the position field to implement KineticSource
+	// (*mobility.Field does). Snapshots are byte-identical to the
+	// full-rebuild path; only the cost model changes.
+	Kinetic bool
+	// RouteTableCap bounds how many per-destination route tables the
+	// snapshot keeps alive (0 = unlimited, the historical behaviour).
+	// Large kinetic runs set a cap so persistent tables stay O(cap·n)
+	// instead of O(n²).
+	RouteTableCap int
+	// LazyChurnRefresh stops churn flips from invalidating the cached
+	// topology snapshot: down/up transitions are only folded into the
+	// adjacency at the next TopologyRefresh epoch. Per-hop forwarding
+	// still checks Up() live, so a downed node never relays or receives
+	// — only route *choice* sees churn at epoch granularity. Scale runs
+	// (100k nodes, ~2k flips/s) enable this; at that rate per-flip
+	// resampling costs more than the whole rest of the simulation.
+	LazyChurnRefresh bool
 }
 
 // DefaultConfig returns the network parameters used across the paper's
@@ -189,6 +211,9 @@ func (c Config) Validate() error {
 	if c.LossRate < 0 || c.LossRate >= 1 {
 		return fmt.Errorf("netsim: loss rate %g outside [0,1)", c.LossRate)
 	}
+	if c.RouteTableCap < 0 {
+		return fmt.Errorf("netsim: negative route table cap %d", c.RouteTableCap)
+	}
 	return nil
 }
 
@@ -209,6 +234,13 @@ type Network struct {
 	cached     *radio.Graph
 	cachedAt   time.Duration
 	cacheValid bool
+
+	// kin is the kinetic topology plane (nil unless cfg.Kinetic); topo
+	// accumulates topology-maintenance counters in both modes. diffBuf
+	// is the reused CSR edge-diff scratch between samples.
+	kin     *kinetic
+	topo    TopologyStats
+	diffBuf []radio.EdgeDiff
 
 	// activity counts link-level sends plus receptions per node —
 	// including pure forwarding work — as the radio-level evidence of a
@@ -290,7 +322,14 @@ func New(cfg Config, k *sim.Kernel, field PositionSource, churnProc *churn.Proce
 	if n.cfg.Routing == RoutingDSR {
 		n.initDSR()
 	}
-	if churnProc != nil {
+	if cfg.Kinetic {
+		src, ok := field.(KineticSource)
+		if !ok {
+			return nil, fmt.Errorf("netsim: kinetic topology needs a KineticSource field, got %T", field)
+		}
+		n.kin = newKinetic(src, cfg.CommRange, &n.topo)
+	}
+	if churnProc != nil && !cfg.LazyChurnRefresh {
 		// Any connectivity flip invalidates the cached topology snapshot
 		// immediately, so messages in the same refresh window observe it.
 		churnProc.Subscribe(func(int, churn.State, time.Duration) { n.cacheValid = false })
@@ -351,13 +390,22 @@ func (n *Network) Graph() *radio.Graph {
 	for i := range down {
 		down[i] = !n.Up(i)
 	}
-	g, err := n.builder.Build(n.posBuf, down, n.cfg.CommRange, uint64(epoch))
+	var g *radio.Graph
+	var err error
+	if n.kin != nil {
+		g, err = n.kineticSample(now, down, uint64(epoch))
+	} else {
+		g, err = n.builder.Build(n.posBuf, down, n.cfg.CommRange, uint64(epoch))
+		n.topo.FullRebuilds++
+		n.topo.RouteFullResets++
+	}
 	if err != nil {
 		// Config was validated at construction; only a programming error
 		// reaches here. Fail loudly rather than route on a stale graph.
 		panic(fmt.Sprintf("netsim: graph rebuild failed: %v", err))
 	}
 	g.SetRouteCache(!n.cfg.DisableRouteCache)
+	g.SetRouteTableCap(n.cfg.RouteTableCap)
 	n.rebuilds++
 	n.cached = g
 	n.cachedAt = epoch
@@ -378,6 +426,41 @@ func (n *Network) Reachable(from, to int) bool {
 // invalidation behaviour without relying on snapshot identity (the builder
 // reuses one graph in place).
 func (n *Network) Rebuilds() uint64 { return n.rebuilds }
+
+// TopologyStats returns the topology-maintenance counters: full rebuilds
+// vs kinetic incremental samples, link make/break events, certificate
+// checks, Verlet rebins, and route tables repaired vs dropped vs reset.
+func (n *Network) TopologyStats() TopologyStats { return n.topo }
+
+// kineticSample produces the snapshot for a sample time via the kinetic
+// plane: drain every due certificate with the exact sampled positions,
+// convert the window's link flips plus the down-mask delta into CSR edge
+// diffs, repack the CSR from the maintained adjacency rows, and repair
+// the surviving route tables against exactly those diffs. The first call
+// performs the one full build the plane ever does.
+func (n *Network) kineticSample(now time.Duration, down []bool, stamp uint64) (*radio.Graph, error) {
+	kn := n.kin
+	row := func(i int) []int32 { return kn.linkedAdj[i] }
+	if !kn.inited {
+		kn.init(now, n.posBuf)
+		copy(kn.downPrev, down)
+		g, err := n.builder.RebuildFromRows(kn.n, row, down, n.cfg.CommRange, stamp)
+		kn.scheduleDriver(n.k)
+		return g, err
+	}
+	kn.drainUntil(now, n.posBuf)
+	n.diffBuf = kn.csrDiffs(down, n.diffBuf)
+	g, err := n.builder.RebuildFromRows(kn.n, row, down, n.cfg.CommRange, stamp)
+	if err != nil {
+		return nil, err
+	}
+	repaired, dropped := g.PatchRoutes(n.diffBuf)
+	n.topo.RoutesRepaired += uint64(repaired)
+	n.topo.RoutesDropped += uint64(dropped)
+	n.topo.KineticSamples++
+	kn.scheduleDriver(n.k)
+	return g, nil
+}
 
 // txDelay reserves node's radio for one frame and returns the delay until
 // the frame lands one hop away: the plain hop delay under the idealised

@@ -31,6 +31,11 @@ type GraphBuilder struct {
 // NewGraphBuilder returns an empty builder; buffers grow on first Build.
 func NewGraphBuilder() *GraphBuilder { return &GraphBuilder{} }
 
+// smallBuildCutoff is the node count at and below which Build uses the
+// pairwise sweep instead of the spatial grid (identical output, lower
+// constant factors at small n).
+const smallBuildCutoff = 100
+
 // Build constructs the snapshot for the given positions. down may be nil
 // (all up) or a slice of the same length flagging unreachable nodes.
 //
@@ -48,6 +53,15 @@ func (b *GraphBuilder) Build(pos []geo.Point, down []bool, commRange float64, st
 	g := b.prepare(pos, down, commRange, stamp)
 	n := g.n
 	if n == 0 {
+		return g, nil
+	}
+	// At small n the O(n²) sweep beats the grid: bucketing, the 3×3 block
+	// walk and the per-row sorts cost more than ~n²/2 distance checks. The
+	// crossover sits near 100 nodes on current hardware; both paths emit
+	// the identical snapshot (property-tested), so this is purely a lever
+	// on constant factors — it is what un-regressed BenchmarkFloodStorm.
+	if n <= smallBuildCutoff {
+		b.fillPairwise(pos, commRange)
 		return g, nil
 	}
 

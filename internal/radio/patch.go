@@ -1,0 +1,228 @@
+package radio
+
+import "fmt"
+
+// This file is the incremental half of the radio layer: the kinetic
+// topology plane (internal/netsim) maintains geometric adjacency rows
+// between snapshots and asks the builder to repack the CSR from them
+// without discarding the route cache, then repairs each memoized
+// distance table against the exact set of CSR edge changes instead of
+// rebuilding it from scratch.
+//
+// The repair is the textbook two-phase dynamic-BFS update for unit
+// weights:
+//
+//   Phase 1 (increase): starting from the endpoints of removed edges,
+//   a vertex keeps its distance only while it has a witness neighbour
+//   one level closer to the destination; vertices without one are set
+//   to Unreachable and their dependants re-checked, to a fixpoint.
+//   Witness chains are grounded at the destination by induction on
+//   level, so every distance that survives phase 1 is achievable in
+//   the new graph.
+//
+//   Phase 2 (decrease): a multi-source level-ordered BFS relaxation
+//   seeded by the endpoints of added edges and by the surviving
+//   frontier around the invalidated region restores exact distances.
+//
+// Final distances equal a fresh BFS on the new graph, so NextHop —
+// which reads only distances plus the current adjacency — answers
+// exactly as if the table had been rebuilt. The property tests in
+// patch_test.go pin that equality on random mobile histories.
+
+// EdgeDiff is one undirected CSR edge change between two snapshots.
+type EdgeDiff struct {
+	U, V int32
+	Add  bool
+}
+
+// RebuildFromRows repacks the snapshot's CSR from per-node geometric
+// neighbour rows (sorted ascending, including rows for down nodes),
+// filtering out edges with a down endpoint exactly as the full builds
+// do — and, unlike Build, it keeps the memoized route tables alive so
+// the caller can repair them with PatchRoutes. The first call (or a
+// call with a different node count) behaves like a full build with an
+// empty cache.
+func (b *GraphBuilder) RebuildFromRows(n int, row func(i int) []int32, down []bool, commRange float64, stamp uint64) (*Graph, error) {
+	if commRange <= 0 {
+		return nil, fmt.Errorf("radio: non-positive range %g", commRange)
+	}
+	if down != nil && len(down) != n {
+		return nil, fmt.Errorf("radio: down length %d != nodes %d", len(down), n)
+	}
+	g := &b.g
+	if g.n != n {
+		g.dist = nil
+		g.built = g.built[:0]
+		g.distPool = nil
+		g.n = n
+		g.cacheOn = true
+	}
+	g.rng = commRange
+	g.stamp = stamp
+	g.off = resizeI32(g.off, n+1)
+	if cap(g.down) < n {
+		g.down = make([]bool, n)
+	}
+	g.down = g.down[:n]
+	if down != nil {
+		copy(g.down, down)
+	} else {
+		clear(g.down)
+	}
+	if cap(g.queue) < n {
+		g.queue = make([]int32, 0, n)
+	}
+	tgt := g.tgt[:0]
+	for i := 0; i < n; i++ {
+		g.off[i] = int32(len(tgt))
+		if g.down[i] {
+			continue
+		}
+		for _, j := range row(i) {
+			if !g.down[j] {
+				tgt = append(tgt, int(j))
+			}
+		}
+	}
+	g.off[n] = int32(len(tgt))
+	g.tgt = tgt
+	return g, nil
+}
+
+// repairLimit caps how much of a table phase 1 may invalidate before the
+// repair is abandoned and the table dropped for lazy rebuild: past a
+// quarter of the graph a fresh BFS is cheaper than the two-phase update.
+func (g *Graph) repairLimit() int { return g.n/4 + 8 }
+
+// PatchRoutes repairs every memoized distance table against the CSR edge
+// changes applied by the latest RebuildFromRows. It must be called after
+// the repack (both phases walk the new adjacency). Tables whose affected
+// region exceeds the repair limit are dropped and rebuilt lazily on next
+// use. Returns how many tables were repaired in place and how many were
+// dropped.
+func (g *Graph) PatchRoutes(diffs []EdgeDiff) (repaired, dropped int) {
+	if len(diffs) == 0 || len(g.built) == 0 {
+		return 0, 0
+	}
+	kept := g.built[:0]
+	for _, dst := range g.built {
+		d := g.dist[dst]
+		if g.repairTable(d, diffs) {
+			kept = append(kept, dst)
+			repaired++
+		} else {
+			g.distPool = append(g.distPool, d)
+			g.dist[dst] = nil
+			dropped++
+		}
+	}
+	g.built = kept
+	return repaired, dropped
+}
+
+// repairTable applies the two-phase update to one distance table.
+// Returns false when the affected region exceeded the repair limit (the
+// table's contents are then unspecified and it must be dropped).
+func (g *Graph) repairTable(d []int32, diffs []EdgeDiff) bool {
+	limit := g.repairLimit()
+	invalidated := 0
+
+	// Phase 1: over-invalidate. Work stack seeded by removed-edge
+	// endpoints; a vertex is re-pushed whenever a potential witness of
+	// its level is invalidated, so the loop reaches a fixpoint.
+	stack := g.queue[:0]
+	for _, diff := range diffs {
+		if !diff.Add {
+			stack = append(stack, diff.U, diff.V)
+		}
+	}
+	var invalid []int32
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		dx := d[x]
+		if dx <= 0 {
+			continue // destination (0) or already invalidated (-1)
+		}
+		witness := false
+		for _, w := range g.tgt[g.off[x]:g.off[x+1]] {
+			if d[w] == dx-1 {
+				witness = true
+				break
+			}
+		}
+		if witness {
+			continue
+		}
+		d[x] = Unreachable
+		invalid = append(invalid, x)
+		if invalidated++; invalidated > limit {
+			g.queue = stack[:0]
+			return false
+		}
+		for _, y := range g.tgt[g.off[x]:g.off[x+1]] {
+			if d[int32(y)] == dx+1 {
+				stack = append(stack, int32(y))
+			}
+		}
+	}
+	g.queue = stack[:0]
+
+	// Phase 2: level-ordered relaxation from added-edge endpoints and
+	// from the surviving frontier around the invalidated region.
+	if cap(g.repairBuckets) == 0 {
+		g.repairBuckets = make([][]int32, 0, 16)
+	}
+	buckets := g.repairBuckets[:0]
+	push := func(x int32, level int32) {
+		for int(level) >= len(buckets) {
+			buckets = append(buckets, nil)
+		}
+		buckets[level] = append(buckets[level], x)
+	}
+	for _, diff := range diffs {
+		if diff.Add {
+			if dv := d[diff.U]; dv >= 0 {
+				push(diff.U, dv)
+			}
+			if dv := d[diff.V]; dv >= 0 {
+				push(diff.V, dv)
+			}
+		}
+	}
+	for _, x := range invalid {
+		for _, w := range g.tgt[g.off[x]:g.off[x+1]] {
+			if dv := d[w]; dv >= 0 {
+				push(int32(w), dv)
+			}
+		}
+	}
+	for level := 0; level < len(buckets); level++ {
+		for qi := 0; qi < len(buckets[level]); qi++ {
+			x := buckets[level][qi]
+			if d[x] != int32(level) {
+				continue // stale entry: x was relaxed to a lower level
+			}
+			for _, y := range g.tgt[g.off[x]:g.off[x+1]] {
+				if dy := d[y]; dy < 0 || dy > int32(level)+1 {
+					d[y] = int32(level) + 1
+					push(int32(y), int32(level)+1)
+				}
+			}
+		}
+		buckets[level] = buckets[level][:0]
+	}
+	g.repairBuckets = buckets[:0]
+	return true
+}
+
+// SetRouteTableCap bounds how many destination tables the route cache
+// keeps alive at once (0, the default, is unlimited — the behaviour every
+// pre-existing path sees). When the cap is reached the oldest table is
+// evicted FIFO, which keeps eviction deterministic. Large kinetic runs
+// set a cap so persistent tables cannot grow to n² memory.
+func (g *Graph) SetRouteTableCap(cap int) { g.tableCap = cap }
+
+// RouteTables returns how many memoized distance tables are currently
+// built — the population PatchRoutes repairs each snapshot.
+func (g *Graph) RouteTables() int { return len(g.built) }

@@ -1,0 +1,168 @@
+package radio
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"github.com/manetlab/rpcc/internal/geo"
+)
+
+// edgeKey packs an undirected pair (u < v).
+func edgeKey(u, v int32) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(u)<<32 | uint64(uint32(v))
+}
+
+// geoRows computes sorted geometric neighbour rows (ignoring down state),
+// the representation the kinetic plane hands to RebuildFromRows.
+func geoRows(pos []geo.Point, commRange float64) [][]int32 {
+	n := len(pos)
+	r2 := commRange * commRange
+	rows := make([][]int32, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && pos[i].DistSq(pos[j]) <= r2 {
+				rows[i] = append(rows[i], int32(j))
+			}
+		}
+	}
+	return rows
+}
+
+// csrEdges collects the up-up filtered edge set from rows+down.
+func csrEdges(rows [][]int32, down []bool) map[uint64]bool {
+	set := make(map[uint64]bool)
+	for i, row := range rows {
+		if down[i] {
+			continue
+		}
+		for _, j := range row {
+			if !down[j] {
+				set[edgeKey(int32(i), j)] = true
+			}
+		}
+	}
+	return set
+}
+
+// TestPatchRoutesMatchesFreshBFS drives a random mobile + churn history
+// through RebuildFromRows + PatchRoutes and checks, at every step, that
+// every repaired distance table answers Hops and NextHop exactly like a
+// freshly built reference snapshot.
+func TestPatchRoutesMatchesFreshBFS(t *testing.T) {
+	const (
+		n         = 60
+		steps     = 40
+		commRange = 180.0
+		world     = 1000.0
+	)
+	rng := rand.New(rand.NewSource(7))
+	pos := make([]geo.Point, n)
+	for i := range pos {
+		pos[i] = geo.Point{X: rng.Float64() * world, Y: rng.Float64() * world}
+	}
+	down := make([]bool, n)
+
+	inc := NewGraphBuilder()
+	ref := NewGraphBuilder()
+
+	rows := geoRows(pos, commRange)
+	prev := csrEdges(rows, down)
+	g, err := inc.RebuildFromRows(n, func(i int) []int32 { return rows[i] }, down, commRange, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.SetRouteTableCap(12) // exercise FIFO eviction alongside repair
+
+	warm := func(g *Graph) {
+		for k := 0; k < 6; k++ {
+			g.Hops(rng.Intn(n), rng.Intn(n))
+		}
+	}
+	warm(g)
+
+	for step := 1; step <= steps; step++ {
+		// Drift positions, flip a little churn.
+		for i := range pos {
+			pos[i].X += (rng.Float64() - 0.5) * 60
+			pos[i].Y += (rng.Float64() - 0.5) * 60
+		}
+		if step%3 == 0 {
+			down[rng.Intn(n)] = !down[rng.Intn(n)]
+		}
+		rows = geoRows(pos, commRange)
+		next := csrEdges(rows, down)
+
+		var diffs []EdgeDiff
+		for k := range next {
+			if !prev[k] {
+				diffs = append(diffs, EdgeDiff{U: int32(k >> 32), V: int32(uint32(k)), Add: true})
+			}
+		}
+		for k := range prev {
+			if !next[k] {
+				diffs = append(diffs, EdgeDiff{U: int32(k >> 32), V: int32(uint32(k)), Add: false})
+			}
+		}
+		prev = next
+
+		g, err = inc.RebuildFromRows(n, func(i int) []int32 { return rows[i] }, down, commRange, uint64(step))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.PatchRoutes(diffs)
+		warm(g)
+
+		refG, err := ref.BuildPairwise(pos, down, commRange, uint64(step))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// CSR must match the reference build exactly.
+		for i := 0; i < n; i++ {
+			if !slices.Equal(g.Neighbors(i), refG.Neighbors(i)) {
+				t.Fatalf("step %d: node %d neighbours %v != ref %v", step, i, g.Neighbors(i), refG.Neighbors(i))
+			}
+		}
+		// Every query the cache can answer must match a fresh BFS.
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				if got, want := g.Hops(src, dst), refG.Hops(src, dst); got != want {
+					t.Fatalf("step %d: Hops(%d,%d) = %d, fresh = %d", step, src, dst, got, want)
+				}
+				if got, want := g.NextHop(src, dst), refG.NextHop(src, dst); got != want {
+					t.Fatalf("step %d: NextHop(%d,%d) = %d, fresh = %d", step, src, dst, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSmallBuildUsesIdenticalSnapshot pins that the small-n pairwise
+// fast path and the grid path emit byte-identical CSR rows right around
+// the cutoff.
+func TestSmallBuildCutoffIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{smallBuildCutoff - 1, smallBuildCutoff, smallBuildCutoff + 1, smallBuildCutoff + 40} {
+		pos := make([]geo.Point, n)
+		for i := range pos {
+			pos[i] = geo.Point{X: rng.Float64() * 1500, Y: rng.Float64() * 1500}
+		}
+		a, err := NewGraphBuilder().Build(pos, nil, 250, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewGraphBuilder().BuildPairwise(pos, nil, 250, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if !slices.Equal(a.Neighbors(i), b.Neighbors(i)) {
+				t.Fatalf("n=%d node %d: grid/pairwise rows differ", n, i)
+			}
+		}
+	}
+}

@@ -41,6 +41,11 @@ type Graph struct {
 	built    []int32   // destinations with a table built this snapshot
 	distPool [][]int32 // spare distance tables
 	queue    []int32   // shared BFS scratch queue
+	tableCap int       // max live tables (0 = unlimited), FIFO eviction
+
+	// repairBuckets is the level-ordered relaxation queue reused by
+	// PatchRoutes (see patch.go).
+	repairBuckets [][]int32
 }
 
 // NewGraph builds a standalone snapshot from positions via a throwaway
@@ -130,6 +135,14 @@ func (g *Graph) routeTo(dst int) []int32 {
 	}
 	if d := g.dist[dst]; d != nil {
 		return d
+	}
+	if g.tableCap > 0 && len(g.built) >= g.tableCap {
+		// FIFO eviction keeps the live-table population bounded and the
+		// eviction order deterministic.
+		old := g.built[0]
+		g.built = g.built[1:]
+		g.distPool = append(g.distPool, g.dist[old])
+		g.dist[old] = nil
 	}
 	var d []int32
 	if n := len(g.distPool); n > 0 {

@@ -1,0 +1,245 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ShardedKernel runs S independent sub-kernels in conservative
+// lookahead-bounded lockstep — the classic conservative parallel
+// discrete-event scheme: virtual time advances in windows [T, T+L) where
+// L is the lookahead (the minimum cross-shard propagation delay; for the
+// MANET stack that is the per-hop forwarding base, since no message can
+// cross a region boundary in less than one hop). Within a window each
+// shard processes its own events with no synchronization at all; at the
+// window barrier, cross-shard messages posted during the window are
+// merged in the deterministic order (arrival time, sender shard, sender
+// sequence) and scheduled onto their target kernels. Because every
+// cross-shard send must carry at least the lookahead of delay, no
+// message can arrive inside the window that produced it, so each shard's
+// intra-window execution is causally closed — the merged execution is
+// identical whether shards run serially or on parallel workers, and
+// identical to a single serial kernel processing the union of events in
+// timestamp order (given distinct timestamps; ties within one shard keep
+// that shard's deterministic seq order).
+//
+// Mailbox entries are pooled per sender shard, extending the kernel's
+// event freelist discipline: a steady cross-shard message flow reaches a
+// fixed working set and stops allocating.
+type ShardedKernel struct {
+	shards    []*Kernel
+	lookahead time.Duration
+	horizon   time.Duration
+
+	// outbox[s] is written only by shard s (inside its window, on its
+	// worker goroutine under parallel execution); the barrier drains all
+	// outboxes serially.
+	outbox [][]*shardMsg
+	pool   [][]*shardMsg
+	seq    []uint64
+
+	onBarrier []func(t time.Duration)
+	parallel  bool
+
+	delivered uint64
+	barriers  uint64
+}
+
+// shardMsg is one cross-shard message awaiting barrier delivery.
+type shardMsg struct {
+	when        time.Duration
+	to          int
+	label       string
+	fn          Handler
+	senderShard int
+	senderSeq   uint64
+}
+
+// NewShardedKernel creates s sub-kernels with the given lookahead and
+// horizon. Shard i is seeded with root+i·goldenGamma, so shard 0 of a
+// one-shard kernel is seeded exactly like a serial kernel with the same
+// root — the degenerate S=1 configuration reproduces serial runs
+// byte-for-byte.
+func NewShardedKernel(s int, lookahead, horizon time.Duration, seed int64) (*ShardedKernel, error) {
+	if s <= 0 {
+		return nil, fmt.Errorf("sim: need at least one shard, got %d", s)
+	}
+	if lookahead <= 0 {
+		return nil, fmt.Errorf("sim: non-positive lookahead %v", lookahead)
+	}
+	if horizon <= 0 {
+		return nil, fmt.Errorf("sim: non-positive horizon %v", horizon)
+	}
+	sk := &ShardedKernel{
+		shards:    make([]*Kernel, s),
+		lookahead: lookahead,
+		horizon:   horizon,
+		outbox:    make([][]*shardMsg, s),
+		pool:      make([][]*shardMsg, s),
+		seq:       make([]uint64, s),
+	}
+	const goldenGamma = int64(-0x61C8864680B583EB) // 0x9E3779B97F4A7C15 as int64
+	for i := range sk.shards {
+		sk.shards[i] = NewKernel(WithSeed(seed+int64(i)*goldenGamma), WithHorizon(horizon))
+	}
+	return sk, nil
+}
+
+// Shards returns the number of sub-kernels.
+func (sk *ShardedKernel) Shards() int { return len(sk.shards) }
+
+// Shard returns sub-kernel i. Schedule a shard's own events directly on
+// it; only cross-shard communication must go through Send.
+func (sk *ShardedKernel) Shard(i int) *Kernel { return sk.shards[i] }
+
+// Lookahead returns the window length L.
+func (sk *ShardedKernel) Lookahead() time.Duration { return sk.lookahead }
+
+// SetParallel switches window execution onto one goroutine per shard.
+// The merged execution is identical either way (the equivalence tests
+// pin it); parallel mode exists for multi-core hosts.
+func (sk *ShardedKernel) SetParallel(on bool) { sk.parallel = on }
+
+// OnBarrier registers a hook called serially at every window barrier,
+// after mail delivery, with the barrier time. Hooks run on the caller's
+// goroutine in registration order.
+func (sk *ShardedKernel) OnBarrier(fn func(t time.Duration)) {
+	sk.onBarrier = append(sk.onBarrier, fn)
+}
+
+// Barriers returns how many window barriers have executed.
+func (sk *ShardedKernel) Barriers() uint64 { return sk.barriers }
+
+// Delivered returns how many cross-shard messages have been handed off.
+func (sk *ShardedKernel) Delivered() uint64 { return sk.delivered }
+
+// Send posts a cross-shard message from shard `from`'s current time plus
+// delay. The delay must be at least the lookahead — that is the
+// conservative-synchronization contract that makes windows causally
+// closed. Safe to call from shard `from`'s event handlers under parallel
+// execution (each sender owns its outbox and pool).
+func (sk *ShardedKernel) Send(from, to int, delay time.Duration, label string, fn Handler) error {
+	if from < 0 || from >= len(sk.shards) || to < 0 || to >= len(sk.shards) {
+		return fmt.Errorf("sim: shard send %d->%d out of range", from, to)
+	}
+	if delay < sk.lookahead {
+		return fmt.Errorf("sim: cross-shard delay %v below lookahead %v", delay, sk.lookahead)
+	}
+	var m *shardMsg
+	if p := sk.pool[from]; len(p) > 0 {
+		m = p[len(p)-1]
+		sk.pool[from] = p[:len(p)-1]
+	} else {
+		m = &shardMsg{}
+	}
+	sk.seq[from]++
+	*m = shardMsg{
+		when:        sk.shards[from].Now() + delay,
+		to:          to,
+		label:       label,
+		fn:          fn,
+		senderShard: from,
+		senderSeq:   sk.seq[from],
+	}
+	sk.outbox[from] = append(sk.outbox[from], m)
+	return nil
+}
+
+// Run executes windows until the horizon, then returns the final time.
+// When every shard is drained and no mail is in flight the remaining
+// windows are skipped (sub-kernel clocks still land on the horizon).
+func (sk *ShardedKernel) Run() time.Duration {
+	for t := time.Duration(0); t < sk.horizon; {
+		end := t + sk.lookahead
+		if end > sk.horizon {
+			end = sk.horizon
+		}
+		sk.step(end)
+		t = end
+		if sk.idle() {
+			break
+		}
+	}
+	for _, k := range sk.shards {
+		k.RunUntil(sk.horizon)
+	}
+	return sk.horizon
+}
+
+// step advances every shard to the window end and runs the barrier.
+func (sk *ShardedKernel) step(end time.Duration) {
+	if sk.parallel && len(sk.shards) > 1 {
+		var wg sync.WaitGroup
+		for _, k := range sk.shards {
+			wg.Add(1)
+			go func(k *Kernel) {
+				defer wg.Done()
+				k.RunUntil(end)
+			}(k)
+		}
+		wg.Wait()
+	} else {
+		for _, k := range sk.shards {
+			k.RunUntil(end)
+		}
+	}
+	sk.barrier(end)
+}
+
+// barrier merges the window's cross-shard mail in deterministic order
+// (arrival time, sender shard, sender sequence), schedules it onto the
+// target kernels, recycles the entries, and fires the barrier hooks.
+func (sk *ShardedKernel) barrier(end time.Duration) {
+	var mail []*shardMsg
+	for s := range sk.outbox {
+		mail = append(mail, sk.outbox[s]...)
+		sk.outbox[s] = sk.outbox[s][:0]
+	}
+	if len(mail) > 0 {
+		sort.Slice(mail, func(i, j int) bool {
+			a, b := mail[i], mail[j]
+			if a.when != b.when {
+				return a.when < b.when
+			}
+			if a.senderShard != b.senderShard {
+				return a.senderShard < b.senderShard
+			}
+			return a.senderSeq < b.senderSeq
+		})
+		for _, m := range mail {
+			// Arrival is at or after the barrier (delay >= lookahead), so
+			// the target has not passed it. At assigns the target kernel's
+			// next seq in merge order, which is what makes the handoff
+			// deterministic under any worker scheduling.
+			if _, err := sk.shards[m.to].At(m.when, m.label, m.fn); err != nil {
+				panic(fmt.Sprintf("sim: barrier delivery at %v to shard %d: %v", m.when, m.to, err))
+			}
+			sk.delivered++
+			sender := m.senderShard
+			*m = shardMsg{}
+			sk.pool[sender] = append(sk.pool[sender], m)
+		}
+	}
+	sk.barriers++
+	for _, fn := range sk.onBarrier {
+		fn(end)
+	}
+}
+
+// idle reports whether every shard's queue is empty and no mail is
+// buffered — nothing can create further work.
+func (sk *ShardedKernel) idle() bool {
+	for _, k := range sk.shards {
+		if k.Pending() > 0 {
+			return false
+		}
+	}
+	for _, ob := range sk.outbox {
+		if len(ob) > 0 {
+			return false
+		}
+	}
+	return true
+}
