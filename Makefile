@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-hotpath bench-compare bench-wire bench-scale figures telemetry-smoke chaos-smoke conform-smoke wire-smoke scale-smoke clean
+.PHONY: all build test race vet check bench bench-hotpath bench-compare bench-wire bench-scale figures telemetry-smoke chaos-smoke conform-smoke wire-smoke scale-smoke trace-smoke clean
 
 all: check
 
@@ -133,15 +133,37 @@ scale-smoke:
 	cmp $(SCALE_TMP)/a.txt $(SCALE_TMP)/b.txt
 	@cat $(SCALE_TMP)/a.txt
 
+# Causal-trace gate: a seeded 30-peer run exports its span JSONL twice;
+# the trace files, and the traceview reports rendered from them, must be
+# byte-identical — the tracing determinism contract. telemetrylint then
+# proves the trace is structurally sound (parents resolve, DAG acyclic,
+# intervals nested, canonical order).
+TRACE_TMP ?= /tmp/rpcc-trace-smoke
+trace-smoke:
+	mkdir -p $(TRACE_TMP)
+	$(GO) run ./cmd/rpccsim -peers 30 -simtime 10m -seed 1 -trace-out $(TRACE_TMP)/a.jsonl > /dev/null
+	$(GO) run ./cmd/rpccsim -peers 30 -simtime 10m -seed 1 -trace-out $(TRACE_TMP)/b.jsonl > /dev/null
+	cmp $(TRACE_TMP)/a.jsonl $(TRACE_TMP)/b.jsonl
+	$(GO) run ./cmd/traceview -in $(TRACE_TMP)/a.jsonl > $(TRACE_TMP)/a.txt
+	$(GO) run ./cmd/traceview -in $(TRACE_TMP)/b.jsonl > $(TRACE_TMP)/b.txt
+	cmp $(TRACE_TMP)/a.txt $(TRACE_TMP)/b.txt
+	$(GO) run ./cmd/telemetrylint -trace $(TRACE_TMP)/a.jsonl
+	@head -12 $(TRACE_TMP)/a.txt
+
 # Regenerate the committed scale benchmark artefact (BENCH_scale.json):
 # kinetic+sharded runs at 1k/10k/100k against the pre-scale-work
 # baseline (serial kernel, full rebuilds, per-flip churn resampling,
 # unbounded route tables) at 1k/10k. The baseline is intractable at
 # 100k, so that row feeds the kinetic measurement to both sides
 # (delta 1.0, bench-wire style) and stands as a plain absolute export.
+# Gated on the trace-disabled allocation contract: the kernel scheduling
+# hot path stays allocation-free and a disabled trace hook adds nothing
+# to delivery, so the committed numbers never absorb tracing overhead.
 SCALE_BENCH_NEW ?= /tmp/rpcc-bench-scale-new.txt
 SCALE_BENCH_BASE ?= /tmp/rpcc-bench-scale-base.txt
 bench-scale:
+	$(GO) test -run 'TestSteadyStateSchedulingDoesNotAllocate' ./internal/sim/
+	$(GO) test -run 'TestTraceDisabledDeliveryAllocFree' ./internal/netsim/
 	$(GO) build -o /tmp/rpcc-scale-bin ./cmd/scale
 	rm -f $(SCALE_BENCH_NEW) $(SCALE_BENCH_BASE)
 	/tmp/rpcc-scale-bin -nodes 1000 -simtime 60s -seed 1 -bench $(SCALE_BENCH_NEW) > /dev/null

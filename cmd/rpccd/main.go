@@ -31,6 +31,7 @@ import (
 	"github.com/manetlab/rpcc/internal/core"
 	"github.com/manetlab/rpcc/internal/data"
 	"github.com/manetlab/rpcc/internal/telemetry"
+	ctrace "github.com/manetlab/rpcc/internal/telemetry/trace"
 	"github.com/manetlab/rpcc/internal/wire"
 )
 
@@ -63,6 +64,8 @@ func run() error {
 
 		metricsOut = flag.String("metrics-out", "", "write Prometheus text metrics to this file at shutdown")
 		teleOut    = flag.String("telemetry", "", "write JSONL telemetry events to this file at shutdown")
+		traceOut   = flag.String("trace-out", "", "write this daemon's causal-trace span JSONL to this file at shutdown")
+		traceTo    = flag.String("trace-to", "", "ship the span stream to a tracecol aggregator (host:port) at shutdown")
 		pprofAddr  = flag.String("pprof", "", "serve pprof and runtime stats on this address (e.g. 127.0.0.1:6060)")
 
 		compose    = flag.Bool("compose", false, "emit a docker-compose deployment instead of running")
@@ -144,11 +147,15 @@ func run() error {
 		fmt.Fprintln(os.Stderr, "rpccd: pprof on", got)
 	}
 
+	var tracer *ctrace.Collector
+	if *traceOut != "" || *traceTo != "" {
+		tracer = ctrace.NewCollector(*id)
+	}
 	nd, err := wire.NewNode(wire.NodeConfig{
 		Self: *id, Nodes: *n, Peers: table, Conn: conn,
 		Seed: *seed, Strategy: *strategy, Core: cc,
 		Placement: placement, QueryInterval: *query, UpdateInterval: *update,
-		Hub: hub,
+		Hub: hub, Trace: tracer,
 	})
 	if err != nil {
 		conn.Close()
@@ -191,8 +198,47 @@ func run() error {
 			return err
 		}
 	}
+	if tracer != nil {
+		spans := nd.TraceSpans()
+		if *traceOut != "" {
+			if err := writeTrace(*traceOut, spans); err != nil {
+				return err
+			}
+		}
+		if *traceTo != "" {
+			if err := shipTrace(*traceTo, spans); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "rpccd: shipped %d spans to %s\n", len(spans), *traceTo)
+		}
+	}
 	fmt.Println(nd.Summary())
 	return stopErr
+}
+
+// writeTrace writes the daemon's span set as JSONL at path.
+func writeTrace(path string, spans []ctrace.Span) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ctrace.WriteJSONL(f, spans); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// shipTrace streams the span set to a tracecol aggregator over TCP: one
+// JSONL stream per connection, terminated by closing the write side.
+func shipTrace(addr string, spans []ctrace.Span) error {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return fmt.Errorf("trace-to %s: %w", addr, err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(30 * time.Second))
+	return ctrace.WriteJSONL(conn, spans)
 }
 
 // peerTable parses the -peers list or -peers-file into id -> address.

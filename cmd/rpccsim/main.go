@@ -26,6 +26,7 @@ import (
 	"github.com/manetlab/rpcc/internal/experiment"
 	"github.com/manetlab/rpcc/internal/fleet"
 	"github.com/manetlab/rpcc/internal/telemetry"
+	ctrace "github.com/manetlab/rpcc/internal/telemetry/trace"
 	"github.com/manetlab/rpcc/internal/workload"
 )
 
@@ -63,6 +64,7 @@ func run() error {
 		parallel   = flag.Int("parallel", 0, "concurrent replica runs (0 = all cores)")
 		metricsOut = flag.String("metrics-out", "", "write Prometheus text metrics to this file (merged across replicas)")
 		telemOut   = flag.String("telemetry", "", "write span-level telemetry JSONL to this file (requires -replicas 1)")
+		traceOut   = flag.String("trace-out", "", "write the causal trace (span JSONL) to this file (requires -replicas 1)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
@@ -100,6 +102,9 @@ func run() error {
 		if *telemOut != "" {
 			return fmt.Errorf("-telemetry records one run's span log; use -replicas 1")
 		}
+		if *traceOut != "" {
+			return fmt.Errorf("-trace-out records one run's causal trace; use -replicas 1")
+		}
 		return runReplicated(cfg, *replicas, *parallel, *metricsOut)
 	}
 
@@ -110,9 +115,23 @@ func run() error {
 	hub := telemetry.NewHub(level)
 
 	start := time.Now()
-	res, err := experiment.RunWithTelemetry(cfg, hub)
-	if err != nil {
-		return err
+	var res experiment.Result
+	var err error
+	if *traceOut != "" {
+		var spans []ctrace.Span
+		res, spans, err = experiment.RunWithTrace(cfg, hub)
+		if err != nil {
+			return err
+		}
+		if werr := writeTraceFile(*traceOut, spans); werr != nil {
+			return werr
+		}
+		fmt.Fprintf(os.Stderr, "rpccsim: %d spans -> %s\n", len(spans), *traceOut)
+	} else {
+		res, err = experiment.RunWithTelemetry(cfg, hub)
+		if err != nil {
+			return err
+		}
 	}
 	fmt.Printf("simulated %v of %d peers in %v wall time\n\n", cfg.SimTime, cfg.NPeers, time.Since(start).Round(time.Millisecond))
 	if *detail {
@@ -139,6 +158,19 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// writeTraceFile writes the causal trace as span JSONL at path.
+func writeTraceFile(path string, spans []ctrace.Span) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ctrace.WriteJSONL(f, spans); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeMetricsFile renders a snapshot in Prometheus text format at path.

@@ -24,10 +24,12 @@ import (
 	"math"
 	"os"
 	"runtime/pprof"
+	"strings"
 	"syscall"
 	"time"
 
 	"github.com/manetlab/rpcc/internal/experiment"
+	ctrace "github.com/manetlab/rpcc/internal/telemetry/trace"
 )
 
 // workloadScaleThreshold is the population above which per-host workload
@@ -53,6 +55,7 @@ func run() error {
 		benchOut = flag.String("bench", "", "append a go-bench-format wall-time line to this file")
 		baseline = flag.Bool("baseline", false, "pre-scale-work configuration: serial, full rebuilds, per-flip churn resampling, unbounded route tables")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		traceOut = flag.String("trace-out", "", "write the merged causal trace (span JSONL) to this file")
 	)
 	flag.Parse()
 
@@ -72,6 +75,7 @@ func run() error {
 		Config:   experiment.DefaultConfig(experiment.StrategyKind(*strategy), *seed),
 		Shards:   *shards,
 		Parallel: *parallel,
+		Trace:    *traceOut != "",
 	}
 	cfg.NPeers = *nodes
 	cfg.SimTime = *simtime
@@ -126,11 +130,26 @@ func run() error {
 		t.FullRebuilds, t.KineticSamples, t.LinkMakes, t.LinkBreaks, t.Rebins, t.CertChecks)
 	fmt.Printf("routes: repaired=%d dropped=%d full_resets=%d\n",
 		t.RoutesRepaired, t.RoutesDropped, t.RouteFullResets)
+	// Per-shard introspection, deterministic half: event and mail counts
+	// plus the event-imbalance gauge derive from the seed alone.
+	ks := res.KernelStats
+	fmt.Printf("shards: event_imbalance=%.3f\n", ks.EventImbalance)
+	for _, sh := range ks.Shards {
+		fmt.Printf("  shard=%d events=%d mail_sent=%d mail_recv=%d\n",
+			sh.Shard, sh.EventsFired, sh.MailSent, sh.MailRecv)
+	}
 
 	// Non-deterministic performance report, kept off stdout.
 	nodesPerSec := float64(*nodes) / wall.Seconds()
 	fmt.Fprintf(os.Stderr, "wall=%.2fs nodes_per_wall_sec=%.1f peak_rss_kb=%d\n",
 		wall.Seconds(), nodesPerSec, peakRSSKB())
+	// Wall-clock half of the shard introspection: busy/stall split and
+	// the lockstep-barrier stall histogram (log2 ns buckets).
+	fmt.Fprintf(os.Stderr, "shards: wall_imbalance=%.3f\n", ks.WallImbalance)
+	for _, sh := range ks.Shards {
+		fmt.Fprintf(os.Stderr, "  shard=%d busy=%v stall=%v stall_hist=%s\n",
+			sh.Shard, time.Duration(sh.BusyNs), time.Duration(sh.StallNs), histString(sh.StallHist))
+	}
 
 	if *benchOut != "" {
 		f, err := os.OpenFile(*benchOut, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
@@ -141,6 +160,21 @@ func run() error {
 		if err := f.Close(); err != nil {
 			return err
 		}
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := ctrace.WriteJSONL(f, res.Spans); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d spans -> %s\n", len(res.Spans), *traceOut)
 	}
 
 	// Invariant gate: a scale run that answers nothing, tears an answer,
@@ -155,6 +189,25 @@ func run() error {
 		return fmt.Errorf("%d cross-region watermark regressions", res.GossipViolations)
 	}
 	return nil
+}
+
+// histString renders the non-empty buckets of a stall histogram as
+// "bucket:count" pairs, where bucket b covers [2^(b-1), 2^b) ns.
+func histString(h [32]uint64) string {
+	var b strings.Builder
+	for i, n := range h {
+		if n == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d:%d", i, n)
+	}
+	if b.Len() == 0 {
+		return "-"
+	}
+	return b.String()
 }
 
 // peakRSSKB returns the process's peak resident set size in KiB

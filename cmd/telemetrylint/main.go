@@ -7,6 +7,11 @@
 //
 //	telemetrylint -prom metrics.prom -require rpcc_delivery_latency_seconds,rpcc_queries_total
 //	telemetrylint -jsonl spans.jsonl
+//	telemetrylint -trace trace.jsonl -skew 5ms
+//
+// -trace validates a causal trace (rpccsim -trace-out / tracecol output):
+// parent resolution, acyclicity, causal interval nesting within the -skew
+// allowance, and canonical span order.
 //
 // Exit status is non-zero on the first violated invariant, with a
 // message naming the metric/line at fault.
@@ -35,11 +40,13 @@ func run() error {
 	var (
 		promPath  = flag.String("prom", "", "Prometheus text file to validate")
 		jsonlPath = flag.String("jsonl", "", "span JSONL file to validate")
+		tracePath = flag.String("trace", "", "causal-trace span JSONL file to validate")
+		skew      = flag.Duration("skew", 0, "clock-skew allowance for -trace parent/child nesting")
 		require   = flag.String("require", "", "comma-separated metric families that must be present in -prom")
 	)
 	flag.Parse()
-	if *promPath == "" && *jsonlPath == "" {
-		return fmt.Errorf("nothing to do: pass -prom and/or -jsonl")
+	if *promPath == "" && *jsonlPath == "" && *tracePath == "" {
+		return fmt.Errorf("nothing to do: pass -prom, -jsonl and/or -trace")
 	}
 
 	if *promPath != "" {
@@ -69,6 +76,13 @@ func run() error {
 			parts = append(parts, fmt.Sprintf("%s=%d", k, counts[k]))
 		}
 		fmt.Printf("%s: ok (%d lines: %s)\n", *jsonlPath, lines, strings.Join(parts, " "))
+	}
+	if *tracePath != "" {
+		spans, traces, roots, err := lintTrace(*tracePath, *skew)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: ok (%d spans, %d traces, %d roots)\n", *tracePath, spans, traces, roots)
 	}
 	return nil
 }

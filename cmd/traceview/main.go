@@ -1,0 +1,132 @@
+// Command traceview renders a causal trace (span JSONL, as written by
+// rpccsim -trace-out, cmd/scale -trace-out, or cmd/tracecol) as a
+// deterministic text report: the top-k critical paths with per-segment
+// self-time attribution, the per-phase latency decomposition across all
+// completed queries, and per-region span accounting.
+//
+//	traceview -in trace.jsonl
+//	traceview -in trace.jsonl -topk 10 -paths=false
+//
+// The report is a pure function of the file contents — `make trace-smoke`
+// byte-compares the output of two same-seed runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	ctrace "github.com/manetlab/rpcc/internal/telemetry/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "traceview:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		in        = flag.String("in", "", "span JSONL file (required)")
+		topk      = flag.Int("topk", 5, "critical paths to print in full")
+		showPaths = flag.Bool("paths", true, "print the top-k critical paths")
+	)
+	flag.Parse()
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	spans, err := ctrace.ReadJSONL(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	spans = ctrace.Merge(spans) // canonical order regardless of producer
+
+	paths := ctrace.ExtractCriticalPaths(spans)
+	fmt.Printf("trace: %d spans, %d roots\n", len(spans), len(paths))
+	regionReport(spans)
+	phaseReport(paths)
+	if *showPaths {
+		pathReport(ctrace.TopK(paths, *topk))
+	}
+	return nil
+}
+
+// regionReport prints per-region span accounting: how much causal
+// activity each shard / daemon contributed.
+func regionReport(spans []ctrace.Span) {
+	idx := map[int]int{}
+	var regions []int
+	type acc struct {
+		spans int
+		roots int
+		self  int64
+	}
+	var accs []acc
+	for _, s := range spans {
+		i, ok := idx[s.Region]
+		if !ok {
+			i = len(accs)
+			idx[s.Region] = i
+			regions = append(regions, s.Region)
+			accs = append(accs, acc{})
+		}
+		accs[i].spans++
+		if s.Parent == 0 {
+			accs[i].roots++
+		}
+		accs[i].self += s.Duration()
+	}
+	sort.Ints(regions)
+	fmt.Printf("\nper-region activity:\n")
+	fmt.Printf("  %-8s %8s %8s %14s\n", "region", "spans", "roots", "span-time")
+	for _, r := range regions {
+		a := accs[idx[r]]
+		fmt.Printf("  %-8d %8d %8d %14s\n", r, a.spans, a.roots, dur(a.self))
+	}
+}
+
+// phaseReport prints the latency decomposition: where, across every
+// completed operation's critical path, the time actually went.
+func phaseReport(paths []ctrace.CriticalPath) {
+	phases, totals, counts := ctrace.PhaseTotals(paths)
+	var grand int64
+	for _, ph := range phases {
+		grand += totals[ph]
+	}
+	fmt.Printf("\nper-phase latency (critical-path self time):\n")
+	fmt.Printf("  %-12s %8s %14s %7s\n", "phase", "segs", "total", "share")
+	for _, ph := range phases {
+		share := 0.0
+		if grand > 0 {
+			share = 100 * float64(totals[ph]) / float64(grand)
+		}
+		fmt.Printf("  %-12s %8d %14s %6.1f%%\n", ph, counts[ph], dur(totals[ph]), share)
+	}
+	fmt.Printf("  %-12s %8s %14s\n", "(all)", "", dur(grand))
+}
+
+// pathReport prints the slowest operations segment by segment.
+func pathReport(top []ctrace.CriticalPath) {
+	fmt.Printf("\ntop %d critical paths:\n", len(top))
+	for i, p := range top {
+		fmt.Printf("  #%d  %s  total=%s  node=%d region=%d trace=%x\n",
+			i+1, p.Root.Name, dur(p.TotalNs), p.Root.Node, p.Root.Region, p.Root.Trace)
+		for _, seg := range p.Segments {
+			fmt.Printf("      %-12s %-14s self=%-12s node=%d [%d..%d]\n",
+				seg.Span.Phase, seg.Span.Name, dur(seg.SelfNs), seg.Span.Node,
+				seg.Span.StartNs, seg.Span.EndNs)
+		}
+	}
+}
+
+// dur renders nanoseconds via time.Duration's canonical formatting.
+func dur(ns int64) string { return time.Duration(ns).String() }

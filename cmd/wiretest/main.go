@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 
+	ctrace "github.com/manetlab/rpcc/internal/telemetry/trace"
 	"github.com/manetlab/rpcc/internal/wire/cluster"
 )
 
@@ -45,6 +46,7 @@ func run() error {
 		slack    = flag.Duration("slack", def.Slack, "oracle in-flight forgiveness")
 		inflate  = flag.Duration("inflate", def.Inflate, "oracle envelope inflation for real-network delay")
 		drain    = flag.Duration("drain", def.Drain, "per-daemon shutdown drain deadline")
+		traceOut = flag.String("trace-out", "", "enable causal tracing and write the merged span JSONL here")
 		verbose  = flag.Bool("v", false, "print per-node summaries and every divergence")
 	)
 	flag.Parse()
@@ -54,6 +56,7 @@ func run() error {
 		CacheNum: *cacheNum, QueryInterval: *query, UpdateInterval: *update,
 		TTN: *ttn, TTR: *ttr, TTP: *ttp, CoeffPeriod: *coeff,
 		Slack: *slack, Inflate: *inflate,
+		Trace: *traceOut != "",
 	}
 	rep, err := cluster.Run(cfg)
 	if err != nil {
@@ -71,11 +74,29 @@ func run() error {
 	for _, e := range rep.StopErrors {
 		fmt.Println("  stop error:", e)
 	}
+	for _, e := range rep.TraceErrors {
+		fmt.Println("  trace error:", e)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := ctrace.WriteJSONL(f, rep.TraceSpans); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d spans -> %s\n", len(rep.TraceSpans), *traceOut)
+	}
 	if rep.Answered == 0 {
 		return fmt.Errorf("no query was answered in %v — the cluster never exchanged useful traffic", *duration)
 	}
 	if !rep.Clean() {
-		return fmt.Errorf("%d divergences, %d stop errors", len(rep.Divergences), len(rep.StopErrors))
+		return fmt.Errorf("%d divergences, %d stop errors, %d trace errors",
+			len(rep.Divergences), len(rep.StopErrors), len(rep.TraceErrors))
 	}
 	fmt.Printf("clean: %d answers judged against the %s envelopes (slack=%v inflate=%v), zero divergences\n",
 		rep.Judged, rep.Strategy, *slack, *inflate)

@@ -12,6 +12,7 @@ import (
 	"github.com/manetlab/rpcc/internal/protocol"
 	"github.com/manetlab/rpcc/internal/sim"
 	"github.com/manetlab/rpcc/internal/telemetry"
+	ctrace "github.com/manetlab/rpcc/internal/telemetry/trace"
 )
 
 // Telemetry supplies the per-node environmental signals the coefficient
@@ -66,6 +67,10 @@ type itemState struct {
 	// "locating the nearest cache node" mechanism §3 assumes, learned
 	// from the protocol's own acks.
 	knownRelay int
+	// repairTC is the span of the in-flight GET_NEW repair round (zero
+	// when none is open or tracing is off); closed when SEND_NEW lands,
+	// the budget is exhausted, or the role is torn down.
+	repairTC protocol.TraceContext
 }
 
 // pendingPoll is a POLL a relay could not answer because its TTR had
@@ -76,6 +81,9 @@ type pendingPoll struct {
 	seq     uint64
 	version data.Version
 	at      time.Duration
+	// tc is the poll message's trace context; the wait in this queue
+	// becomes a relay-queue span when the poll is finally answered.
+	tc protocol.TraceContext
 }
 
 // peerState is one node's full protocol state.
@@ -96,6 +104,9 @@ type pollRound struct {
 	host  int
 	item  data.ItemID
 	stage int
+	// tc is the span of the currently running escalation stage; the next
+	// stage (or the resolving ack) closes it.
+	tc protocol.TraceContext
 }
 
 // Engine runs RPCC over a chassis. Construct with New, wire with Start,
@@ -264,7 +275,7 @@ func (e *Engine) OnQuery(k *sim.Kernel, host int, item data.ItemID, level consis
 // the level rules — a copy obtained from the owner is authoritative, one
 // from a peer must still be validated for SC and expired-Δ queries.
 func (e *Engine) fetchMiss(k *sim.Kernel, q *node.Query) {
-	e.ch.FetchRing(k, q.Host, q.Item, func(kk *sim.Kernel, c data.Copy, from int, ok bool) {
+	e.ch.FetchRing(k, q.Host, q.Item, q.TC, func(kk *sim.Kernel, c data.Copy, from int, ok bool) {
 		if !ok {
 			e.ch.Fail(q, "fetch-timeout")
 			return
@@ -369,6 +380,8 @@ func (e *Engine) pollStage(k *sim.Kernel, r *pollRound, have data.Version) {
 		delete(e.polls, r.q.Seq)
 		return
 	}
+	// The previous stage (if any) escalated past: its span ends here.
+	e.ch.Tracer.Finish(r.tc, k.Now().Nanoseconds())
 	if r.stage >= 3 {
 		delete(e.polls, r.q.Seq)
 		e.ch.Fail(r.q, "poll-timeout")
@@ -388,20 +401,27 @@ func (e *Engine) pollStage(k *sim.Kernel, r *pollRound, have data.Version) {
 		e.pollDirect++
 		e.ch.Hub.PollStage(telemetry.PollDirect)
 		r.q.Route = "poll-direct"
+		r.tc = e.ch.Tracer.StartChild(k.Now().Nanoseconds(), r.q.TC, r.host, ctrace.PhasePoll, "poll-direct")
+		msg.Trace = r.tc
 		err = e.ch.Net.Unicast(r.host, st.knownRelay, msg)
 	case 1:
 		e.pollRing++
 		e.ch.Hub.PollStage(telemetry.PollRing)
 		r.q.Route = "poll-ring"
+		r.tc = e.ch.Tracer.StartChild(k.Now().Nanoseconds(), r.q.TC, r.host, ctrace.PhasePoll, "poll-ring")
+		msg.Trace = r.tc
 		err = e.ch.Net.Flood(r.host, e.cfg.PollTTL, msg)
 	default:
 		e.pollFallback++
 		e.ch.Hub.PollStage(telemetry.PollFallback)
 		r.q.Route = "poll-fallback"
+		r.tc = e.ch.Tracer.StartChild(k.Now().Nanoseconds(), r.q.TC, r.host, ctrace.PhasePoll, "poll-fallback")
+		msg.Trace = r.tc
 		err = e.ch.Net.Flood(r.host, e.cfg.PollFallbackTTL, msg)
 	}
 	if err != nil {
 		delete(e.polls, r.q.Seq)
+		e.ch.Tracer.Finish(r.tc, k.Now().Nanoseconds())
 		e.ch.Fail(r.q, "poll-send")
 		return
 	}
@@ -453,6 +473,13 @@ func (e *Engine) ttnTick(k *sim.Kernel, nd int) {
 	}
 
 	if cur.Version > ps.announced {
+		// One update-push trace roots every relay unicast of this round.
+		var utc protocol.TraceContext
+		if e.ch.Tracer != nil {
+			now := k.Now().Nanoseconds()
+			utc = e.ch.Tracer.StartTrace(now, nd, ctrace.PhaseUpdate, "UPDATE")
+			e.ch.Tracer.Finish(utc, now)
+		}
 		// MAC-layer disconnection discovery (§4.5): unreachable relay
 		// peers are dropped from the table before pushing.
 		for _, relay := range sortedRelays(ps.relays) {
@@ -467,6 +494,7 @@ func (e *Engine) ttnTick(k *sim.Kernel, nd int) {
 				Origin:  nd,
 				Version: cur.Version,
 				Copy:    cur,
+				Trace:   utc,
 			}
 			_ = e.ch.Net.Unicast(nd, relay, upd)
 		}
@@ -476,6 +504,11 @@ func (e *Engine) ttnTick(k *sim.Kernel, nd int) {
 		Item:    item,
 		Origin:  nd,
 		Version: cur.Version,
+	}
+	if e.ch.Tracer != nil {
+		now := k.Now().Nanoseconds()
+		inv.Trace = e.ch.Tracer.StartTrace(now, nd, ctrace.PhaseInvalidate, "INVALIDATION")
+		e.ch.Tracer.Finish(inv.Trace, now)
 	}
 	ttl := e.cfg.InvalidationTTL
 	switch e.cfg.Mutant {
@@ -526,7 +559,7 @@ func (e *Engine) coeffTick(k *sim.Kernel, nd int) {
 			st.role = RoleCache
 			st.failingRuns = 0
 			st.pending = nil
-			e.resetGetNew(st)
+			e.resetGetNew(k, st)
 			e.sendCancel(k, nd, item)
 			e.roleChanged(k, nd, item, RoleRelay, RoleCache, "inv-drift")
 			continue
@@ -557,7 +590,7 @@ func (e *Engine) coeffTick(k *sim.Kernel, nd int) {
 		case RoleRelay:
 			st.role = RoleCache
 			st.pending = nil
-			e.resetGetNew(st)
+			e.resetGetNew(k, st)
 			e.sendCancel(k, nd, item)
 			e.roleChanged(k, nd, item, RoleRelay, RoleCache, "demoted")
 		}
@@ -772,6 +805,7 @@ func (e *Engine) Crash(k *sim.Kernel, nd int) error {
 	for _, seq := range seqs {
 		r := e.polls[seq]
 		delete(e.polls, seq)
+		e.ch.Tracer.Finish(r.tc, k.Now().Nanoseconds())
 		if !r.q.Resolved() {
 			e.ch.Fail(r.q, "crash")
 		}

@@ -8,6 +8,7 @@ import (
 	"github.com/manetlab/rpcc/internal/protocol"
 	"github.com/manetlab/rpcc/internal/sim"
 	"github.com/manetlab/rpcc/internal/telemetry"
+	ctrace "github.com/manetlab/rpcc/internal/telemetry/trace"
 )
 
 // dispatch routes a delivered message to the appropriate side of the
@@ -91,7 +92,7 @@ func (e *Engine) onInvalidation(k *sim.Kernel, nd int, msg protocol.Message) {
 				st.debtOpen = true
 				st.debtSince = k.Now()
 			}
-			e.sendGetNew(k, nd, msg.Item, st)
+			e.sendGetNew(k, nd, msg.Item, st, msg.Trace)
 			return
 		}
 		if msg.Version < st.invVersion {
@@ -160,8 +161,11 @@ func (e *Engine) repairGate(attempts int) time.Duration {
 // and inside its backoff gate; a lost SEND_NEW therefore delays repair by
 // at most the current gate rather than wedging the relay forever, and a
 // relay that cannot reach its source (permanent partition) stops asking
-// after MaxRepairAttempts until newer version evidence arrives.
-func (e *Engine) sendGetNew(k *sim.Kernel, nd int, item data.ItemID, st *itemState) {
+// after MaxRepairAttempts until newer version evidence arrives. parent is
+// the trace context of whatever evidence triggered the repair (an
+// INVALIDATION or stale UPDATE delivery); the repair round — including
+// every backoff resend until SEND_NEW lands — is one repair span under it.
+func (e *Engine) sendGetNew(k *sim.Kernel, nd int, item data.ItemID, st *itemState, parent protocol.TraceContext) {
 	if e.cfg.DisableRepair {
 		return
 	}
@@ -171,6 +175,8 @@ func (e *Engine) sendGetNew(k *sim.Kernel, nd int, item data.ItemID, st *itemSta
 				st.getNewGaveUp = true
 				e.getNewGiveUps++
 				e.ch.Hub.RepairGiveUp(telemetry.RepairGetNew)
+				e.ch.Tracer.FinishAs(st.repairTC, k.Now().Nanoseconds(), "GET_NEW-gave-up")
+				st.repairTC = protocol.TraceContext{}
 			}
 			return
 		}
@@ -183,7 +189,10 @@ func (e *Engine) sendGetNew(k *sim.Kernel, nd int, item data.ItemID, st *itemSta
 	st.getNewAttempts++
 	e.getNewSends++
 	e.ch.Hub.RepairAttempt(telemetry.RepairGetNew)
-	gn := protocol.Message{Kind: protocol.KindGetNew, Item: item, Origin: nd}
+	if st.repairTC.TraceID == 0 {
+		st.repairTC = e.ch.Tracer.StartChild(k.Now().Nanoseconds(), parent, nd, ctrace.PhaseRepair, "GET_NEW")
+	}
+	gn := protocol.Message{Kind: protocol.KindGetNew, Item: item, Origin: nd, Trace: st.repairTC}
 	_ = e.ch.Net.Unicast(nd, e.ch.Reg.Owner(item), gn)
 }
 
@@ -220,10 +229,10 @@ func (e *Engine) onUpdate(k *sim.Kernel, nd int, msg protocol.Message) {
 		if fresh {
 			st.lastRefreshed = k.Now()
 			st.refreshedOnce = true
-			e.resetGetNew(st)
+			e.resetGetNew(k, st)
 			e.flushPendingPolls(k, nd, msg.Item, st)
 		} else {
-			e.sendGetNew(k, nd, msg.Item, st)
+			e.sendGetNew(k, nd, msg.Item, st, msg.Trace)
 		}
 	case RoleCandidate:
 		// The APPLY_ACK was lost but the owner is pushing to us: we are a
@@ -236,7 +245,7 @@ func (e *Engine) onUpdate(k *sim.Kernel, nd int, msg protocol.Message) {
 			st.refreshedOnce = true
 			e.flushPendingPolls(k, nd, msg.Item, st)
 		} else {
-			e.sendGetNew(k, nd, msg.Item, st)
+			e.sendGetNew(k, nd, msg.Item, st, msg.Trace)
 		}
 	default:
 		// Plain cache node receiving UPDATE: the owner missed our CANCEL.
@@ -245,12 +254,17 @@ func (e *Engine) onUpdate(k *sim.Kernel, nd int, msg protocol.Message) {
 	}
 }
 
-// resetGetNew clears the GET_NEW retry state after a successful repair.
-func (e *Engine) resetGetNew(st *itemState) {
+// resetGetNew clears the GET_NEW retry state after a successful repair
+// (or a role teardown), closing the open repair span at the current time.
+func (e *Engine) resetGetNew(k *sim.Kernel, st *itemState) {
 	st.getNewPending = false
 	st.getNewAttempts = 0
 	st.getNewGaveUp = false
 	st.debtOpen = false
+	if st.repairTC.TraceID != 0 {
+		e.ch.Tracer.Finish(st.repairTC, k.Now().Nanoseconds())
+		st.repairTC = protocol.TraceContext{}
+	}
 }
 
 // resetApply clears the APPLY retry state after the handshake completes.
@@ -304,6 +318,10 @@ func (e *Engine) onGetNew(k *sim.Kernel, nd int, msg protocol.Message) {
 		Version: cur.Version,
 		Copy:    cur,
 	}
+	if e.ch.Tracer != nil && msg.Trace.TraceID != 0 {
+		now := k.Now().Nanoseconds()
+		sn.Trace = e.ch.Tracer.Emit(msg.Trace, nd, ctrace.PhaseServe, "SEND_NEW", now, now)
+	}
 	_ = e.ch.Net.Unicast(nd, msg.Origin, sn)
 }
 
@@ -328,7 +346,7 @@ func (e *Engine) onSendNew(k *sim.Kernel, nd int, msg protocol.Message) {
 		// leftover from an earlier round): the repair is still owed.
 		return
 	}
-	e.resetGetNew(st)
+	e.resetGetNew(k, st)
 	if st.role == RoleRelay {
 		st.lastRefreshed = k.Now()
 		st.refreshedOnce = true
@@ -373,7 +391,7 @@ func (e *Engine) onApplyAck(k *sim.Kernel, nd int, msg protocol.Message) {
 		return
 	}
 	if have && st.invHeard && cp.Version < st.invVersion {
-		e.sendGetNew(k, nd, msg.Item, st)
+		e.sendGetNew(k, nd, msg.Item, st, msg.Trace)
 	}
 }
 
@@ -397,7 +415,7 @@ func (e *Engine) onPoll(k *sim.Kernel, nd int, msg protocol.Message) {
 		if err != nil {
 			return
 		}
-		e.answerPoll(nd, msg, m.Current())
+		e.answerPoll(k, nd, msg, m.Current())
 		return
 	}
 	st, ok := e.peers[nd].items[msg.Item]
@@ -416,9 +434,10 @@ func (e *Engine) onPoll(k *sim.Kernel, nd int, msg protocol.Message) {
 		}
 		st.pending = append(st.pending, pendingPoll{
 			from: msg.Origin, seq: msg.Seq, version: msg.Version, at: k.Now(),
+			tc: msg.Trace,
 		})
 		if e.cfg.EagerRelayRefresh {
-			e.sendGetNew(k, nd, msg.Item, st)
+			e.sendGetNew(k, nd, msg.Item, st, msg.Trace)
 		}
 		return
 	}
@@ -426,12 +445,12 @@ func (e *Engine) onPoll(k *sim.Kernel, nd int, msg protocol.Message) {
 	if !have {
 		return
 	}
-	e.answerPoll(nd, msg, cp)
+	e.answerPoll(k, nd, msg, cp)
 }
 
 // answerPoll sends POLL_ACK_A when the poller's copy matches (or exceeds)
 // the authority's, POLL_ACK_B carrying fresh content otherwise.
-func (e *Engine) answerPoll(nd int, msg protocol.Message, authority data.Copy) {
+func (e *Engine) answerPoll(k *sim.Kernel, nd int, msg protocol.Message, authority data.Copy) {
 	current := msg.Version >= authority.Version
 	if e.cfg.Mutant == MutantAckAOffByOne {
 		// Conformance mutant: vouch for pollers one version behind, so
@@ -439,24 +458,23 @@ func (e *Engine) answerPoll(nd int, msg protocol.Message, authority data.Copy) {
 		// content a POLL_ACK_B would carry.
 		current = msg.Version+1 >= authority.Version
 	}
-	if current {
-		ack := protocol.Message{
-			Kind:    protocol.KindPollAckA,
-			Item:    msg.Item,
-			Origin:  nd,
-			Version: authority.Version,
-			Seq:     msg.Seq,
-		}
-		_ = e.ch.Net.Unicast(nd, msg.Origin, ack)
-		return
+	kind, name := protocol.KindPollAckA, "POLL_ACK_A"
+	if !current {
+		kind, name = protocol.KindPollAckB, "POLL_ACK_B"
 	}
 	ack := protocol.Message{
-		Kind:    protocol.KindPollAckB,
+		Kind:    kind,
 		Item:    msg.Item,
 		Origin:  nd,
 		Version: authority.Version,
-		Copy:    authority,
 		Seq:     msg.Seq,
+	}
+	if !current {
+		ack.Copy = authority
+	}
+	if e.ch.Tracer != nil && msg.Trace.TraceID != 0 {
+		now := k.Now().Nanoseconds()
+		ack.Trace = e.ch.Tracer.Emit(msg.Trace, nd, ctrace.PhaseServe, name, now, now)
 	}
 	_ = e.ch.Net.Unicast(nd, msg.Origin, ack)
 }
@@ -477,10 +495,18 @@ func (e *Engine) flushPendingPolls(k *sim.Kernel, nd int, item data.ItemID, st *
 		if k.Now()-p.at > e.cfg.TTN {
 			continue
 		}
-		e.answerPoll(nd, protocol.Message{
+		pm := protocol.Message{
 			Kind: protocol.KindPoll, Item: item, Origin: p.from,
 			Version: p.version, Seq: p.seq,
-		}, cp)
+		}
+		if e.ch.Tracer != nil && p.tc.TraceID != 0 {
+			// The queue wait is a phase of its own on the poller's critical
+			// path: the span covers enqueue → refresh, and the ack chains
+			// under it.
+			pm.Trace = e.ch.Tracer.Emit(p.tc, nd, ctrace.PhaseRelayQueue, "pending-poll",
+				p.at.Nanoseconds(), k.Now().Nanoseconds())
+		}
+		e.answerPoll(k, nd, pm, cp)
 	}
 	st.pending = nil
 }
@@ -510,6 +536,7 @@ func (e *Engine) onPollAckA(k *sim.Kernel, nd int, msg protocol.Message) {
 		return
 	}
 	delete(e.polls, msg.Seq)
+	e.ch.Tracer.Finish(r.tc, k.Now().Nanoseconds())
 	st := e.itemState(nd, msg.Item)
 	cp, have := e.ch.Stores[nd].Peek(msg.Item)
 	if !have {
@@ -539,6 +566,7 @@ func (e *Engine) onPollAckB(k *sim.Kernel, nd int, msg protocol.Message) {
 		return
 	}
 	delete(e.polls, msg.Seq)
+	e.ch.Tracer.Finish(r.tc, k.Now().Nanoseconds())
 	st := e.itemState(nd, msg.Item)
 	if held, have := e.ch.Stores[nd].Peek(msg.Item); have && msg.Copy.Version < held.Version &&
 		e.cfg.Mutant != MutantStoreRegression {

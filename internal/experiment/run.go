@@ -18,6 +18,7 @@ import (
 	"github.com/manetlab/rpcc/internal/sim"
 	"github.com/manetlab/rpcc/internal/stats"
 	"github.com/manetlab/rpcc/internal/telemetry"
+	ctrace "github.com/manetlab/rpcc/internal/telemetry/trace"
 	"github.com/manetlab/rpcc/internal/workload"
 )
 
@@ -101,6 +102,26 @@ func RunWithTelemetry(cfg Config, hub *telemetry.Hub) (Result, error) {
 	return runScenario(cfg, hub, nil)
 }
 
+// RunWithTrace executes one scenario with causal tracing enabled and
+// returns, alongside the result, the run's span set in canonical
+// (StartNs, Region, Seq) order — ready for trace.WriteJSONL or
+// trace.ExtractCriticalPaths. Tracing observes the run without touching
+// it: the result is byte-identical to an untraced same-seed run, and the
+// span set itself is deterministic for a given config.
+func RunWithTrace(cfg Config, hub *telemetry.Hub) (Result, []ctrace.Span, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, nil, err
+	}
+	k := sim.NewKernel(sim.WithSeed(cfg.Seed), sim.WithHorizon(cfg.SimTime))
+	tracer := ctrace.NewCollector(0)
+	a, err := assembleScenario(cfg, hub, k, tracer)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	k.Run()
+	return a.finalize(), tracer.Export(), nil
+}
+
 // runEnv exposes the assembled simulation to a pre-run hook (the chaos
 // harness wires the fault plane and invariant auditor through it).
 type runEnv struct {
@@ -135,6 +156,7 @@ type assembled struct {
 	traffic   *stats.Traffic
 	chassis   *node.Chassis
 	strat     Strategy
+	tracer    *ctrace.Collector
 	timeline  []uint64
 }
 
@@ -147,7 +169,7 @@ func runScenario(cfg Config, hub *telemetry.Hub, preRun func(env runEnv) error) 
 		return Result{}, err
 	}
 	k := sim.NewKernel(sim.WithSeed(cfg.Seed), sim.WithHorizon(cfg.SimTime))
-	a, err := assembleScenario(cfg, hub, k)
+	a, err := assembleScenario(cfg, hub, k, nil)
 	if err != nil {
 		return Result{}, err
 	}
@@ -167,7 +189,9 @@ func runScenario(cfg Config, hub *telemetry.Hub, preRun func(env runEnv) error) 
 // energy, network, data, caches, auditor, chassis, strategy, workload
 // and the traffic timeline — onto the caller's kernel, leaving the
 // kernel unrun.
-func assembleScenario(cfg Config, hub *telemetry.Hub, k *sim.Kernel) (*assembled, error) {
+// A non-nil tracer threads causal trace contexts through every query and
+// protocol message (chassis roots, netsim transit spans).
+func assembleScenario(cfg Config, hub *telemetry.Hub, k *sim.Kernel, tracer *ctrace.Collector) (*assembled, error) {
 	terrain, err := geo.NewTerrain(cfg.AreaWidth, cfg.AreaHeight)
 	if err != nil {
 		return nil, err
@@ -251,6 +275,10 @@ func assembleScenario(cfg Config, hub *telemetry.Hub, k *sim.Kernel) (*assembled
 	if tr := hub.Tracer(); tr != nil {
 		network.SetTracer(tr)
 	}
+	if tracer != nil {
+		chassis.Tracer = tracer
+		network.SetTraceCollector(tracer)
+	}
 
 	strat, levelFor, err := buildStrategy(cfg, k, chassis, churnProc, field, batteries)
 	if err != nil {
@@ -294,6 +322,7 @@ func assembleScenario(cfg Config, hub *telemetry.Hub, k *sim.Kernel) (*assembled
 		cfg: cfg, hub: hub, k: k, field: field, churn: churnProc,
 		batteries: batteries, net: network, reg: reg, stores: stores,
 		aud: aud, lat: lat, traffic: traffic, chassis: chassis, strat: strat,
+		tracer: tracer,
 	}
 
 	// Sample the traffic total in 60 windows for the timeline.

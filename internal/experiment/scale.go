@@ -7,6 +7,7 @@ import (
 	"github.com/manetlab/rpcc/internal/netsim"
 	"github.com/manetlab/rpcc/internal/sim"
 	"github.com/manetlab/rpcc/internal/telemetry"
+	ctrace "github.com/manetlab/rpcc/internal/telemetry/trace"
 )
 
 // scaleAutoShardFloor is the peer count below which auto-sharding stays
@@ -31,6 +32,10 @@ type ScaleConfig struct {
 	// result is identical either way (the sharded-kernel equivalence
 	// tests pin it); on a single-core host this is pure overhead.
 	Parallel bool
+	// Trace enables causal tracing: each region gets its own collector
+	// (region id = shard index, so span ids never collide) and the merged
+	// span set lands in ScaleResult.Spans in canonical order.
+	Trace bool
 }
 
 // ScaleResult is a merged large-scale run report.
@@ -53,6 +58,14 @@ type ScaleResult struct {
 	// Topology aggregates the per-region networks' topology-maintenance
 	// counters.
 	Topology netsim.TopologyStats
+	// Spans is the merged causal trace in canonical (StartNs, Region,
+	// Seq) order — nil unless ScaleConfig.Trace was set. The merge order
+	// is a pure function of the spans, so same-seed runs produce
+	// byte-identical JSONL regardless of region count or scheduling.
+	Spans []ctrace.Span
+	// KernelStats is the sharded kernel's per-shard introspection
+	// snapshot (events, mail, barrier stalls).
+	KernelStats sim.ShardedStats
 }
 
 // autoShards picks the region count for n peers.
@@ -123,7 +136,11 @@ func RunScale(cfg ScaleConfig) (ScaleResult, error) {
 			return ScaleResult{}, fmt.Errorf("experiment: shard %d config: %w", i, err)
 		}
 		hub := telemetry.NewHub(telemetry.LevelMetrics)
-		a, err := assembleScenario(sub, hub, sk.Shard(i))
+		var tracer *ctrace.Collector
+		if cfg.Trace {
+			tracer = ctrace.NewCollector(i)
+		}
+		a, err := assembleScenario(sub, hub, sk.Shard(i), tracer)
 		if err != nil {
 			return ScaleResult{}, fmt.Errorf("experiment: shard %d assemble: %w", i, err)
 		}
@@ -165,10 +182,18 @@ func RunScale(cfg ScaleConfig) (ScaleResult, error) {
 		PerShard:      make([]Result, s),
 		Barriers:      sk.Barriers(),
 		MailDelivered: sk.Delivered(),
+		KernelStats:   sk.Stats(),
 	}
+	sets := make([][]ctrace.Span, 0, s)
 	for i, a := range stacks {
 		out.PerShard[i] = a.finalize()
 		out.Topology.Add(a.net.TopologyStats())
+		if a.tracer != nil {
+			sets = append(sets, a.tracer.Export())
+		}
+	}
+	if len(sets) > 0 {
+		out.Spans = ctrace.Merge(sets...)
 	}
 	for _, v := range gossipViol {
 		out.GossipViolations += v

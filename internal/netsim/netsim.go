@@ -29,6 +29,7 @@ import (
 	"github.com/manetlab/rpcc/internal/radio"
 	"github.com/manetlab/rpcc/internal/sim"
 	"github.com/manetlab/rpcc/internal/stats"
+	ctrace "github.com/manetlab/rpcc/internal/telemetry/trace"
 )
 
 // PositionSource supplies node positions at a virtual time. Production
@@ -227,6 +228,7 @@ type Network struct {
 	traffic   *stats.Traffic
 	receivers []Receiver
 	tracer    Tracer
+	trace     *ctrace.Collector
 	jitter    *rand.Rand
 	loss      *rand.Rand
 
@@ -560,6 +562,14 @@ func (n *Network) Activity(node int) uint64 {
 // SetTracer installs a delivery observer (nil to remove).
 func (n *Network) SetTracer(t Tracer) { n.tracer = t }
 
+// SetTraceCollector installs (or with nil removes) the causal-trace
+// collector. Every delivery of a traced message — one whose sender put a
+// trace context on it — records a transit span covering [SentAt, At] and
+// re-parents the message's context onto that span before the receiver
+// runs, so receiver-side spans chain through the hop that carried the
+// message. Untraced messages cost one pointer check.
+func (n *Network) SetTraceCollector(c *ctrace.Collector) { n.trace = c }
+
 // SetPerturber installs (or with nil removes) a delivery-schedule
 // perturber. Install during setup, before the kernel runs.
 func (n *Network) SetPerturber(p Perturber) { n.perturber = p }
@@ -605,11 +615,16 @@ func (n *Network) deliverDelayed(node int, msg protocol.Message, meta Meta, d ti
 	})
 }
 
-// deliverFinal completes a delivery: traffic ledger, tracer, receiver.
+// deliverFinal completes a delivery: traffic ledger, tracer, trace span,
+// receiver.
 func (n *Network) deliverFinal(node int, msg protocol.Message, meta Meta) {
 	n.traffic.RecordDelivered(msg.Kind)
 	if n.tracer != nil {
 		n.tracer(n.k.Now(), node, msg, meta)
+	}
+	if n.trace != nil && msg.Trace.TraceID != 0 {
+		msg.Trace = n.trace.Emit(msg.Trace, node, ctrace.PhaseTransit,
+			msg.Kind.String(), meta.SentAt.Nanoseconds(), meta.At.Nanoseconds())
 	}
 	if r := n.receivers[node]; r != nil {
 		r(n.k, node, msg, meta)

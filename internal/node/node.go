@@ -18,6 +18,7 @@ import (
 	"github.com/manetlab/rpcc/internal/sim"
 	"github.com/manetlab/rpcc/internal/stats"
 	"github.com/manetlab/rpcc/internal/telemetry"
+	ctrace "github.com/manetlab/rpcc/internal/telemetry/trace"
 )
 
 // Query is one in-flight query request.
@@ -35,7 +36,11 @@ type Query struct {
 	// itself for local/owner reads, the peer that supplied or validated
 	// the copy otherwise. -1 means the strategy did not record it. Purely
 	// observational, consumed by the conformance oracle.
-	Source   int
+	Source int
+	// TC is the query's causal-trace context (the root span); zero when
+	// tracing is off. Strategies copy it into the messages a query emits
+	// so downstream spans join the query's DAG.
+	TC       protocol.TraceContext
 	resolved bool
 }
 
@@ -53,6 +58,7 @@ type fetch struct {
 	host int
 	item data.ItemID
 	cb   FetchCallback
+	tc   protocol.TraceContext
 	done bool
 }
 
@@ -108,6 +114,10 @@ type Chassis struct {
 	// Hub is the run's telemetry (optional; a nil hub records nothing).
 	// Set it before the simulation starts.
 	Hub *telemetry.Hub
+	// Tracer is the run's causal-trace collector (optional; nil records
+	// nothing and keeps every hot path allocation-free). Set it before
+	// the simulation starts.
+	Tracer *ctrace.Collector
 
 	seq     uint64
 	fetches map[uint64]*fetch
@@ -168,6 +178,7 @@ func (c *Chassis) Begin(k *sim.Kernel, host int, item data.ItemID, level consist
 		Level:    level,
 		IssuedAt: k.Now(),
 		Source:   -1,
+		TC:       c.Tracer.StartTrace(k.Now().Nanoseconds(), host, ctrace.PhaseQuery, "query"),
 	}
 }
 
@@ -187,6 +198,7 @@ func (c *Chassis) Answer(k *sim.Kernel, q *Query, served data.Copy) {
 	q.resolved = true
 	c.answered++
 	c.Latency.Record(k.Now() - q.IssuedAt)
+	c.Tracer.FinishAs(q.TC, k.Now().Nanoseconds(), q.Route)
 	v, stale, err := c.Auditor.CheckStale(consistency.Answer{
 		Host:       q.Host,
 		Item:       q.Item,
@@ -235,6 +247,9 @@ func (c *Chassis) Fail(q *Query, reason string) {
 	q.resolved = true
 	c.failed++
 	c.failReasons[reason]++
+	if c.Tracer != nil && q.TC.TraceID != 0 {
+		c.Tracer.FinishAs(q.TC, c.Net.Kernel().Now().Nanoseconds(), "failed:"+reason)
+	}
 	c.Hub.QueryFailed(q.Level, reason)
 	if c.Hub.Level() >= telemetry.LevelSpans {
 		now := c.Net.Kernel().Now()
@@ -282,12 +297,22 @@ type ReasonCount struct {
 
 // FetchRing searches for a copy of item with expanding-ring DATA_REQUEST
 // floods from host, invoking cb exactly once with the first reply or with
-// ok=false after the last ring times out.
-func (c *Chassis) FetchRing(k *sim.Kernel, host int, item data.ItemID, cb FetchCallback) {
-	f := &fetch{host: host, item: item, cb: cb}
+// ok=false after the last ring times out. parent is the causal-trace
+// context the search runs under (zero when untraced): the whole search
+// becomes one fetch span whose transit/serve children the network layer
+// records.
+func (c *Chassis) FetchRing(k *sim.Kernel, host int, item data.ItemID, parent protocol.TraceContext, cb FetchCallback) {
+	f := &fetch{host: host, item: item, cb: cb,
+		tc: c.Tracer.StartChild(k.Now().Nanoseconds(), parent, host, ctrace.PhaseFetch, "ring")}
 	seq := c.NextSeq()
 	c.fetches[seq] = f
 	c.ring(k, f, seq, 0)
+}
+
+func (c *Chassis) finishFetch(k *sim.Kernel, f *fetch, seq uint64, name string) {
+	f.done = true
+	delete(c.fetches, seq)
+	c.Tracer.FinishAs(f.tc, k.Now().Nanoseconds(), name)
 }
 
 func (c *Chassis) ring(k *sim.Kernel, f *fetch, seq uint64, idx int) {
@@ -295,8 +320,7 @@ func (c *Chassis) ring(k *sim.Kernel, f *fetch, seq uint64, idx int) {
 		return
 	}
 	if idx >= len(c.cfg.RingTTLs) {
-		f.done = true
-		delete(c.fetches, seq)
+		c.finishFetch(k, f, seq, "ring-timeout")
 		f.cb(k, data.Copy{}, -1, false)
 		return
 	}
@@ -305,10 +329,10 @@ func (c *Chassis) ring(k *sim.Kernel, f *fetch, seq uint64, idx int) {
 		Item:   f.item,
 		Origin: f.host,
 		Seq:    seq,
+		Trace:  f.tc,
 	}
 	if err := c.Net.Flood(f.host, c.cfg.RingTTLs[idx], msg); err != nil {
-		f.done = true
-		delete(c.fetches, seq)
+		c.finishFetch(k, f, seq, "ring-error")
 		f.cb(k, data.Copy{}, -1, false)
 		return
 	}
@@ -319,9 +343,11 @@ func (c *Chassis) ring(k *sim.Kernel, f *fetch, seq uint64, idx int) {
 
 // FetchDirect asks the owner of item for its master copy with a unicast
 // DATA_REQUEST, invoking cb once with the reply or with ok=false on
-// timeout.
-func (c *Chassis) FetchDirect(k *sim.Kernel, host int, item data.ItemID, cb FetchCallback) {
-	f := &fetch{host: host, item: item, cb: cb}
+// timeout. parent is the causal-trace context of the fetch (zero when
+// untraced).
+func (c *Chassis) FetchDirect(k *sim.Kernel, host int, item data.ItemID, parent protocol.TraceContext, cb FetchCallback) {
+	f := &fetch{host: host, item: item, cb: cb,
+		tc: c.Tracer.StartChild(k.Now().Nanoseconds(), parent, host, ctrace.PhaseFetch, "direct")}
 	seq := c.NextSeq()
 	c.fetches[seq] = f
 	msg := protocol.Message{
@@ -329,11 +355,11 @@ func (c *Chassis) FetchDirect(k *sim.Kernel, host int, item data.ItemID, cb Fetc
 		Item:   item,
 		Origin: host,
 		Seq:    seq,
+		Trace:  f.tc,
 	}
 	owner := c.Reg.Owner(item)
 	if err := c.Net.Unicast(host, owner, msg); err != nil {
-		f.done = true
-		delete(c.fetches, seq)
+		c.finishFetch(k, f, seq, "direct-error")
 		cb(k, data.Copy{}, -1, false)
 		return
 	}
@@ -341,8 +367,7 @@ func (c *Chassis) FetchDirect(k *sim.Kernel, host int, item data.ItemID, cb Fetc
 		if f.done {
 			return
 		}
-		f.done = true
-		delete(c.fetches, seq)
+		c.finishFetch(kk, f, seq, "direct-timeout")
 		cb(kk, data.Copy{}, -1, false)
 	})
 }
@@ -371,6 +396,10 @@ func (c *Chassis) HandleDataRequest(k *sim.Kernel, node int, msg protocol.Messag
 		Copy:    served,
 		Seq:     msg.Seq,
 	}
+	if c.Tracer != nil && msg.Trace.TraceID != 0 {
+		now := k.Now().Nanoseconds()
+		reply.Trace = c.Tracer.Emit(msg.Trace, node, ctrace.PhaseServe, "DATA_REPLY", now, now)
+	}
 	// Best-effort: a failed unicast surfaces via the requester's timeout.
 	_ = c.Net.Unicast(node, msg.Origin, reply)
 }
@@ -383,8 +412,7 @@ func (c *Chassis) HandleDataReply(k *sim.Kernel, node int, msg protocol.Message)
 	if !ok || f.done || f.host != node || f.item != msg.Item {
 		return
 	}
-	f.done = true
-	delete(c.fetches, msg.Seq)
+	c.finishFetch(k, f, msg.Seq, "")
 	f.cb(k, msg.Copy, msg.Origin, true)
 }
 

@@ -179,7 +179,7 @@ func TestFetchDirectFromOwner(t *testing.T) {
 	e := newEnv(t, 4)
 	var got data.Copy
 	ok := false
-	e.ch.FetchDirect(e.k, 0, 3, func(_ *sim.Kernel, c data.Copy, _ int, o bool) { got, ok = c, o })
+	e.ch.FetchDirect(e.k, 0, 3, protocol.TraceContext{}, func(_ *sim.Kernel, c data.Copy, _ int, o bool) { got, ok = c, o })
 	e.k.Run()
 	if !ok {
 		t.Fatal("direct fetch failed on connected chain")
@@ -201,7 +201,7 @@ func TestFetchRingPrefersNearbyCacheCopy(t *testing.T) {
 		t.Fatal(err)
 	}
 	from := -1
-	e.ch.FetchRing(e.k, 0, 5, func(_ *sim.Kernel, c data.Copy, f int, o bool) {
+	e.ch.FetchRing(e.k, 0, 5, protocol.TraceContext{}, func(_ *sim.Kernel, c data.Copy, f int, o bool) {
 		if o {
 			from = f
 		}
@@ -217,7 +217,7 @@ func TestFetchRingFallsBackToOwner(t *testing.T) {
 	// Nobody caches item 5; only the owner (node 5, five hops away,
 	// beyond the first TTL-4 ring) can answer via the TTL-8 ring.
 	ok := false
-	e.ch.FetchRing(e.k, 0, 5, func(_ *sim.Kernel, c data.Copy, _ int, o bool) { ok = o })
+	e.ch.FetchRing(e.k, 0, 5, protocol.TraceContext{}, func(_ *sim.Kernel, c data.Copy, _ int, o bool) { ok = o })
 	e.k.Run()
 	if !ok {
 		t.Fatal("ring fetch did not fall back to network-wide flood")
@@ -243,7 +243,7 @@ func TestFetchRingFailsWhenNoHolderReachable(t *testing.T) {
 		t.Fatal(err)
 	}
 	called, ok := false, true
-	ch.FetchRing(k, 0, 2, func(_ *sim.Kernel, _ data.Copy, _ int, o bool) { called, ok = true, o })
+	ch.FetchRing(k, 0, 2, protocol.TraceContext{}, func(_ *sim.Kernel, _ data.Copy, _ int, o bool) { called, ok = true, o })
 	k.Run()
 	if !called {
 		t.Fatal("callback never invoked")
@@ -275,7 +275,7 @@ func TestFetchDirectTimeout(t *testing.T) {
 		t.Fatal(err)
 	}
 	var ok = true
-	ch.FetchDirect(k, 0, 1, func(_ *sim.Kernel, _ data.Copy, _ int, o bool) { ok = o })
+	ch.FetchDirect(k, 0, 1, protocol.TraceContext{}, func(_ *sim.Kernel, _ data.Copy, _ int, o bool) { ok = o })
 	k.Run()
 	if ok {
 		t.Fatal("unreachable owner fetch succeeded")
@@ -290,7 +290,7 @@ func TestDuplicateRepliesIgnored(t *testing.T) {
 	e.stores[1].Put(m.Current(), 0)
 	e.stores[2].Put(m.Current(), 0)
 	calls := 0
-	e.ch.FetchRing(e.k, 0, 3, func(*sim.Kernel, data.Copy, int, bool) { calls++ })
+	e.ch.FetchRing(e.k, 0, 3, protocol.TraceContext{}, func(*sim.Kernel, data.Copy, int, bool) { calls++ })
 	e.k.Run()
 	if calls != 1 {
 		t.Fatalf("callback fired %d times, want 1", calls)

@@ -14,9 +14,17 @@ import (
 // Wire layout, integers varint/uvarint-encoded unless noted:
 //
 //	magic byte 0xAF | version byte | flags byte |
-//	from | to | ttl | seq | payload = Marshal(Msg) (rest of datagram)
+//	from | to | ttl | seq | [trace ext] | payload = Marshal(Msg)
 //
-// Flags: bit 0 = flood (To is meaningless; every receiver delivers).
+// Flags: bit 0 = flood (To is meaningless; every receiver delivers),
+// bit 1 = trace extension present (version 2 only).
+//
+// Version 1 is the original header with no extension. Version 2 adds an
+// optional causal-tracing extension — three uvarints (TraceID, SpanID,
+// ParentSpanID) after seq, announced by the trace flag — and is emitted
+// only when the carried message actually has a trace context, so
+// untraced traffic stays byte-identical to version 1. Decoders accept
+// both versions; a version-1 frame carrying the trace flag is malformed.
 type Frame struct {
 	// From is the sending node id.
 	From int
@@ -36,10 +44,12 @@ type Frame struct {
 }
 
 const (
-	frameMagic   = 0xAF
-	frameVersion = 1
+	frameMagic    = 0xAF
+	frameVersion  = 1 // plain header, no extensions
+	frameVersion2 = 2 // adds the optional trace extension
 
 	frameFlagFlood = 1 << 0
+	frameFlagTrace = 1 << 1 // version 2 only: trace triple follows seq
 
 	// maxFrameTTL bounds decoded hop budgets; no MANET flood is deeper,
 	// and the cap keeps a hostile TTL from looking like a sane one.
@@ -62,17 +72,30 @@ func MarshalFrame(f Frame) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	buf := make([]byte, 0, len(payload)+24)
-	buf = append(buf, frameMagic, frameVersion)
+	traced := !f.Msg.Trace.Zero()
+	buf := make([]byte, 0, len(payload)+54)
+	version := byte(frameVersion)
+	if traced {
+		version = frameVersion2
+	}
+	buf = append(buf, frameMagic, version)
 	var flags byte
 	if f.Flood {
 		flags |= frameFlagFlood
+	}
+	if traced {
+		flags |= frameFlagTrace
 	}
 	buf = append(buf, flags)
 	buf = binary.AppendVarint(buf, int64(f.From))
 	buf = binary.AppendVarint(buf, int64(f.To))
 	buf = binary.AppendVarint(buf, int64(f.TTL))
 	buf = binary.AppendUvarint(buf, f.Seq)
+	if traced {
+		buf = binary.AppendUvarint(buf, f.Msg.Trace.TraceID)
+		buf = binary.AppendUvarint(buf, f.Msg.Trace.SpanID)
+		buf = binary.AppendUvarint(buf, f.Msg.Trace.ParentID)
+	}
 	return append(buf, payload...), nil
 }
 
@@ -84,12 +107,17 @@ func UnmarshalFrame(buf []byte) (Frame, error) {
 	if d.byte() != frameMagic {
 		return Frame{}, fmt.Errorf("protocol: bad frame magic")
 	}
-	if v := d.byte(); v != frameVersion && d.err == nil {
-		return Frame{}, fmt.Errorf("protocol: unsupported frame version %d", v)
+	version := d.byte()
+	if version != frameVersion && version != frameVersion2 && d.err == nil {
+		return Frame{}, fmt.Errorf("protocol: unsupported frame version %d", version)
+	}
+	known := byte(frameFlagFlood)
+	if version == frameVersion2 {
+		known |= frameFlagTrace
 	}
 	flags := d.byte()
-	if flags&^byte(frameFlagFlood) != 0 && d.err == nil {
-		return Frame{}, fmt.Errorf("protocol: unknown frame flag bits %#x", flags)
+	if flags&^known != 0 && d.err == nil {
+		return Frame{}, fmt.Errorf("protocol: unknown frame flag bits %#x for version %d", flags, version)
 	}
 	var f Frame
 	f.Flood = flags&frameFlagFlood != 0
@@ -97,6 +125,15 @@ func UnmarshalFrame(buf []byte) (Frame, error) {
 	f.To = int(d.varint())
 	f.TTL = int(d.varint())
 	f.Seq = d.uvarint()
+	var tc TraceContext
+	if flags&frameFlagTrace != 0 {
+		tc.TraceID = d.uvarint()
+		tc.SpanID = d.uvarint()
+		tc.ParentID = d.uvarint()
+		if tc.TraceID == 0 && d.err == nil {
+			return Frame{}, fmt.Errorf("protocol: frame trace extension with reserved trace id 0")
+		}
+	}
 	if d.err != nil {
 		return Frame{}, d.err
 	}
@@ -114,5 +151,6 @@ func UnmarshalFrame(buf []byte) (Frame, error) {
 		return Frame{}, err
 	}
 	f.Msg = msg
+	f.Msg.Trace = tc
 	return f, nil
 }

@@ -56,6 +56,15 @@ func FuzzUnmarshalFrame(f *testing.F) {
 		{From: 2, TTL: 8, Flood: true, Seq: 9, Msg: Message{Kind: KindInvalidation, Item: 2, Origin: 2, Version: 4}},
 		{From: 1, To: 0, Msg: Message{Kind: KindDataReply, Item: 3, Origin: 1, Version: 5,
 			Copy: data.Copy{ID: 3, Version: 5, Value: data.ValueFor(3, 5)}}},
+		// Version-2 frames with the trace extension, so the fuzzer mutates
+		// extension bytes too: a small triple, multi-byte uvarint ids, and
+		// a traced flood.
+		{From: 0, To: 1, Seq: 7, Msg: Message{Kind: KindPoll, Item: 1, Origin: 0, Seq: 3,
+			Trace: TraceContext{TraceID: 1, SpanID: 2, ParentID: 1}}},
+		{From: 3, To: 4, Seq: 8, Msg: Message{Kind: KindPollAckA, Item: 1, Origin: 3, Version: 6,
+			Trace: TraceContext{TraceID: 1 << 41, SpanID: 1<<41 | 9, ParentID: 1 << 13}}},
+		{From: 2, TTL: 8, Flood: true, Seq: 9, Msg: Message{Kind: KindInvalidation, Item: 2, Origin: 2, Version: 4,
+			Trace: TraceContext{TraceID: 500, SpanID: 501, ParentID: 500}}},
 	}
 	for _, fr := range seeds {
 		buf, err := MarshalFrame(fr)
@@ -79,7 +88,7 @@ func FuzzUnmarshalFrame(f *testing.F) {
 		}
 		if fr2.From != fr.From || fr2.To != fr.To || fr2.TTL != fr.TTL ||
 			fr2.Flood != fr.Flood || fr2.Seq != fr.Seq || fr2.Msg.Kind != fr.Msg.Kind ||
-			fr2.Msg.Copy != fr.Msg.Copy {
+			fr2.Msg.Copy != fr.Msg.Copy || fr2.Msg.Trace != fr.Msg.Trace {
 			t.Fatalf("frame round trip drifted:\n first: %+v\nsecond: %+v", fr, fr2)
 		}
 	})

@@ -107,6 +107,27 @@ const (
 	payloadBytes = 1024 // one data item's content
 )
 
+// TraceContext is the causal-tracing triple threaded through protocol
+// messages: the trace (one end-to-end operation: a query, an update
+// round, an invalidation wave), the span that caused this message to be
+// sent, and that span's parent. A zero TraceContext means "untraced";
+// TraceID 0 is reserved for that meaning and never assigned to a live
+// trace.
+//
+// The context is observability metadata, not protocol state: no handler
+// may branch on it, it contributes zero bytes to Message.Size() (so the
+// simulated transmission timing of a traced run is identical to an
+// untraced one), and on the wire it rides an optional version-gated
+// frame extension that old decoders never see.
+type TraceContext struct {
+	TraceID  uint64
+	SpanID   uint64
+	ParentID uint64
+}
+
+// Zero reports whether the context is unset (the message is untraced).
+func (t TraceContext) Zero() bool { return t == TraceContext{} }
+
 // Message is a protocol message. A single struct covers all kinds; unused
 // fields stay zero. Keeping one concrete type (rather than an interface
 // per kind) keeps the simulator's hot path allocation-free and the
@@ -136,6 +157,10 @@ type Message struct {
 	// meaningful.
 	Pos    geo.Point
 	HasPos bool
+	// Trace is the causal-tracing context of the send that produced this
+	// message; zero when tracing is off. It is invisible to Size(),
+	// Validate() and every protocol handler.
+	Trace TraceContext
 }
 
 // carriesContent reports whether the kind includes a full data payload.

@@ -240,7 +240,7 @@ func (g *GPSCE) OnQuery(k *sim.Kernel, host int, item data.ItemID, level consist
 		q.Route = "fetch"
 		// Cache miss: locate any copy; the fetched copy starts valid and
 		// registration catches up at the next placement rendezvous.
-		g.ch.FetchRing(k, host, item, func(kk *sim.Kernel, c data.Copy, from int, fok bool) {
+		g.ch.FetchRing(k, host, item, q.TC, func(kk *sim.Kernel, c data.Copy, from int, fok bool) {
 			if !fok {
 				g.ch.Fail(q, "fetch-timeout")
 				return

@@ -149,7 +149,7 @@ func (p *Push) OnQuery(k *sim.Kernel, host int, item data.ItemID, level consiste
 	if !p.ch.Stores[host].Contains(item) {
 		// Cache miss: locate a copy first; it still answers only after
 		// the next IR validates it, like any other copy.
-		p.ch.FetchRing(k, host, item, func(kk *sim.Kernel, c data.Copy, _ int, ok bool) {
+		p.ch.FetchRing(k, host, item, q.TC, func(kk *sim.Kernel, c data.Copy, _ int, ok bool) {
 			if !ok {
 				p.ch.Fail(q, "fetch-timeout")
 				return
@@ -222,7 +222,7 @@ func (p *Push) onIR(k *sim.Kernel, nd int, msg protocol.Message) {
 		// Stale: refetch from the source, then answer the parked queries
 		// with the fresh copy.
 		parked := p.takeParked(nd, msg.Item)
-		p.ch.FetchDirect(k, nd, msg.Item, func(kk *sim.Kernel, c data.Copy, from int, ok bool) {
+		p.ch.FetchDirect(k, nd, msg.Item, msg.Trace, func(kk *sim.Kernel, c data.Copy, from int, ok bool) {
 			if !ok {
 				for _, w := range parked {
 					p.ch.Fail(w.q, "refetch-timeout")
@@ -243,7 +243,7 @@ func (p *Push) onIR(k *sim.Kernel, nd int, msg protocol.Message) {
 		if len(parked) == 0 {
 			return
 		}
-		p.ch.FetchDirect(k, nd, msg.Item, func(kk *sim.Kernel, c data.Copy, from int, ok bool) {
+		p.ch.FetchDirect(k, nd, msg.Item, msg.Trace, func(kk *sim.Kernel, c data.Copy, from int, ok bool) {
 			for _, w := range parked {
 				if ok {
 					w.q.Source = from

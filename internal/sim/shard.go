@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"sync"
 	"time"
@@ -45,6 +46,16 @@ type ShardedKernel struct {
 
 	delivered uint64
 	barriers  uint64
+
+	// Introspection. mailRecv is a function of the event stream and so
+	// deterministic; busy/stall/hist are wall-clock measurements taken
+	// around each shard's window and vary run to run. winDur is per-window
+	// scratch, reused so steady-state windows do not allocate.
+	mailRecv []uint64
+	busy     []int64
+	stall    []int64
+	hist     [][shardStallBuckets]uint64
+	winDur   []time.Duration
 }
 
 // shardMsg is one cross-shard message awaiting barrier delivery.
@@ -79,6 +90,11 @@ func NewShardedKernel(s int, lookahead, horizon time.Duration, seed int64) (*Sha
 		outbox:    make([][]*shardMsg, s),
 		pool:      make([][]*shardMsg, s),
 		seq:       make([]uint64, s),
+		mailRecv:  make([]uint64, s),
+		busy:      make([]int64, s),
+		stall:     make([]int64, s),
+		hist:      make([][shardStallBuckets]uint64, s),
+		winDur:    make([]time.Duration, s),
 	}
 	const goldenGamma = int64(-0x61C8864680B583EB) // 0x9E3779B97F4A7C15 as int64
 	for i := range sk.shards {
@@ -172,20 +188,56 @@ func (sk *ShardedKernel) Run() time.Duration {
 func (sk *ShardedKernel) step(end time.Duration) {
 	if sk.parallel && len(sk.shards) > 1 {
 		var wg sync.WaitGroup
-		for _, k := range sk.shards {
+		for i, k := range sk.shards {
 			wg.Add(1)
-			go func(k *Kernel) {
+			go func(i int, k *Kernel) {
 				defer wg.Done()
+				t0 := time.Now()
 				k.RunUntil(end)
-			}(k)
+				sk.winDur[i] = time.Since(t0)
+			}(i, k)
 		}
 		wg.Wait()
 	} else {
-		for _, k := range sk.shards {
+		for i, k := range sk.shards {
+			t0 := time.Now()
 			k.RunUntil(end)
+			sk.winDur[i] = time.Since(t0)
 		}
 	}
+	sk.recordWindow()
 	sk.barrier(end)
+}
+
+// recordWindow folds one window's wall measurements into the per-shard
+// accounting. A shard's stall is its gap to the window's slowest shard —
+// the time it spends (under parallel execution: actually spends) waiting
+// at the lockstep barrier. Under serial execution the same gap reads as
+// the load imbalance the window would expose to parallel workers.
+func (sk *ShardedKernel) recordWindow() {
+	var slowest time.Duration
+	for _, d := range sk.winDur {
+		if d > slowest {
+			slowest = d
+		}
+	}
+	for i, d := range sk.winDur {
+		sk.busy[i] += int64(d)
+		st := int64(slowest - d)
+		sk.stall[i] += st
+		sk.hist[i][stallBucket(st)]++
+	}
+}
+
+// stallBucket maps a stall to its log2 histogram bucket: bucket 0 holds
+// zero-stall windows, bucket i>0 holds stalls in [2^(i-1), 2^i) ns, and
+// the last bucket absorbs everything from ~1s up.
+func stallBucket(ns int64) int {
+	b := bits.Len64(uint64(ns))
+	if b >= shardStallBuckets {
+		b = shardStallBuckets - 1
+	}
+	return b
 }
 
 // barrier merges the window's cross-shard mail in deterministic order
@@ -217,6 +269,7 @@ func (sk *ShardedKernel) barrier(end time.Duration) {
 				panic(fmt.Sprintf("sim: barrier delivery at %v to shard %d: %v", m.when, m.to, err))
 			}
 			sk.delivered++
+			sk.mailRecv[m.to]++
 			sender := m.senderShard
 			*m = shardMsg{}
 			sk.pool[sender] = append(sk.pool[sender], m)
@@ -242,4 +295,80 @@ func (sk *ShardedKernel) idle() bool {
 		}
 	}
 	return true
+}
+
+// shardStallBuckets is the length of a shard's barrier-stall histogram
+// (log2 buckets up to ~1s; see stallBucket).
+const shardStallBuckets = 32
+
+// ShardStats is one shard's run-introspection snapshot. EventsFired,
+// MailSent, and MailRecv are functions of the event stream — identical
+// across same-seed runs and safe for deterministic output. BusyNs,
+// StallNs, and StallHist are wall-clock measurements that vary run to
+// run: report them to stderr or bench files, never into byte-compared
+// output.
+type ShardStats struct {
+	Shard       int
+	EventsFired uint64
+	MailSent    uint64
+	MailRecv    uint64
+	BusyNs      int64
+	StallNs     int64
+	StallHist   [shardStallBuckets]uint64
+}
+
+// ShardedStats aggregates per-shard snapshots with two imbalance gauges:
+// max-over-mean ratios (1.0 = perfectly balanced). EventImbalance is
+// deterministic (event counts); WallImbalance is wall-clock.
+type ShardedStats struct {
+	Shards         []ShardStats
+	Barriers       uint64
+	Delivered      uint64
+	EventImbalance float64
+	WallImbalance  float64
+}
+
+// Stats snapshots the kernel's run introspection. Call it after Run
+// returns (or between windows); it must not race a parallel window.
+func (sk *ShardedKernel) Stats() ShardedStats {
+	st := ShardedStats{
+		Shards:    make([]ShardStats, len(sk.shards)),
+		Barriers:  sk.barriers,
+		Delivered: sk.delivered,
+	}
+	var evMax, evSum, wallMax, wallSum float64
+	for i, k := range sk.shards {
+		s := ShardStats{
+			Shard:       i,
+			EventsFired: k.EventsFired(),
+			MailSent:    sk.seq[i],
+			MailRecv:    sk.mailRecv[i],
+			BusyNs:      sk.busy[i],
+			StallNs:     sk.stall[i],
+			StallHist:   sk.hist[i],
+		}
+		st.Shards[i] = s
+		evSum += float64(s.EventsFired)
+		evMax = maxf(evMax, float64(s.EventsFired))
+		wallSum += float64(s.BusyNs)
+		wallMax = maxf(wallMax, float64(s.BusyNs))
+	}
+	st.EventImbalance = imbalance(evMax, evSum, len(sk.shards))
+	st.WallImbalance = imbalance(wallMax, wallSum, len(sk.shards))
+	return st
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// imbalance is max/mean, defined as 1 (balanced) when nothing happened.
+func imbalance(max, sum float64, n int) float64 {
+	if sum == 0 {
+		return 1
+	}
+	return max * float64(n) / sum
 }

@@ -1,0 +1,128 @@
+package trace
+
+import "sort"
+
+// Segment is one step of a critical path: the span the path passes
+// through and the self time attributed to it — the part of its interval
+// not explained by the child the path descends into.
+type Segment struct {
+	Span   Span
+	SelfNs int64
+}
+
+// CriticalPath is the latency decomposition of one trace: the chain of
+// spans from the root to a leaf chosen so that each step descends into
+// the child that finished last (the one the parent was waiting on).
+//
+// Self times telescope: root duration = Σ segment SelfNs exactly, because
+// each segment contributes (own duration − chosen child duration) and the
+// leaf contributes its full duration. That identity is what makes the
+// wire acceptance check ("critical-path sum equals measured end-to-end
+// latency") structural rather than approximate.
+type CriticalPath struct {
+	Root     Span
+	Segments []Segment
+	TotalNs  int64
+}
+
+// ExtractCriticalPaths computes one critical path per root span (a span
+// with Parent 0), in canonical (StartNs, Region, Seq) root order. The
+// walk is deterministic: at each span it descends into the child with the
+// greatest EndNs not exceeding the parent's (a child that outlives its
+// parent — a transit arm of an escalated-past poll stage — is off the
+// waited-on path by definition), breaking ties toward the later StartNs,
+// then the lower (Region, Seq).
+func ExtractCriticalPaths(spans []Span) []CriticalPath {
+	children := make(map[uint64][]Span)
+	var roots []Span
+	for _, s := range spans {
+		if s.Parent == 0 {
+			roots = append(roots, s)
+		} else {
+			children[s.Parent] = append(children[s.Parent], s)
+		}
+	}
+	sortSpans(roots)
+	for _, kids := range children {
+		sortSpans(kids)
+	}
+	paths := make([]CriticalPath, 0, len(roots))
+	for _, root := range roots {
+		cp := CriticalPath{Root: root, TotalNs: root.Duration()}
+		visited := map[uint64]bool{}
+		cur := root
+		for {
+			visited[cur.ID] = true
+			next, ok := pickChild(children[cur.ID], cur, visited)
+			if !ok {
+				cp.Segments = append(cp.Segments, Segment{Span: cur, SelfNs: cur.Duration()})
+				break
+			}
+			cp.Segments = append(cp.Segments, Segment{Span: cur, SelfNs: cur.Duration() - next.Duration()})
+			cur = next
+		}
+		paths = append(paths, cp)
+	}
+	return paths
+}
+
+// pickChild selects the waited-on child: max EndNs among children ending
+// within the parent's interval, ties broken by later StartNs then lower
+// (Region, Seq). The visited set guards against malformed (cyclic)
+// input; well-formed traces never trip it.
+func pickChild(kids []Span, parent Span, visited map[uint64]bool) (Span, bool) {
+	var best Span
+	found := false
+	for _, k := range kids {
+		if visited[k.ID] || k.EndNs > parent.EndNs {
+			continue
+		}
+		if !found || laterChild(k, best) {
+			best, found = k, true
+		}
+	}
+	return best, found
+}
+
+func laterChild(a, b Span) bool {
+	if a.EndNs != b.EndNs {
+		return a.EndNs > b.EndNs
+	}
+	if a.StartNs != b.StartNs {
+		return a.StartNs > b.StartNs
+	}
+	if a.Region != b.Region {
+		return a.Region < b.Region
+	}
+	return a.Seq < b.Seq
+}
+
+// PhaseTotals aggregates critical-path self time by phase across paths.
+// The keys slice is the phases in first-appearance order along the
+// canonical path order, so rendering is deterministic.
+func PhaseTotals(paths []CriticalPath) (phases []string, totals map[string]int64, counts map[string]int64) {
+	totals = make(map[string]int64)
+	counts = make(map[string]int64)
+	for _, p := range paths {
+		for _, seg := range p.Segments {
+			if _, seen := totals[seg.Span.Phase]; !seen {
+				phases = append(phases, seg.Span.Phase)
+			}
+			totals[seg.Span.Phase] += seg.SelfNs
+			counts[seg.Span.Phase]++
+		}
+	}
+	return phases, totals, counts
+}
+
+// TopK returns the k longest paths (by TotalNs, ties toward the earlier
+// canonical root) without disturbing the input order.
+func TopK(paths []CriticalPath, k int) []CriticalPath {
+	out := make([]CriticalPath, len(paths))
+	copy(out, paths)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TotalNs > out[j].TotalNs })
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}

@@ -13,12 +13,14 @@ package cluster
 import (
 	"fmt"
 	"net"
+	"strings"
 	"time"
 
 	"github.com/manetlab/rpcc/internal/consistency"
 	"github.com/manetlab/rpcc/internal/core"
 	"github.com/manetlab/rpcc/internal/data"
 	"github.com/manetlab/rpcc/internal/oracle"
+	ctrace "github.com/manetlab/rpcc/internal/telemetry/trace"
 	"github.com/manetlab/rpcc/internal/wire"
 )
 
@@ -47,6 +49,11 @@ type Config struct {
 	Slack time.Duration
 	// Inflate widens every staleness envelope for real-network delay.
 	Inflate time.Duration
+	// Trace enables causal tracing: every daemon gets a collector
+	// (region = node id), the per-daemon span sets merge into
+	// Report.TraceSpans, and the run cross-checks the merged trace
+	// against the measured latencies (Report.TraceErrors).
+	Trace bool
 }
 
 // DefaultConfig returns the wire-smoke shape: 5 nodes, 10 seconds,
@@ -147,10 +154,21 @@ type Report struct {
 	Divergences []oracle.Divergence
 
 	NodeSummaries []string
+
+	// TraceSpans is the merged causal trace in canonical order (nil
+	// unless Config.Trace). TraceErrors lists trace/latency cross-check
+	// failures: every critical path must decompose exactly into its
+	// segments' self times, and the answered-query roots must agree with
+	// the chassis counters and the measured mean latency within the
+	// clock-skew slack.
+	TraceSpans  []ctrace.Span
+	TraceErrors []string
 }
 
 // Clean reports a violation-free run with a clean shutdown.
-func (r Report) Clean() bool { return len(r.Divergences) == 0 && len(r.StopErrors) == 0 }
+func (r Report) Clean() bool {
+	return len(r.Divergences) == 0 && len(r.StopErrors) == 0 && len(r.TraceErrors) == 0
+}
 
 // String renders the one-line verdict.
 func (r Report) String() string {
@@ -193,7 +211,11 @@ func Run(cfg Config) (Report, error) {
 
 	rec := oracle.NewLiveRecorder(time.Now())
 	nodes := make([]*wire.Node, cfg.N)
+	tracers := make([]*ctrace.Collector, cfg.N)
 	for i := 0; i < cfg.N; i++ {
+		if cfg.Trace {
+			tracers[i] = ctrace.NewCollector(i)
+		}
 		nd, err := wire.NewNode(wire.NodeConfig{
 			Self:           i,
 			Nodes:          cfg.N,
@@ -205,6 +227,7 @@ func Run(cfg Config) (Report, error) {
 			Placement:      wire.CyclicPlacement(i, cfg.N, cfg.CacheNum),
 			QueryInterval:  cfg.QueryInterval,
 			UpdateInterval: cfg.UpdateInterval,
+			Trace:          tracers[i],
 			OnAnswer:       rec.Answer,
 			OnCommit: func(item data.ItemID, v data.Version, at time.Time) {
 				rec.Commit(item, v, at)
@@ -255,5 +278,62 @@ func Run(cfg Config) (Report, error) {
 		return rep, err
 	}
 	rep.Divergences = divs
+
+	if cfg.Trace {
+		sets := make([][]ctrace.Span, 0, cfg.N)
+		var latSum time.Duration
+		var latN uint64
+		for _, nd := range nodes {
+			sets = append(sets, nd.TraceSpans())
+			a := nd.Chassis().Answered()
+			latSum += time.Duration(float64(nd.Latency().Mean()) * float64(a))
+			latN += a
+		}
+		rep.TraceSpans = ctrace.Merge(sets...)
+		rep.TraceErrors = crossCheckTrace(rep.TraceSpans, rep.Answered, latSum, latN, cfg.Slack)
+	}
 	return rep, nil
+}
+
+// crossCheckTrace verifies the merged trace against the run's measured
+// ground truth: (1) every critical path's segment self-times sum exactly
+// to the path's end-to-end total — the decomposition identity that makes
+// per-phase attribution trustworthy; (2) the answered-query roots match
+// the chassis answer count; (3) the roots' mean duration matches the
+// latency histograms' mean within the clock-skew slack (span endpoints
+// and latency samples read the same per-daemon clock, so the residual is
+// rounding, but cross-daemon skew gets the benefit of the doubt).
+func crossCheckTrace(spans []ctrace.Span, answered uint64, latSum time.Duration, latN uint64, slack time.Duration) []string {
+	var errs []string
+	paths := ctrace.ExtractCriticalPaths(spans)
+	var rootSum time.Duration
+	var roots uint64
+	for _, p := range paths {
+		var sum int64
+		for _, seg := range p.Segments {
+			sum += seg.SelfNs
+		}
+		if sum != p.TotalNs {
+			errs = append(errs, fmt.Sprintf("trace %x: critical-path self times sum to %d ns, root spans %d ns", p.Root.Trace, sum, p.TotalNs))
+		}
+		if p.Root.Phase == ctrace.PhaseQuery && !strings.HasPrefix(p.Root.Name, "failed:") && p.Root.Name != "query" {
+			roots++
+			rootSum += time.Duration(p.TotalNs)
+		}
+	}
+	if roots != answered {
+		errs = append(errs, fmt.Sprintf("trace has %d answered-query roots, chassis answered %d", roots, answered))
+	}
+	if latN > 0 && roots > 0 {
+		traceMean := rootSum / time.Duration(roots)
+		measMean := latSum / time.Duration(latN)
+		diff := traceMean - measMean
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > slack {
+			errs = append(errs, fmt.Sprintf("trace mean latency %v vs measured %v: gap exceeds slack %v", traceMean, measMean, slack))
+		}
+	}
+	return errs
 }

@@ -14,6 +14,7 @@ import (
 	"github.com/manetlab/rpcc/internal/sim"
 	"github.com/manetlab/rpcc/internal/stats"
 	"github.com/manetlab/rpcc/internal/telemetry"
+	ctrace "github.com/manetlab/rpcc/internal/telemetry/trace"
 	"github.com/manetlab/rpcc/internal/workload"
 )
 
@@ -67,6 +68,11 @@ type NodeConfig struct {
 	UpdateInterval time.Duration
 	// Hub receives telemetry (nil records nothing).
 	Hub *telemetry.Hub
+	// Trace, when non-nil, threads causal trace contexts through this
+	// daemon's queries and ships them on the wire (version-2 frames).
+	// Create it with region = Self so span ids never collide across the
+	// cluster; read it back with TraceSpans after Stop.
+	Trace *ctrace.Collector
 	// OnAnswer observes every served answer with its wall-clock instant;
 	// the cluster harness feeds these to the live oracle.
 	OnAnswer func(nd int, item data.ItemID, level consistency.Level, served data.Copy, at time.Time)
@@ -162,6 +168,10 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		return nil, err
 	}
 	chassis.Hub = cfg.Hub
+	if cfg.Trace != nil {
+		chassis.Tracer = cfg.Trace
+		tr.SetTraceCollector(cfg.Trace)
+	}
 
 	coreCfg := cfg.Core
 	self := cfg.Self
@@ -308,6 +318,13 @@ func (n *Node) Stop(drain time.Duration) error {
 		return stopErr
 	}
 	return closeErr
+}
+
+// TraceSpans exports the daemon's causal trace in canonical order (nil
+// without a NodeConfig.Trace collector). Call after Stop: the collector
+// is confined to the kernel goroutine while the clock runs.
+func (n *Node) TraceSpans() []ctrace.Span {
+	return n.cfg.Trace.Export()
 }
 
 // LocalAddr returns the daemon's bound UDP address.

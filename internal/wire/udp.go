@@ -12,6 +12,7 @@ import (
 	"github.com/manetlab/rpcc/internal/protocol"
 	"github.com/manetlab/rpcc/internal/sim"
 	"github.com/manetlab/rpcc/internal/stats"
+	ctrace "github.com/manetlab/rpcc/internal/telemetry/trace"
 )
 
 // TransportConfig parameterises a UDP transport.
@@ -70,6 +71,12 @@ type Transport struct {
 	receivers []netsim.Receiver
 
 	traffic *stats.Traffic
+	// trace, when non-nil, emits a transit span for every traced frame
+	// delivered here and re-parents the message's context onto it, so the
+	// receiving handlers' spans chain through the wire hop — the same
+	// contract as netsim.SetTraceCollector. Confined to the kernel
+	// goroutine.
+	trace *ctrace.Collector
 	// activity counts this node's radio send/receive events. Confined to
 	// the kernel goroutine (sends happen in handlers, receives in
 	// injected deliveries).
@@ -129,6 +136,10 @@ func NewTransport(cfg TransportConfig, clock *Clock, traffic *stats.Traffic) (*T
 	}
 	return t, nil
 }
+
+// SetTraceCollector installs the causal-trace collector. Install before
+// Run; the collector is used only on the kernel goroutine.
+func (t *Transport) SetTraceCollector(c *ctrace.Collector) { t.trace = c }
 
 // Run starts the socket read loop. Call once, after the receivers are
 // installed; Close terminates it.
@@ -289,6 +300,13 @@ func (t *Transport) deliver(k *sim.Kernel, f protocol.Frame) {
 	r := t.receivers[t.cfg.Self]
 	if r == nil {
 		return
+	}
+	if t.trace != nil && f.Msg.Trace.TraceID != 0 {
+		// Sender clocks are not comparable, so the hop span is an instant
+		// at local receipt; its value is the causal stitch, not the flight
+		// time.
+		now := k.Now().Nanoseconds()
+		f.Msg.Trace = t.trace.Emit(f.Msg.Trace, t.cfg.Self, ctrace.PhaseTransit, f.Msg.Kind.String(), now, now)
 	}
 	r(k, t.cfg.Self, f.Msg, netsim.Meta{
 		Hops:    1,
