@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-hotpath bench-compare bench-wire bench-scale figures telemetry-smoke chaos-smoke conform-smoke wire-smoke scale-smoke trace-smoke clean
+.PHONY: all build test race vet check bench bench-hotpath bench-compare bench-wire bench-scale figures telemetry-smoke chaos-smoke conform-smoke wire-smoke wire-chaos-smoke scale-smoke trace-smoke clean
 
 all: check
 
@@ -110,6 +110,40 @@ conform-smoke:
 # unclean shutdown, or vacuous (zero-answer) run exits non-zero.
 wire-smoke: build
 	$(GO) run ./cmd/wiretest -n 5 -duration 10s -v
+
+# Wire chaos gate: the canonical scripted fault campaign (Gilbert–Elliott
+# loss, delay/jitter/duplication, two partition windows, two crash/restart
+# cycles) against a 10-node loopback cluster of live daemons, judged by
+# the fault-aware live oracle. Four legs:
+#   1–2. the rpcc-dc campaign runs twice with the same seed; both must be
+#        CONFORMANT and the expanded fault schedule AND the verdict block
+#        on stdout must be byte-identical across the runs;
+#   3.   the same campaign under rpcc-wc (weak reads are the monotonicity
+#        probe: a cold-restarted daemon re-serves its warm copies) must be
+#        CONFORMANT under the fault-aware judge;
+#   4.   the deliberately broken judge (-broken inflation: blind to the
+#        fault schedule) over the same rpcc-wc campaign MUST fail — the
+#        restarted daemon's warm re-serves regress the monotone watermark
+#        unless the judge honours the restart epoch. A passing broken
+#        variant means the gate has lost its teeth.
+WIRE_CHAOS_TMP ?= /tmp/rpcc-wire-chaos-smoke
+wire-chaos-smoke: build
+	mkdir -p $(WIRE_CHAOS_TMP)
+	$(GO) run ./cmd/wiretest -n 10 -duration 20s -strategy rpcc-dc -seed 7 \
+		-chaos -schedule-out $(WIRE_CHAOS_TMP)/sched-a.log > $(WIRE_CHAOS_TMP)/verdict-a.txt
+	$(GO) run ./cmd/wiretest -n 10 -duration 20s -strategy rpcc-dc -seed 7 \
+		-chaos -schedule-out $(WIRE_CHAOS_TMP)/sched-b.log > $(WIRE_CHAOS_TMP)/verdict-b.txt
+	cmp $(WIRE_CHAOS_TMP)/sched-a.log $(WIRE_CHAOS_TMP)/sched-b.log
+	cmp $(WIRE_CHAOS_TMP)/verdict-a.txt $(WIRE_CHAOS_TMP)/verdict-b.txt
+	$(GO) run ./cmd/wiretest -n 10 -duration 20s -strategy rpcc-wc -query 100ms \
+		-seed 7 -chaos > $(WIRE_CHAOS_TMP)/verdict-wc.txt
+	@if $(GO) run ./cmd/wiretest -n 10 -duration 20s -strategy rpcc-wc -query 100ms \
+		-seed 7 -chaos -broken inflation > /dev/null 2>$(WIRE_CHAOS_TMP)/broken.err; then \
+		echo "BUG: broken judge variant passed — the chaos gate has no teeth"; exit 1; \
+	else \
+		echo "broken judge variant caught ($$(grep -c 'divergence:' $(WIRE_CHAOS_TMP)/broken.err) divergences)"; \
+	fi
+	@cat $(WIRE_CHAOS_TMP)/verdict-a.txt $(WIRE_CHAOS_TMP)/verdict-wc.txt
 
 # Regenerate the committed wire benchmark artefact (BENCH_wire.json):
 # frame codec encode/decode ns/op plus the end-to-end loopback SC query

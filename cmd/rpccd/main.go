@@ -62,6 +62,11 @@ func run() error {
 		duration = flag.Duration("duration", 0, "run length (0 = run until SIGTERM/SIGINT)")
 		drain    = flag.Duration("drain", 5*time.Second, "shutdown drain deadline")
 
+		faults     = flag.String("faults", "", "JSON wire fault script; every daemon of a campaign loads the same file")
+		faultsOff  = flag.Duration("faults-offset", 0, "campaign time already elapsed at this daemon's start (restarted daemons)")
+		ownVersion = flag.Uint64("own-version", 0, "resume this daemon's own item at this version (restarted daemons)")
+		crashAfter = flag.Duration("crash-after", 0, "abruptly exit(3) after this long — no drain, no flush (chaos harnesses)")
+
 		metricsOut = flag.String("metrics-out", "", "write Prometheus text metrics to this file at shutdown")
 		teleOut    = flag.String("telemetry", "", "write JSONL telemetry events to this file at shutdown")
 		traceOut   = flag.String("trace-out", "", "write this daemon's causal-trace span JSONL to this file at shutdown")
@@ -151,11 +156,21 @@ func run() error {
 	if *traceOut != "" || *traceTo != "" {
 		tracer = ctrace.NewCollector(*id)
 	}
+	var script *wire.Script
+	if *faults != "" {
+		script, err = wire.LoadScript(*faults)
+		if err != nil {
+			conn.Close()
+			return err
+		}
+	}
 	nd, err := wire.NewNode(wire.NodeConfig{
 		Self: *id, Nodes: *n, Peers: table, Conn: conn,
 		Seed: *seed, Strategy: *strategy, Core: cc,
 		Placement: placement, QueryInterval: *query, UpdateInterval: *update,
 		Hub: hub, Trace: tracer,
+		Chaos: script, ChaosOffset: *faultsOff,
+		ResumeOwnVersion: data.Version(*ownVersion),
 	})
 	if err != nil {
 		conn.Close()
@@ -169,7 +184,8 @@ func run() error {
 		*id, *n, *strategy, nd.LocalAddr())
 
 	// Run until the duration elapses or a signal arrives; both paths go
-	// through the same deadline-bounded drain.
+	// through the same deadline-bounded drain. -crash-after bypasses them
+	// entirely: a scheduled chaos crash is abrupt by definition.
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
 	defer signal.Stop(sigc)
@@ -179,11 +195,20 @@ func run() error {
 		defer t.Stop()
 		timeout = t.C
 	}
+	var crash <-chan time.Time
+	if *crashAfter > 0 {
+		t := time.NewTimer(*crashAfter)
+		defer t.Stop()
+		crash = t.C
+	}
 	select {
 	case sig := <-sigc:
 		fmt.Fprintf(os.Stderr, "rpccd: %v, draining (deadline %v)\n", sig, *drain)
 	case <-timeout:
 		fmt.Fprintf(os.Stderr, "rpccd: %v elapsed, draining (deadline %v)\n", *duration, *drain)
+	case <-crash:
+		fmt.Fprintf(os.Stderr, "rpccd: scheduled crash after %v\n", *crashAfter)
+		os.Exit(3)
 	}
 	stopErr := nd.Stop(*drain)
 

@@ -151,8 +151,16 @@ func lintProm(path string) (map[string]bool, int, error) {
 		samples++
 		// The fault plane's accounting families carry mandatory labels:
 		// every drop is attributed to a cause, every fault event to a kind.
-		if name == "rpcc_dropped_total" && !hasLabel(labels, "cause") {
-			return nil, 0, fmt.Errorf("%s:%d: rpcc_dropped_total sample without cause label", path, lineNo)
+		if name == "rpcc_dropped_total" {
+			if !hasLabel(labels, "cause") {
+				return nil, 0, fmt.Errorf("%s:%d: rpcc_dropped_total sample without cause label", path, lineNo)
+			}
+			// Label discipline extends to the value set: the sim and wire
+			// layers share one cause vocabulary, so an unknown cause is a
+			// typo or an unregistered accounting path, not a new category.
+			if c := labelValue(labels, "cause"); !validDropCauses[c] {
+				return nil, 0, fmt.Errorf("%s:%d: rpcc_dropped_total cause %q not in the shared vocabulary", path, lineNo, c)
+			}
 		}
 		if name == "rpcc_fault_events_total" && !hasLabel(labels, "kind") {
 			return nil, 0, fmt.Errorf("%s:%d: rpcc_fault_events_total sample without kind label", path, lineNo)
@@ -249,6 +257,23 @@ func parseSample(line string) (name, labels string, value float64, err error) {
 		return "", "", 0, fmt.Errorf("bad value %q: %v", rest, perr)
 	}
 	return name, labels, v, nil
+}
+
+// validDropCauses is the shared drop-cause vocabulary: the sim fault
+// plane's causes plus the wire transport's (stats.DropCause.String()).
+var validDropCauses = map[string]bool{
+	"loss": true, "partition": true, "disconnected": true,
+	"no-route": true, "peer-down": true, "decode": true,
+}
+
+// labelValue returns the value of key="..." in the label string.
+func labelValue(labels, key string) string {
+	for _, part := range splitLabels(labels) {
+		if v, ok := strings.CutPrefix(part, key+`="`); ok {
+			return strings.TrimSuffix(v, `"`)
+		}
+	}
+	return ""
 }
 
 // hasLabel reports whether the label string contains key="...".

@@ -94,6 +94,26 @@ func (r *LiveRecorder) Ledgers() (commits []LiveCommit, answers []LiveAnswer) {
 	return append([]LiveCommit(nil), r.commits...), append([]LiveAnswer(nil), r.answers...)
 }
 
+// LiveWindow is one scheduled adversity interval [Start, End): a
+// partition cut, a daemon's down time, or any other period when
+// invalidation/poll traffic demonstrably could not flow. Node restricts
+// the window to one daemon; -1 applies it cluster-wide.
+type LiveWindow struct {
+	Start, End time.Duration
+	Node       int
+}
+
+// LiveRestart records the completion instant of one daemon's cold
+// restart. From At onward the node's knowledge epoch restarts: its
+// placement re-warms from version 0, so staleness before the epoch is
+// the schedule's fault, not the protocol's — and its served-version
+// watermark resets, because monotone reads are a per-process session
+// guarantee, not a cross-incarnation one.
+type LiveRestart struct {
+	Node int
+	At   time.Duration
+}
+
 // LiveSpec parameterises live judging.
 type LiveSpec struct {
 	// Envelopes maps each audited consistency level to its staleness
@@ -103,6 +123,15 @@ type LiveSpec struct {
 	Slack time.Duration
 	// Inflate widens every envelope for real-network delay soundness.
 	Inflate time.Duration
+	// Windows lists the scheduled adversity intervals. The staleness
+	// lookback horizon is extended past them: time spent inside an
+	// applicable window is time the node provably could not learn, so it
+	// does not count against the envelope. This is the same soundness
+	// discipline as the sim oracle's partition awareness — forgive
+	// exactly what the schedule explains, never more.
+	Windows []LiveWindow
+	// Restarts lists daemon cold-restart completions (see LiveRestart).
+	Restarts []LiveRestart
 }
 
 // Validate reports spec errors.
@@ -118,7 +147,76 @@ func (s LiveSpec) Validate() error {
 			return fmt.Errorf("oracle: negative envelope %v for %v", env, l)
 		}
 	}
+	for _, w := range s.Windows {
+		if w.Start < 0 || w.End < w.Start {
+			return fmt.Errorf("oracle: bad adversity window [%v,%v)", w.Start, w.End)
+		}
+		if w.Node < -1 {
+			return fmt.Errorf("oracle: adversity window node %d (want >= -1)", w.Node)
+		}
+	}
+	for _, r := range s.Restarts {
+		if r.Node < 0 || r.At < 0 {
+			return fmt.Errorf("oracle: bad restart record node %d at %v", r.Node, r.At)
+		}
+	}
 	return nil
+}
+
+// horizonFor computes the staleness lookback horizon for an answer by
+// node at time at with envelope env. The protocol is owed env (+slack
+// +inflate) of *connected* time to propagate a version, so the horizon
+// is the instant with that much clear (non-window) time between it and
+// the answer: walk backward from the answer through the node's merged
+// adversity windows, paying the lookback only out of the gaps.
+func (s LiveSpec) horizonFor(node int, at time.Duration, env time.Duration) time.Duration {
+	need := env + s.Slack + s.Inflate
+	wins := make([]LiveWindow, 0, len(s.Windows))
+	for _, w := range s.Windows {
+		if (w.Node == -1 || w.Node == node) && w.Start < at && w.End > w.Start {
+			wins = append(wins, w)
+		}
+	}
+	sort.Slice(wins, func(a, b int) bool { return wins[a].End > wins[b].End })
+	cur := at
+	for _, w := range wins {
+		end := w.End
+		if end > cur {
+			end = cur
+		}
+		if end <= w.Start {
+			continue // fully absorbed by a later (already-walked) window
+		}
+		if gap := cur - end; gap >= need {
+			return cur - need
+		} else {
+			need -= gap
+		}
+		cur = w.Start
+	}
+	return cur - need
+}
+
+// epochFor returns node's knowledge epoch at time at: the completion of
+// its latest restart at or before at, or 0 for a never-restarted node.
+func (s LiveSpec) epochFor(node int, at time.Duration) time.Duration {
+	var epoch time.Duration
+	for _, r := range s.Restarts {
+		if r.Node == node && r.At <= at && r.At > epoch {
+			epoch = r.At
+		}
+	}
+	return epoch
+}
+
+// restartedBetween reports whether node completed a restart in (lo, hi].
+func (s LiveSpec) restartedBetween(node int, lo, hi time.Duration) bool {
+	for _, r := range s.Restarts {
+		if r.Node == node && r.At > lo && r.At <= hi {
+			return true
+		}
+	}
+	return false
 }
 
 // timeline is one item's commit history, sorted by version.
@@ -204,7 +302,11 @@ func JudgeLive(commits []LiveCommit, answers []LiveAnswer, spec LiveSpec) ([]Div
 		node int
 		item data.ItemID
 	}
-	watermark := make(map[hostItem]data.Version)
+	type mark struct {
+		v  data.Version
+		at time.Duration
+	}
+	watermark := make(map[hostItem]mark)
 
 	var divs []Divergence
 	for _, a := range ordered {
@@ -229,8 +331,13 @@ func JudgeLive(commits []LiveCommit, answers []LiveAnswer, spec LiveSpec) ([]Div
 				divs = append(divs, d)
 			default:
 				if env, audited := spec.Envelopes[a.Level]; audited {
-					horizon := a.At - env - spec.Slack - spec.Inflate
-					if horizon > 0 {
+					horizon := spec.horizonFor(a.Node, a.At, env)
+					// Only judge staleness once the horizon clears the
+					// node's knowledge epoch: before it, the node is still
+					// within its post-start (or post-restart) warm-up, where
+					// old versions are the schedule's doing. epoch 0 is the
+					// original initial-warm forgiveness.
+					if horizon > spec.epochFor(a.Node, a.At) {
 						minOK := tl.versionAt(horizon)
 						if a.Served.Version < minOK {
 							d.Kind = DivStale
@@ -243,14 +350,21 @@ func JudgeLive(commits []LiveCommit, answers []LiveAnswer, spec LiveSpec) ([]Div
 		}
 
 		key := hostItem{a.Node, a.Item}
-		if prev, ok := watermark[key]; ok && a.Served.Version < prev {
+		prev, ok := watermark[key]
+		if ok && spec.restartedBetween(a.Node, prev.at, a.At) {
+			// A cold restart ends the read session: the incarnation that
+			// made the old promise is gone, so the watermark resets.
+			ok = false
+			delete(watermark, key)
+		}
+		if ok && a.Served.Version < prev.v {
 			divs = append(divs, Divergence{
 				At: a.At, Node: a.Node, Item: a.Item, Kind: DivMonotone,
-				Level: a.Level.String(), Served: a.Served.Version, MinOK: prev,
+				Level: a.Level.String(), Served: a.Served.Version, MinOK: prev.v,
 			})
 		}
-		if a.Served.Version > watermark[key] {
-			watermark[key] = a.Served.Version
+		if cur := watermark[key]; a.Served.Version >= cur.v {
+			watermark[key] = mark{v: a.Served.Version, at: a.At}
 		}
 	}
 	return divs, nil

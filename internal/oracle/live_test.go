@@ -195,3 +195,129 @@ func TestLiveRecorderLedgers(t *testing.T) {
 		t.Fatal("ledger aliased by its copy")
 	}
 }
+
+func TestJudgeLiveAdversityWindowExtendsHorizon(t *testing.T) {
+	commits := []LiveCommit{
+		{Item: 1, Version: 1, At: 1 * time.Second},
+		{Item: 1, Version: 2, At: 2 * time.Second},
+	}
+	// Without windows this v1 answer at 10s is stale (horizon 8.7s > v2's
+	// commit). A 7s cluster-wide partition covering most of the lookback
+	// extends the horizon past v2's commit and forgives it.
+	stale := LiveAnswer{Node: 0, Item: 1, Level: consistency.LevelStrong,
+		Served: liveCopy(1, 1), At: 10 * time.Second}
+	spec := liveSpec()
+	spec.Windows = []LiveWindow{{Start: 3 * time.Second, End: 10 * time.Second, Node: -1}}
+	divs, err := JudgeLive(commits, []LiveAnswer{stale}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(divs) != 0 {
+		t.Fatalf("scheduled partition did not forgive in-window staleness: %v", kinds(divs))
+	}
+	// A window scoped to a different node forgives nothing.
+	spec.Windows[0].Node = 3
+	if divs, err = JudgeLive(commits, []LiveAnswer{stale}, spec); err != nil || len(divs) != 1 || divs[0].Kind != DivStale {
+		t.Fatalf("foreign-node window changed the verdict: %v %v", kinds(divs), err)
+	}
+	// Chained windows: extending past the first exposes the second
+	// (fixpoint iteration), so together they still forgive.
+	spec.Windows = []LiveWindow{
+		{Start: 6 * time.Second, End: 10 * time.Second, Node: 0},
+		{Start: 1500 * time.Millisecond, End: 5 * time.Second, Node: 0},
+	}
+	if divs, err = JudgeLive(commits, []LiveAnswer{stale}, spec); err != nil || len(divs) != 0 {
+		t.Fatalf("chained windows not composed: %v %v", kinds(divs), err)
+	}
+}
+
+func TestJudgeLiveRestartEpochForgivesWarmup(t *testing.T) {
+	commits := []LiveCommit{
+		{Item: 1, Version: 1, At: 1 * time.Second},
+		{Item: 1, Version: 2, At: 2 * time.Second},
+	}
+	// Node 0 restarted at 9s; its v1 answer at 10s has horizon 8.7s,
+	// before the new knowledge epoch, so staleness is the schedule's
+	// fault. This is the broken-variant seam: drop the restart record and
+	// the same ledger must be caught.
+	stale := LiveAnswer{Node: 0, Item: 1, Level: consistency.LevelStrong,
+		Served: liveCopy(1, 1), At: 10 * time.Second}
+	spec := liveSpec()
+	spec.Restarts = []LiveRestart{{Node: 0, At: 9 * time.Second}}
+	divs, err := JudgeLive(commits, []LiveAnswer{stale}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(divs) != 0 {
+		t.Fatalf("post-restart warm-up not forgiven: %v", kinds(divs))
+	}
+	// Broken variant (no restart records): the judge has teeth.
+	if divs, err = JudgeLive(commits, []LiveAnswer{stale}, liveSpec()); err != nil || len(divs) != 1 || divs[0].Kind != DivStale {
+		t.Fatalf("restart-blind judge missed the staleness: %v %v", kinds(divs), err)
+	}
+	// A restart of a different node forgives nothing.
+	spec.Restarts = []LiveRestart{{Node: 5, At: 9 * time.Second}}
+	if divs, err = JudgeLive(commits, []LiveAnswer{stale}, spec); err != nil || len(divs) != 1 {
+		t.Fatalf("foreign restart changed the verdict: %v %v", kinds(divs), err)
+	}
+	// Long after the restart the envelope re-arms.
+	late := stale
+	late.At = 15 * time.Second
+	spec.Restarts = []LiveRestart{{Node: 0, At: 9 * time.Second}}
+	if divs, err = JudgeLive(commits, []LiveAnswer{late}, spec); err != nil || len(divs) != 1 || divs[0].Kind != DivStale {
+		t.Fatalf("restart forgiveness never re-armed: %v %v", kinds(divs), err)
+	}
+}
+
+func TestJudgeLiveRestartResetsWatermark(t *testing.T) {
+	commits := []LiveCommit{
+		{Item: 1, Version: 1, At: time.Second},
+		{Item: 1, Version: 2, At: 2 * time.Second},
+	}
+	answers := []LiveAnswer{
+		{Node: 0, Item: 1, Level: consistency.LevelWeak, Served: liveCopy(1, 2), At: 3 * time.Second},
+		// v0 after serving v2: a monotone regression — unless the node
+		// restarted in between, which ends the read session.
+		{Node: 0, Item: 1, Level: consistency.LevelWeak, Served: liveCopy(1, 0), At: 6 * time.Second},
+	}
+	divs, err := JudgeLive(commits, answers, liveSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(divs) != 1 || divs[0].Kind != DivMonotone {
+		t.Fatalf("want one monotone divergence, got %v", kinds(divs))
+	}
+	spec := liveSpec()
+	spec.Restarts = []LiveRestart{{Node: 0, At: 5 * time.Second}}
+	if divs, err = JudgeLive(commits, answers, spec); err != nil || len(divs) != 0 {
+		t.Fatalf("restart did not reset the watermark: %v %v", kinds(divs), err)
+	}
+	// The reset is per-incarnation: a second regression after the restart
+	// is still caught.
+	regress := append(answers, LiveAnswer{
+		Node: 0, Item: 1, Level: consistency.LevelWeak, Served: liveCopy(1, 2), At: 7 * time.Second,
+	}, LiveAnswer{
+		Node: 0, Item: 1, Level: consistency.LevelWeak, Served: liveCopy(1, 1), At: 8 * time.Second,
+	})
+	if divs, err = JudgeLive(commits, regress, spec); err != nil || len(divs) != 1 || divs[0].Kind != DivMonotone {
+		t.Fatalf("post-restart regression missed: %v %v", kinds(divs), err)
+	}
+}
+
+func TestLiveSpecValidateAdversity(t *testing.T) {
+	spec := liveSpec()
+	spec.Windows = []LiveWindow{{Start: 2 * time.Second, End: time.Second, Node: -1}}
+	if err := spec.Validate(); err == nil {
+		t.Fatal("inverted window accepted")
+	}
+	spec = liveSpec()
+	spec.Windows = []LiveWindow{{Start: 0, End: time.Second, Node: -2}}
+	if err := spec.Validate(); err == nil {
+		t.Fatal("window node -2 accepted")
+	}
+	spec = liveSpec()
+	spec.Restarts = []LiveRestart{{Node: -1, At: time.Second}}
+	if err := spec.Validate(); err == nil {
+		t.Fatal("negative restart node accepted")
+	}
+}

@@ -36,6 +36,15 @@ const (
 	// DropNoRoute: routing failure — no path, hop/TTL bound exhausted,
 	// greedy-forwarding void, or route discovery timed out.
 	DropNoRoute
+	// DropPeerDown: a wire-level send to a peer failed past the bounded
+	// retry — the live-transport analogue of DropDisconnected, kept
+	// separate because on real sockets "the kernel refused the write"
+	// and "the simulator knew the endpoint was down" are different
+	// diagnoses.
+	DropPeerDown
+	// DropDecode: a received datagram failed frame decoding and was
+	// discarded before its kind was knowable (wire transports only).
+	DropDecode
 	// NumDropCauses sizes per-cause arrays.
 	NumDropCauses
 )
@@ -51,6 +60,10 @@ func (c DropCause) String() string {
 		return "disconnected"
 	case DropNoRoute:
 		return "no-route"
+	case DropPeerDown:
+		return "peer-down"
+	case DropDecode:
+		return "decode"
 	default:
 		return "invalid"
 	}
@@ -68,6 +81,10 @@ type Traffic struct {
 	originated [protocol.NumKinds]uint64
 	delivered  [protocol.NumKinds]uint64
 	dropped    [protocol.NumKinds][NumDropCauses]uint64
+	// droppedUnknown counts drops whose kind is unknowable — a datagram
+	// that failed frame decoding has no kind by construction, so binning
+	// it under a real kind (or the invalid-kind bug counter) would lie.
+	droppedUnknown [NumDropCauses]uint64
 	// invalid counts records that arrived with an out-of-range kind.
 	// Slot 0 of the arrays still absorbs the sample (so totals stay
 	// honest), but the bug is surfaced explicitly instead of hiding in a
@@ -133,6 +150,29 @@ func (t *Traffic) RecordDropped(k protocol.Kind, cause DropCause) {
 	t.dropped[t.record(k)][cause]++
 }
 
+// RecordDroppedUnknown records a drop whose protocol kind is unknowable
+// (an undecodable datagram). Out-of-range causes fold into DropNoRoute
+// and count as an invalid record, mirroring RecordDropped.
+func (t *Traffic) RecordDroppedUnknown(cause DropCause) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cause < 0 || cause >= NumDropCauses {
+		t.invalid++
+		cause = DropNoRoute
+	}
+	t.droppedUnknown[cause]++
+}
+
+// DroppedUnknown returns the kindless drop count for one cause.
+func (t *Traffic) DroppedUnknown(cause DropCause) uint64 {
+	if cause < 0 || cause >= NumDropCauses {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.droppedUnknown[cause]
+}
+
 // Invalid returns how many records carried an out-of-range kind — zero in
 // a correct simulation; anything else is an accounting bug upstream. The
 // telemetry snapshot exports it as rpcc_invalid_kind_total.
@@ -163,6 +203,7 @@ func (t *Traffic) Merge(other *Traffic) {
 	other.mu.Lock()
 	tx, bytes := other.tx, other.bytes
 	originated, delivered, dropped := other.originated, other.delivered, other.dropped
+	droppedUnknown := other.droppedUnknown
 	invalid := other.invalid
 	other.mu.Unlock()
 
@@ -176,6 +217,9 @@ func (t *Traffic) Merge(other *Traffic) {
 		for c := range t.dropped[i] {
 			t.dropped[i][c] += dropped[i][c]
 		}
+	}
+	for c := range t.droppedUnknown {
+		t.droppedUnknown[c] += droppedUnknown[c]
 	}
 	t.invalid += invalid
 }
@@ -248,14 +292,16 @@ func (t *Traffic) DroppedByCause(k protocol.Kind, cause DropCause) uint64 {
 }
 
 // TotalDroppedByCause sums one cause's drops across all kinds — the
-// quick partition-vs-loss diagnostic a chaos run prints.
+// quick partition-vs-loss diagnostic a chaos run prints. The kindless
+// row (undecodable frames) is included: a decode drop has no kind but
+// is still a drop of that cause.
 func (t *Traffic) TotalDroppedByCause(cause DropCause) uint64 {
 	if cause < 0 || cause >= NumDropCauses {
 		return 0
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	var sum uint64
+	sum := t.droppedUnknown[cause]
 	for k := 0; k < protocol.NumKinds; k++ {
 		sum += t.dropped[k][cause]
 	}

@@ -87,10 +87,53 @@ func TestTrafficDropCauses(t *testing.T) {
 	}
 }
 
+// TestDroppedUnknownLedger pins the kindless drop row: undecodable
+// frames have no protocol kind, so they are accounted on their own
+// ledger — surfaced by DroppedUnknown and folded into the per-cause
+// totals — without touching the invalid-kind bug counter.
+func TestDroppedUnknownLedger(t *testing.T) {
+	tr := NewTraffic()
+	tr.RecordDroppedUnknown(DropDecode)
+	tr.RecordDroppedUnknown(DropDecode)
+	tr.RecordDropped(protocol.KindPoll, DropDecode)
+
+	if got := tr.DroppedUnknown(DropDecode); got != 2 {
+		t.Errorf("DroppedUnknown(decode) = %d, want 2", got)
+	}
+	if got := tr.TotalDroppedByCause(DropDecode); got != 3 {
+		t.Errorf("TotalDroppedByCause(decode) = %d, want 3 (kinded + kindless)", got)
+	}
+	if got := tr.Invalid(); got != 0 {
+		t.Errorf("kindless drops bled into the invalid counter: %d", got)
+	}
+
+	// Out-of-range causes fold into no-route and surface as invalid,
+	// mirroring RecordDropped.
+	tr.RecordDroppedUnknown(DropCause(99))
+	if got := tr.DroppedUnknown(DropNoRoute); got != 1 {
+		t.Errorf("folded DroppedUnknown(no-route) = %d, want 1", got)
+	}
+	if got := tr.Invalid(); got != 1 {
+		t.Errorf("invalid record not surfaced: %d", got)
+	}
+	if got := tr.DroppedUnknown(DropCause(99)); got != 0 {
+		t.Errorf("DroppedUnknown(bad cause) = %d, want 0", got)
+	}
+
+	// Merge folds the kindless row too.
+	other := NewTraffic()
+	other.RecordDroppedUnknown(DropDecode)
+	tr.Merge(other)
+	if got := tr.DroppedUnknown(DropDecode); got != 3 {
+		t.Errorf("merged DroppedUnknown(decode) = %d, want 3", got)
+	}
+}
+
 func TestDropCauseString(t *testing.T) {
 	for c, want := range map[DropCause]string{
 		DropLoss: "loss", DropPartition: "partition",
 		DropDisconnected: "disconnected", DropNoRoute: "no-route",
+		DropPeerDown: "peer-down", DropDecode: "decode",
 		DropCause(99): "invalid",
 	} {
 		if got := c.String(); got != want {

@@ -437,6 +437,15 @@ func (h *Hub) Finish(at time.Duration) {
 				}
 			}
 		}
+		// Kindless drops (undecodable datagrams on a wire transport) get
+		// their own kind value: "unknown" is honest where any real kind
+		// would be a guess.
+		for c := stats.DropCause(0); c < stats.NumDropCauses; c++ {
+			if v := h.traffic.DroppedUnknown(c); v > 0 {
+				h.reg.Counter("rpcc_dropped_total", "Messages abandoned in flight, by cause.",
+					Label{"kind", "unknown"}, Label{"cause", c.String()}).Add(v)
+			}
+		}
 		h.reg.Counter("rpcc_tx_bytes_total", "Bytes transmitted.").Add(h.traffic.TotalBytes())
 		// Invalid-kind records are surfaced explicitly (they indicate an
 		// accounting bug upstream), never silently folded into a real kind.

@@ -14,12 +14,14 @@ import (
 	"fmt"
 	"net"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/manetlab/rpcc/internal/consistency"
 	"github.com/manetlab/rpcc/internal/core"
 	"github.com/manetlab/rpcc/internal/data"
 	"github.com/manetlab/rpcc/internal/oracle"
+	"github.com/manetlab/rpcc/internal/stats"
 	ctrace "github.com/manetlab/rpcc/internal/telemetry/trace"
 	"github.com/manetlab/rpcc/internal/wire"
 )
@@ -54,6 +56,18 @@ type Config struct {
 	// Report.TraceSpans, and the run cross-checks the merged trace
 	// against the measured latencies (Report.TraceErrors).
 	Trace bool
+	// Chaos, when non-nil, runs the cluster under the scripted wire
+	// fault campaign: every daemon gets the chaos shim, and the script's
+	// crash schedule drives daemon crash/restart churn. Mutually
+	// exclusive with Trace (a trace cross-checked under scripted loss
+	// would fail its own decomposition identity).
+	Chaos *wire.Script
+	// BreakInflation deliberately judges a chaos run blind to the fault
+	// schedule — no adversity windows, no restart epochs. It exists so
+	// the CI gate can prove the fault-aware judge has teeth: the broken
+	// variant must be caught DIVERGENT on the same ledgers a fault-aware
+	// judge passes.
+	BreakInflation bool
 }
 
 // DefaultConfig returns the wire-smoke shape: 5 nodes, 10 seconds,
@@ -97,6 +111,17 @@ func (c Config) Validate() error {
 	if c.Slack < 0 || c.Inflate < 0 {
 		return fmt.Errorf("cluster: negative slack or inflate")
 	}
+	if c.Chaos != nil {
+		if c.Trace {
+			return fmt.Errorf("cluster: chaos and trace modes are mutually exclusive")
+		}
+		if err := c.Chaos.Validate(c.N); err != nil {
+			return err
+		}
+	}
+	if c.BreakInflation && c.Chaos == nil {
+		return fmt.Errorf("cluster: break-inflation needs a chaos script to be blind to")
+	}
 	return nil
 }
 
@@ -121,9 +146,11 @@ func (c Config) coreConfig() core.Config {
 // spec derives the oracle envelopes from the effective timers, the same
 // shape the sim oracle uses for RPCC: SC answers come from an authority
 // validated within TTR, DC additionally tolerates one TTP window of
-// local reuse, WC is unaudited for staleness.
-func (c Config) spec(cc core.Config) oracle.LiveSpec {
-	return oracle.LiveSpec{
+// local reuse, WC is unaudited for staleness. Under chaos, the judge is
+// additionally told the scheduled adversity — partition windows and
+// daemon down/restart windows — unless BreakInflation blinds it.
+func (c Config) spec(cc core.Config, windows []oracle.LiveWindow, restarts []oracle.LiveRestart) oracle.LiveSpec {
+	spec := oracle.LiveSpec{
 		Envelopes: map[consistency.Level]time.Duration{
 			consistency.LevelStrong: cc.TTR,
 			consistency.LevelDelta:  cc.TTP + cc.TTR,
@@ -131,6 +158,11 @@ func (c Config) spec(cc core.Config) oracle.LiveSpec {
 		Slack:   c.Slack,
 		Inflate: c.Inflate,
 	}
+	if !c.BreakInflation {
+		spec.Windows = windows
+		spec.Restarts = restarts
+	}
+	return spec
 }
 
 // Report is the outcome of one cluster run.
@@ -149,7 +181,13 @@ type Report struct {
 	TotalBytes uint64
 
 	DecodeErrors uint64
+	ReadErrors   uint64
 	StopErrors   []error
+
+	// Restarts counts completed daemon cold-restarts; Drops sums wire
+	// drop accounting by cause across every incarnation (chaos runs).
+	Restarts int
+	Drops    map[string]uint64
 
 	Divergences []oracle.Divergence
 
@@ -176,9 +214,13 @@ func (r Report) String() string {
 	if !r.Clean() {
 		verdict = "DIVERGENT"
 	}
-	return fmt.Sprintf("%s: %d nodes (%s) over %v: issued=%d answered=%d failed=%d commits=%d judged=%d tx=%d divergences=%d stop-errors=%d",
+	s := fmt.Sprintf("%s: %d nodes (%s) over %v: issued=%d answered=%d failed=%d commits=%d judged=%d tx=%d divergences=%d stop-errors=%d",
 		verdict, r.N, r.Strategy, r.Elapsed.Round(time.Millisecond), r.Issued, r.Answered,
 		r.Failed, r.Commits, r.Judged, r.TotalTx, len(r.Divergences), len(r.StopErrors))
+	if r.Restarts > 0 {
+		s += fmt.Sprintf(" restarts=%d", r.Restarts)
+	}
+	return s
 }
 
 // Run executes one loopback cluster end to end and judges it.
@@ -209,84 +251,159 @@ func Run(cfg Config) (Report, error) {
 		peers[i] = conn.LocalAddr().String()
 	}
 
-	rec := oracle.NewLiveRecorder(time.Now())
-	nodes := make([]*wire.Node, cfg.N)
+	epoch := time.Now()
+	rec := oracle.NewLiveRecorder(epoch)
+	members := make([]*member, cfg.N)
+	for i := range members {
+		members[i] = &member{traffic: stats.NewTraffic()}
+	}
 	tracers := make([]*ctrace.Collector, cfg.N)
+
+	// build assembles one daemon incarnation for slot i. The churn
+	// controller reuses it for cold restarts: a resumed write counter, a
+	// campaign-time offset for the chaos shim, and a generation-varied
+	// seed (a restarted process does not replay its predecessor's RNG).
+	build := func(i int, conn *net.UDPConn, resume data.Version, offset time.Duration, gen int) (*wire.Node, error) {
+		m := members[i]
+		return wire.NewNode(wire.NodeConfig{
+			Self:             i,
+			Nodes:            cfg.N,
+			Peers:            peers,
+			Conn:             conn,
+			Seed:             cfg.Seed + int64(i)*1000003 + int64(gen)*97561,
+			Strategy:         cfg.Strategy,
+			Core:             cc,
+			Placement:        wire.CyclicPlacement(i, cfg.N, cfg.CacheNum),
+			QueryInterval:    cfg.QueryInterval,
+			UpdateInterval:   cfg.UpdateInterval,
+			Trace:            tracers[i],
+			Chaos:            cfg.Chaos,
+			ChaosOffset:      offset,
+			ResumeOwnVersion: resume,
+			OnAnswer:         rec.Answer,
+			OnCommit: func(item data.ItemID, v data.Version, at time.Time) {
+				m.lastVersion.Store(uint64(v))
+				rec.Commit(item, v, at)
+			},
+		})
+	}
+
 	for i := 0; i < cfg.N; i++ {
 		if cfg.Trace {
 			tracers[i] = ctrace.NewCollector(i)
 		}
-		nd, err := wire.NewNode(wire.NodeConfig{
-			Self:           i,
-			Nodes:          cfg.N,
-			Peers:          peers,
-			Conn:           conns[i],
-			Seed:           cfg.Seed + int64(i)*1000003,
-			Strategy:       cfg.Strategy,
-			Core:           cc,
-			Placement:      wire.CyclicPlacement(i, cfg.N, cfg.CacheNum),
-			QueryInterval:  cfg.QueryInterval,
-			UpdateInterval: cfg.UpdateInterval,
-			Trace:          tracers[i],
-			OnAnswer:       rec.Answer,
-			OnCommit: func(item data.ItemID, v data.Version, at time.Time) {
-				rec.Commit(item, v, at)
-			},
-		})
+		nd, err := build(i, conns[i], 0, 0, 0)
 		if err != nil {
 			closeAll()
 			return Report{}, fmt.Errorf("cluster: build node %d: %w", i, err)
 		}
-		nodes[i] = nd
+		members[i].nd = nd
 	}
 
 	started := time.Now()
-	for i, nd := range nodes {
-		if err := nd.Start(); err != nil {
+	for i, m := range members {
+		if err := m.nd.Start(); err != nil {
 			for j := 0; j <= i; j++ {
-				nodes[j].Stop(cfg.Drain)
+				members[j].nd.Stop(cfg.Drain)
 			}
 			return Report{}, fmt.Errorf("cluster: start node %d: %w", i, err)
 		}
 	}
+
+	// Scripted daemon churn: the controller crashes and cold-restarts
+	// members per the schedule while the run sleeps.
+	var ctl *churn
+	var ctlWG sync.WaitGroup
+	stop := make(chan struct{})
+	if cfg.Chaos != nil && len(cfg.Chaos.Crashes) > 0 {
+		ctl = &churn{
+			cfg: cfg, members: members, peers: peers,
+			epoch: epoch, started: started, rebuild: build,
+		}
+		ctlWG.Add(1)
+		go func() {
+			defer ctlWG.Done()
+			ctl.run(stop)
+		}()
+	}
+
 	time.Sleep(cfg.Duration)
+	close(stop)
+	ctlWG.Wait()
 
 	rep := Report{N: cfg.N, Strategy: cfg.Strategy}
-	for _, nd := range nodes {
-		if err := nd.Stop(cfg.Drain); err != nil {
-			rep.StopErrors = append(rep.StopErrors, err)
+	for _, m := range members {
+		m.mu.Lock()
+		if m.nd != nil {
+			if err := m.nd.Stop(cfg.Drain); err != nil {
+				rep.StopErrors = append(rep.StopErrors, err)
+			}
+			m.absorb()
 		}
+		m.mu.Unlock()
 	}
 	rep.Elapsed = time.Since(started)
 
-	for _, nd := range nodes {
-		ch := nd.Chassis()
-		rep.Issued += ch.Issued()
-		rep.Answered += ch.Answered()
-		rep.Failed += ch.Failed()
-		rep.TotalTx += nd.Traffic().TotalTx()
-		rep.TotalBytes += nd.Traffic().TotalBytes()
-		rep.DecodeErrors += nd.Transport().DecodeErrors()
-		rep.NodeSummaries = append(rep.NodeSummaries, nd.Summary())
+	rep.Drops = make(map[string]uint64)
+	for _, m := range members {
+		rep.Issued += m.issued
+		rep.Answered += m.answered
+		rep.Failed += m.failed
+		rep.TotalTx += m.traffic.TotalTx()
+		rep.TotalBytes += m.traffic.TotalBytes()
+		rep.DecodeErrors += m.decodeErrs
+		rep.ReadErrors += m.readErrs
+		rep.Restarts += m.restarts
+		rep.NodeSummaries = append(rep.NodeSummaries, m.summaries...)
+		for c := stats.DropCause(0); c < stats.NumDropCauses; c++ {
+			if v := m.traffic.TotalDroppedByCause(c); v > 0 {
+				rep.Drops[c.String()] += v
+			}
+		}
+	}
+
+	// Assemble the judge's adversity: script partition windows (campaign
+	// time shifted onto the recorder epoch) plus the observed churn
+	// windows and restart completions.
+	var windows []oracle.LiveWindow
+	var restarts []oracle.LiveRestart
+	if cfg.Chaos != nil {
+		startOff := started.Sub(epoch)
+		for _, p := range cfg.Chaos.Partitions {
+			windows = append(windows, oracle.LiveWindow{
+				Start: startOff + p.Start.D(), End: startOff + p.End.D(), Node: -1,
+			})
+		}
+	}
+	if ctl != nil {
+		w, r, errs := ctl.results()
+		windows = append(windows, w...)
+		restarts = append(restarts, r...)
+		rep.StopErrors = append(rep.StopErrors, errs...)
 	}
 
 	commits, answers := rec.Ledgers()
 	rep.Commits = len(commits)
 	rep.Judged = len(answers)
-	divs, err := oracle.JudgeLive(commits, answers, cfg.spec(cc))
+	divs, err := oracle.JudgeLive(commits, answers, cfg.spec(cc, windows, restarts))
 	if err != nil {
 		return rep, err
 	}
 	rep.Divergences = divs
 
 	if cfg.Trace {
+		// Trace mode never runs under churn (Validate forbids it), so
+		// every member held exactly one incarnation and its collector and
+		// latency histogram survive in the accumulators.
 		sets := make([][]ctrace.Span, 0, cfg.N)
 		var latSum time.Duration
 		var latN uint64
-		for _, nd := range nodes {
-			sets = append(sets, nd.TraceSpans())
-			a := nd.Chassis().Answered()
-			latSum += time.Duration(float64(nd.Latency().Mean()) * float64(a))
+		for i, m := range members {
+			sets = append(sets, tracers[i].Export())
+			a := m.answered
+			if m.lat != nil {
+				latSum += time.Duration(float64(m.lat.Mean()) * float64(a))
+			}
 			latN += a
 		}
 		rep.TraceSpans = ctrace.Merge(sets...)

@@ -154,3 +154,126 @@ func BenchmarkLoopbackQueryRTT(b *testing.B) {
 		}
 	}
 }
+
+// TestClusterRestartRejoin crashes one daemon mid-run and cold-restarts
+// it: the run must stay CONFORMANT (the fault-aware judge honours the
+// down window, the restart epoch, and the watermark reset), the restarted
+// daemon must serve answers again, and the resumed write counter must
+// keep the commit ledger monotone.
+func TestClusterRestartRejoin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock cluster run")
+	}
+	cfg := DefaultConfig()
+	cfg.N = 3
+	cfg.CacheNum = 2
+	cfg.Strategy = wire.StrategyRPCCDC
+	cfg.Duration = 4 * time.Second
+	cfg.Drain = time.Second
+	cfg.QueryInterval = 100 * time.Millisecond
+	cfg.UpdateInterval = 400 * time.Millisecond
+	cfg.TTN = 500 * time.Millisecond
+	cfg.TTR = 400 * time.Millisecond
+	cfg.TTP = time.Second
+	cfg.CoeffPeriod = 300 * time.Millisecond
+	cfg.Chaos = &wire.Script{
+		Seed: cfg.Seed,
+		Crashes: []wire.ScriptCrash{
+			{At: wire.Duration(time.Second), Node: 1, RestartAfter: wire.Duration(500 * time.Millisecond)},
+		},
+	}
+
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep.String())
+	if rep.Restarts != 1 {
+		t.Fatalf("restarts = %d, want 1", rep.Restarts)
+	}
+	if rep.Answered == 0 {
+		t.Fatal("vacuous run: no answers served")
+	}
+	if !rep.Clean() {
+		for _, d := range rep.Divergences {
+			t.Errorf("divergence: %+v", d)
+		}
+		for _, e := range rep.StopErrors {
+			t.Errorf("stop error: %v", e)
+		}
+		t.Fatal("restart-rejoin run diverged")
+	}
+	// Two incarnations of node 1 → 4 summaries across the cluster.
+	if len(rep.NodeSummaries) != 4 {
+		t.Fatalf("want 4 incarnation summaries, got %d: %v", len(rep.NodeSummaries), rep.NodeSummaries)
+	}
+}
+
+// TestClusterChaosValidation covers the chaos-specific config rules.
+func TestClusterChaosValidation(t *testing.T) {
+	c := DefaultConfig()
+	c.Chaos = wire.DemoScript(c.N, c.Duration, c.Seed)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("chaos config rejected: %v", err)
+	}
+	c.Trace = true
+	if err := c.Validate(); err == nil {
+		t.Fatal("chaos+trace accepted")
+	}
+	c = DefaultConfig()
+	c.BreakInflation = true
+	if err := c.Validate(); err == nil {
+		t.Fatal("break-inflation without chaos accepted")
+	}
+	c = DefaultConfig()
+	c.Chaos = &wire.Script{Seed: 1, Crashes: []wire.ScriptCrash{{At: wire.Duration(time.Second), Node: 99}}}
+	if err := c.Validate(); err == nil {
+		t.Fatal("out-of-range crash node accepted")
+	}
+}
+
+// TestNodeStopDrainDeadlineUnreachablePeer builds a daemon whose only
+// peer is a black hole (bound socket, no daemon), issues SC queries that
+// can never be answered, and verifies Stop honours the drain deadline
+// instead of hanging on the unreachable peer.
+func TestNodeStopDrainDeadlineUnreachablePeer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock daemon run")
+	}
+	hole, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hole.Close()
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers := map[int]string{0: conn.LocalAddr().String(), 1: hole.LocalAddr().String()}
+	nd, err := wire.NewNode(wire.NodeConfig{
+		Self: 0, Nodes: 2, Peers: peers, Conn: conn,
+		Seed: 1, Strategy: wire.StrategyRPCCSC, Core: core.DefaultConfig(),
+		Placement: []data.ItemID{1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		nd.Query(1, consistency.LevelStrong)
+	}
+	time.Sleep(100 * time.Millisecond)
+
+	begun := time.Now()
+	if err := nd.Stop(500 * time.Millisecond); err != nil {
+		t.Fatalf("stop with unreachable peer: %v", err)
+	}
+	if took := time.Since(begun); took > 3*time.Second {
+		t.Fatalf("stop took %v, drain deadline not honoured", took)
+	}
+	if nd.Chassis().Issued() == 0 {
+		t.Fatal("queries never issued")
+	}
+}

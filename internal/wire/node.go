@@ -66,6 +66,17 @@ type NodeConfig struct {
 	// driven node).
 	QueryInterval  time.Duration
 	UpdateInterval time.Duration
+	// Chaos, when non-nil, installs the wire-level fault shim on this
+	// daemon's transport; ChaosOffset maps the daemon's clock onto
+	// campaign time (non-zero for daemons cold-restarted mid-campaign).
+	Chaos       *Script
+	ChaosOffset time.Duration
+	// ResumeOwnVersion fast-forwards Self's own item to this version at
+	// Start, without announcing or reporting the skipped versions — how a
+	// cold-restarted daemon resumes its durable write counter instead of
+	// re-committing version numbers its previous incarnation already
+	// published.
+	ResumeOwnVersion data.Version
 	// Hub receives telemetry (nil records nothing).
 	Hub *telemetry.Hub
 	// Trace, when non-nil, threads causal trace contexts through this
@@ -135,6 +146,14 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	}, clock, traffic)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Chaos != nil {
+		ch, err := NewChaos(cfg.Chaos, cfg.Self, cfg.Nodes, cfg.ChaosOffset)
+		if err != nil {
+			tr.Close()
+			return nil, err
+		}
+		tr.SetChaos(ch)
 	}
 
 	reg, err := data.NewRegistry(cfg.Nodes)
@@ -268,6 +287,21 @@ func (n *Node) Start() error {
 		return fmt.Errorf("wire: node already started")
 	}
 	n.started = true
+	if n.cfg.ResumeOwnVersion > 0 {
+		// Resume the durable write counter: a fresh registry restarts
+		// Self's item at version 0, and re-publishing version numbers the
+		// previous incarnation already committed would corrupt the
+		// cluster's commit ledger.
+		m, err := n.reg.Master(n.reg.OwnedBy(n.cfg.Self))
+		if err != nil {
+			return err
+		}
+		for m.Current().Version < n.cfg.ResumeOwnVersion {
+			if _, err := m.Update(n.k.Now()); err != nil {
+				return err
+			}
+		}
+	}
 	for _, item := range n.cfg.Placement {
 		m, err := n.reg.Master(item)
 		if err != nil {
@@ -359,6 +393,9 @@ func (n *Node) Summary() string {
 		n.chassis.Failed(), n.traffic.TotalTx(), n.traffic.TotalBytes())
 	if d := n.tr.DecodeErrors(); d > 0 {
 		fmt.Fprintf(&b, " decode-errs=%d", d)
+	}
+	if e := n.tr.ReadErrors(); e > 0 {
+		fmt.Fprintf(&b, " read-errs=%d", e)
 	}
 	return b.String()
 }

@@ -1,11 +1,13 @@
 package wire
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/manetlab/rpcc/internal/netsim"
 	"github.com/manetlab/rpcc/internal/node"
@@ -83,9 +85,21 @@ type Transport struct {
 	activity uint64
 	sendSeq  uint64
 
+	// chaos, when non-nil, adjudicates every reception (drop / delay /
+	// duplicate) before delivery. Install before Run; consulted only on
+	// the kernel goroutine.
+	chaos *Chaos
+
 	// Read-loop diagnostics (crossed by the reader goroutine).
 	decodeErrs  atomic.Uint64
 	misdelivers atomic.Uint64
+	readErrs    atomic.Uint64
+
+	// writeTo / readFrom are the socket seams, overridable in tests to
+	// fault individual peers or feed the read loop synthetic errors. They
+	// default to the socket's own methods.
+	writeTo  func(b []byte, addr *net.UDPAddr) (int, error)
+	readFrom func(b []byte) (int, *net.UDPAddr, error)
 
 	closeOnce sync.Once
 	closeErr  error
@@ -134,8 +148,14 @@ func NewTransport(cfg TransportConfig, clock *Clock, traffic *stats.Traffic) (*T
 		}
 		t.conn = conn
 	}
+	t.writeTo = t.conn.WriteToUDP
+	t.readFrom = t.conn.ReadFromUDP
 	return t, nil
 }
+
+// SetChaos installs the wire-level fault shim. Install before Run; nil
+// leaves the transport clean.
+func (t *Transport) SetChaos(c *Chaos) { t.chaos = c }
 
 // SetTraceCollector installs the causal-trace collector. Install before
 // Run; the collector is used only on the kernel goroutine.
@@ -159,6 +179,10 @@ func (t *Transport) Close() error {
 
 // DecodeErrors returns how many datagrams failed frame decoding.
 func (t *Transport) DecodeErrors() uint64 { return t.decodeErrs.Load() }
+
+// ReadErrors returns how many transient socket read errors the read loop
+// survived (e.g. ICMP port-unreachable surfaced from a crashed peer).
+func (t *Transport) ReadErrors() uint64 { return t.readErrs.Load() }
 
 // Misdelivers returns how many well-formed frames were addressed to a
 // different node (a peer-table error) or echoed back from self.
@@ -224,10 +248,26 @@ func (t *Transport) Unicast(from, to int, msg protocol.Message) error {
 	t.traffic.RecordOriginated(msg.Kind)
 	t.traffic.RecordTx(msg.Kind, len(buf))
 	t.activity++
-	if _, err := t.conn.WriteToUDP(buf, t.addrs[to]); err != nil {
+	if err := t.send(buf, to); err != nil {
+		t.traffic.RecordDropped(msg.Kind, stats.DropPeerDown)
 		return fmt.Errorf("wire: unicast to %d: %w", to, err)
 	}
 	return nil
+}
+
+// send writes one datagram with a single bounded retry: UDP sends fail
+// only for local/transient reasons (buffer pressure, ICMP-induced
+// errors), so one immediate retry is the whole backoff budget — anything
+// longer would block the kernel goroutine.
+func (t *Transport) send(buf []byte, to int) error {
+	_, err := t.writeTo(buf, t.addrs[to])
+	if err == nil {
+		return nil
+	}
+	if _, retry := t.writeTo(buf, t.addrs[to]); retry == nil {
+		return nil
+	}
+	return err
 }
 
 // Flood broadcasts msg to every listed peer except the origin, in
@@ -252,32 +292,50 @@ func (t *Transport) Flood(origin, ttl int, msg protocol.Message) error {
 		return err
 	}
 	t.traffic.RecordOriginated(msg.Kind)
+	// A failed peer must not censor the rest of the fan-out: keep going,
+	// account each failure as a peer-down drop, and report success — the
+	// flood reached everyone it could, which is all a broadcast promises.
 	for _, id := range t.peerIDs {
 		if id == origin {
 			continue
 		}
 		t.traffic.RecordTx(msg.Kind, len(buf))
 		t.activity++
-		if _, err := t.conn.WriteToUDP(buf, t.addrs[id]); err != nil {
-			return fmt.Errorf("wire: flood to %d: %w", id, err)
+		if err := t.send(buf, id); err != nil {
+			t.traffic.RecordDropped(msg.Kind, stats.DropPeerDown)
 		}
 	}
 	return nil
 }
 
 // readLoop decodes datagrams and injects deliveries onto the kernel
-// goroutine. It exits when the socket closes.
+// goroutine. It exits only when the socket is closed: transient read
+// errors — ICMP port-unreachable bounced back from a crashed peer is the
+// classic — are counted and survived, because one dead neighbour must
+// not deafen this daemon to the rest of the cluster.
 func (t *Transport) readLoop() {
 	defer close(t.readDone)
 	buf := make([]byte, 65536)
 	for {
-		n, _, err := t.conn.ReadFromUDP(buf)
+		n, _, err := t.readFrom(buf)
 		if err != nil {
-			return // socket closed (or fatally broken): the daemon is shutting down
+			if errors.Is(err, net.ErrClosed) {
+				return // deliberate shutdown
+			}
+			t.readErrs.Add(1)
+			// Brief pause so a persistent error condition (e.g. a broken
+			// socket that is not reported as closed) cannot spin a core.
+			time.Sleep(time.Millisecond)
+			continue
 		}
 		f, err := protocol.UnmarshalFrame(buf[:n])
 		if err != nil {
 			t.decodeErrs.Add(1)
+			// The frame has no decodable kind, so account it on the
+			// kindless drop ledger (kernel goroutine owns the counters).
+			t.clock.Inject(func(k *sim.Kernel) {
+				t.traffic.RecordDroppedUnknown(stats.DropDecode)
+			})
 			continue
 		}
 		if f.From == t.cfg.Self || (!f.Flood && f.To != t.cfg.Self) {
@@ -292,9 +350,34 @@ func (t *Transport) readLoop() {
 	}
 }
 
-// deliver runs on the kernel goroutine: account the reception and hand
-// the message to Self's receiver with simulator-shaped metadata.
+// deliver runs on the kernel goroutine: adjudicate the reception against
+// the chaos plan (if installed), then deliver now or on the scheduled
+// delay. Reordering needs no machinery of its own — two frames drawing
+// different jitters already swap on the kernel's event queue.
 func (t *Transport) deliver(k *sim.Kernel, f protocol.Frame) {
+	if t.chaos == nil {
+		t.deliverNow(k, f)
+		return
+	}
+	plan := t.chaos.Plan(k.Now(), f.From)
+	if plan.Drop {
+		t.traffic.RecordDropped(f.Msg.Kind, plan.Cause)
+		return
+	}
+	if plan.Dup {
+		dup := f
+		k.After(plan.DupDelay, "wire.chaos.dup", func(k *sim.Kernel) { t.deliverNow(k, dup) })
+	}
+	if plan.Delay > 0 {
+		k.After(plan.Delay, "wire.chaos.delay", func(k *sim.Kernel) { t.deliverNow(k, f) })
+		return
+	}
+	t.deliverNow(k, f)
+}
+
+// deliverNow accounts the reception and hands the message to Self's
+// receiver with simulator-shaped metadata.
+func (t *Transport) deliverNow(k *sim.Kernel, f protocol.Frame) {
 	t.traffic.RecordDelivered(f.Msg.Kind)
 	t.activity++
 	r := t.receivers[t.cfg.Self]
