@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-hotpath bench-compare bench-wire bench-scale figures telemetry-smoke chaos-smoke conform-smoke wire-smoke wire-chaos-smoke scale-smoke trace-smoke clean
+.PHONY: all build test race vet check bench bench-hotpath bench-compare bench-wire bench-scale figures telemetry-smoke chaos-smoke conform-smoke policy-smoke wire-smoke wire-chaos-smoke scale-smoke trace-smoke clean
 
 all: check
 
@@ -103,6 +103,26 @@ conform-smoke:
 	$(GO) run ./cmd/conform -seeds 5 -fuzz 25 > $(CONFORM_TMP)/b.txt
 	cmp $(CONFORM_TMP)/a.txt $(CONFORM_TMP)/b.txt
 	@tail -3 $(CONFORM_TMP)/a.txt
+
+# Replacement-policy gate: the four-policy comparison figure (policy-hit:
+# LRU/LFU/TTL/utility under Zipf demand, a flash-crowd hotspot and a
+# cache-size sweep) runs twice with the same seed; the rendered figure
+# and the merged metrics must be byte-identical, and the export must
+# lint — including the suppressed-query counter the workload fix
+# introduced (the hotspot lands on its own host for one peer, so the
+# counter is exercised, not merely registered).
+POLICY_TMP ?= /tmp/rpcc-policy-smoke
+policy-smoke:
+	mkdir -p $(POLICY_TMP)
+	$(GO) run ./cmd/figures -only policy-hit -simtime 10m -seed 1 \
+		-metrics-out $(POLICY_TMP)/a.prom > $(POLICY_TMP)/a.txt
+	$(GO) run ./cmd/figures -only policy-hit -simtime 10m -seed 1 \
+		-metrics-out $(POLICY_TMP)/b.prom > $(POLICY_TMP)/b.txt
+	cmp $(POLICY_TMP)/a.txt $(POLICY_TMP)/b.txt
+	cmp $(POLICY_TMP)/a.prom $(POLICY_TMP)/b.prom
+	$(GO) run ./cmd/telemetrylint -prom $(POLICY_TMP)/a.prom \
+		-require rpcc_workload_suppressed_total,rpcc_queries_issued_total,rpcc_tx_total
+	@cat $(POLICY_TMP)/a.txt
 
 # Sim-to-wire gate: build everything, then boot a 5-node loopback UDP
 # cluster of live daemons for ~10 s of wall time. Every served answer is

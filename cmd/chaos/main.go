@@ -14,6 +14,8 @@
 //	chaos -seed 7 -gilbert 0.05,0.2,0,0.9
 //	chaos -crash "" -assassinate ""   # partitions and loss only
 //	chaos -sweep 8 -parallel 8        # same campaign across 8 seeds on the fleet
+//	chaos -policy lfu -cache 4 -zipf -hotspot 6m,8m,1,0.8
+//	                                  # flash crowd on item 1 under replacement churn
 package main
 
 import (
@@ -28,11 +30,13 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/manetlab/rpcc/internal/cache"
 	"github.com/manetlab/rpcc/internal/data"
 	"github.com/manetlab/rpcc/internal/experiment"
 	"github.com/manetlab/rpcc/internal/faults"
 	"github.com/manetlab/rpcc/internal/fleet"
 	"github.com/manetlab/rpcc/internal/telemetry"
+	"github.com/manetlab/rpcc/internal/workload"
 )
 
 func main() {
@@ -50,6 +54,12 @@ func run() error {
 		simTime  = flag.Duration("simtime", 25*time.Minute, "simulated duration")
 		update   = flag.Duration("update", 2*time.Minute, "mean update interval")
 		query    = flag.Duration("query", 20*time.Second, "mean query interval")
+
+		policy   = flag.String("policy", "", "cache replacement policy: lru | lfu | ttl | utility (empty = lru)")
+		cacheNum = flag.Int("cache", 0, "cache capacity per peer (0 = strategy default)")
+		zipf     = flag.Bool("zipf", false, "Zipf-skewed item popularity instead of the default cached-domain mix")
+		hotspot  = flag.String("hotspot", "", "flash-crowd hotspot start,duration,item,weight (empty disables)")
+		diurnal  = flag.String("diurnal", "", "diurnal load modulation period,min-level (empty disables)")
 
 		split      = flag.Duration("split", 5*time.Minute, "partition start (0 disables the partition)")
 		healAt     = flag.Duration("heal-at", 10*time.Minute, "partition heal time")
@@ -76,6 +86,28 @@ func run() error {
 	cfg.SimTime = *simTime
 	cfg.UpdateInterval = *update
 	cfg.QueryInterval = *query
+	cfg.CachePolicy = cache.PolicyKind(*policy)
+	if *cacheNum > 0 {
+		cfg.CacheNum = *cacheNum
+	}
+	if *zipf {
+		cfg.Popularity = workload.PopularityZipf
+	}
+	if *hotspot != "" {
+		hs, err := parseHotspot(*hotspot)
+		if err != nil {
+			return err
+		}
+		cfg.Hotspots = []workload.Hotspot{hs}
+	}
+	if *diurnal != "" {
+		period, min, err := parseDiurnal(*diurnal)
+		if err != nil {
+			return err
+		}
+		cfg.DiurnalPeriod = period
+		cfg.DiurnalMin = min
+	}
 
 	campaign, err := buildCampaign(*peers, *split, *healAt, *islandFrac, *gilbert, *crash, *assassin,
 		*dup, *reorder, *repairWin, *budget)
@@ -318,6 +350,48 @@ func parseFloats(s string, n int) ([]float64, error) {
 		out[i] = v
 	}
 	return out, nil
+}
+
+// parseHotspot reads a "start,duration,item,weight" flash-crowd window.
+func parseHotspot(s string) (workload.Hotspot, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return workload.Hotspot{}, fmt.Errorf("-hotspot: want start,duration,item,weight, got %q", s)
+	}
+	start, err := time.ParseDuration(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return workload.Hotspot{}, fmt.Errorf("-hotspot: %v", err)
+	}
+	dur, err := time.ParseDuration(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return workload.Hotspot{}, fmt.Errorf("-hotspot: %v", err)
+	}
+	item, err := strconv.Atoi(strings.TrimSpace(parts[2]))
+	if err != nil {
+		return workload.Hotspot{}, fmt.Errorf("-hotspot: %v", err)
+	}
+	weight, err := strconv.ParseFloat(strings.TrimSpace(parts[3]), 64)
+	if err != nil {
+		return workload.Hotspot{}, fmt.Errorf("-hotspot: %v", err)
+	}
+	return workload.Hotspot{Start: start, Duration: dur, Item: data.ItemID(item), Weight: weight}, nil
+}
+
+// parseDiurnal reads a "period,min-level" load modulation pair.
+func parseDiurnal(s string) (time.Duration, float64, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("-diurnal: want period,min-level, got %q", s)
+	}
+	period, err := time.ParseDuration(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return 0, 0, fmt.Errorf("-diurnal: %v", err)
+	}
+	min, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("-diurnal: %v", err)
+	}
+	return period, min, nil
 }
 
 // writeMetricsFile renders a snapshot in Prometheus text format at path.

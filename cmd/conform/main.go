@@ -98,6 +98,27 @@ func run() error {
 		}
 	}
 
+	fmt.Printf("== policy sweep: %d scenarios x %d seeds ==\n", len(oracle.PolicySweep(1)), *seeds)
+	for seed := int64(1); seed <= *seeds && !interrupted(); seed++ {
+		for _, sc := range oracle.PolicySweep(seed) {
+			rep, err := oracle.Run(sc)
+			switch {
+			case err != nil:
+				failures++
+				fmt.Printf("FAIL seed=%d %-24s error: %v\n", seed, sc.Name, err)
+			case len(rep.Divergences) > 0:
+				failures++
+				fmt.Printf("FAIL seed=%d %-24s %d false positives, first: %s\n",
+					seed, sc.Name, len(rep.Divergences), rep.Divergences[0])
+			case rep.Answered == 0:
+				failures++
+				fmt.Printf("FAIL seed=%d %-24s vacuous: zero answers\n", seed, sc.Name)
+			default:
+				fmt.Printf("ok   seed=%d %-24s answered=%d divergences=0\n", seed, sc.Name, rep.Answered)
+			}
+		}
+	}
+
 	if *fuzz > 0 && !interrupted() {
 		fmt.Printf("== fuzz: %d rounds, seed %d ==\n", *fuzz, *fuzzSeed)
 		findings, err := oracle.Fuzz(oracle.FuzzConfig{Seed: *fuzzSeed, Rounds: *fuzz})

@@ -47,7 +47,8 @@ func run() error {
 	var (
 		simTime    = flag.Duration("simtime", time.Hour, "simulated duration per run (paper: 5h)")
 		seed       = flag.Int64("seed", 1, "root random seed")
-		only       = flag.String("only", "", "run a single figure (fig7a..fig9b, relay-count)")
+		only       = flag.String("only", "", "run a single figure (fig7a..fig9b, relay-count, policy-hit, policy-lat, rw-ratio, diurnal-load)")
+		extra      = flag.Bool("extra", false, "append the non-paper sweeps (replacement-policy comparison, read/write ratio, diurnal load)")
 		format     = flag.String("format", "table", "output format: table | csv")
 		replicas   = flag.Int("replicas", 1, "independent seeds per point, averaged")
 		parallel   = flag.Int("parallel", 0, "concurrent simulations (0 = all cores); results are identical for any value")
@@ -77,9 +78,14 @@ func run() error {
 	}
 
 	specs := experiment.AllFigureSpecs()
+	if *extra {
+		specs = append(specs, experiment.ExtraFigureSpecs()...)
+	}
 	if *only != "" {
+		// -only searches the full catalogue, paper and extra alike, so
+		// `figures -only policy-hit` works without -extra.
 		var filtered []experiment.SweepSpec
-		for _, s := range specs {
+		for _, s := range append(experiment.AllFigureSpecs(), experiment.ExtraFigureSpecs()...) {
 			if s.ID == *only {
 				filtered = append(filtered, s)
 			}

@@ -108,15 +108,25 @@ func TestPutRejectsVersionRegression(t *testing.T) {
 	}
 }
 
-func TestPutSameVersionIsRefresh(t *testing.T) {
+// TestPutSameVersionKeepsStoredAt is the regression test for the
+// freshness-accounting bug: a re-Put of the same version used to reset
+// storedAt, making a stale copy look freshly fetched. Freshness must
+// advance only when the version strictly advances.
+func TestPutSameVersionKeepsStoredAt(t *testing.T) {
 	s, _ := NewStore(2)
-	s.Put(copyOf(1, 5), 0)
+	s.Put(copyOf(1, 5), time.Second)
 	if err := s.Put(copyOf(1, 5), time.Minute); err != nil {
 		t.Fatalf("same-version put rejected: %v", err)
 	}
 	at, ok := s.StoredAt(1)
-	if !ok || at != time.Minute {
-		t.Errorf("StoredAt = %v,%v", at, ok)
+	if !ok || at != time.Second {
+		t.Errorf("StoredAt after same-version re-Put = %v,%v; want 1s (unchanged)", at, ok)
+	}
+	if err := s.Put(copyOf(1, 6), time.Minute); err != nil {
+		t.Fatalf("version advance rejected: %v", err)
+	}
+	if at, _ := s.StoredAt(1); at != time.Minute {
+		t.Errorf("StoredAt after version advance = %v; want 1m", at)
 	}
 }
 

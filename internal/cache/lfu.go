@@ -1,0 +1,80 @@
+package cache
+
+import (
+	"sort"
+
+	"github.com/manetlab/rpcc/internal/data"
+)
+
+// lfuPolicy evicts the least frequently used entry. Raw LFU never
+// forgets: an item that was hot an hour ago outranks everything current.
+// Aging fixes that — every agePeriod Admit/Touch events all counts are
+// halved, so popularity decays geometrically with a half-life of one
+// period. Ties break toward the older admission, then the lower item id,
+// keeping victim choice deterministic.
+type lfuPolicy struct {
+	entries   map[data.ItemID]*lfuEntry
+	tick      uint64 // logical clock: one per Admit/Touch
+	agePeriod uint64
+}
+
+type lfuEntry struct {
+	count uint64
+	seq   uint64 // admission tick, for tie-breaking
+}
+
+func newLFUPolicy(agePeriod uint64) *lfuPolicy {
+	return &lfuPolicy{entries: make(map[data.ItemID]*lfuEntry), agePeriod: agePeriod}
+}
+
+func (p *lfuPolicy) Name() string { return string(PolicyLFU) }
+
+// advance steps the logical clock and ages every count when a period
+// elapses. Halving is independent per entry, so map iteration order
+// cannot matter.
+func (p *lfuPolicy) advance() {
+	p.tick++
+	if p.agePeriod > 0 && p.tick%p.agePeriod == 0 {
+		for _, e := range p.entries {
+			e.count /= 2
+		}
+	}
+}
+
+func (p *lfuPolicy) Admit(id data.ItemID, _ Meta) {
+	p.advance()
+	if e, ok := p.entries[id]; ok {
+		e.count++
+		return
+	}
+	p.entries[id] = &lfuEntry{count: 1, seq: p.tick}
+}
+
+func (p *lfuPolicy) Touch(id data.ItemID, _ Meta) {
+	p.advance()
+	if e, ok := p.entries[id]; ok {
+		e.count++
+	}
+}
+
+func (p *lfuPolicy) Victim() (data.ItemID, bool) {
+	if len(p.entries) == 0 {
+		return 0, false
+	}
+	ids := make([]data.ItemID, 0, len(p.entries))
+	for id := range p.entries {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	victim := ids[0]
+	best := p.entries[victim]
+	for _, id := range ids[1:] {
+		e := p.entries[id]
+		if e.count < best.count || (e.count == best.count && e.seq < best.seq) {
+			victim, best = id, e
+		}
+	}
+	return victim, true
+}
+
+func (p *lfuPolicy) Remove(id data.ItemID) { delete(p.entries, id) }

@@ -1,0 +1,52 @@
+package cache
+
+import (
+	"container/list"
+
+	"github.com/manetlab/rpcc/internal/data"
+)
+
+// lruPolicy is the extracted default: evict the least recently used
+// entry. Admit pushes to the front, Touch refreshes recency, Victim is
+// the back of the list — exactly the ordering the store maintained
+// before replacement became pluggable, so same-seed runs are
+// byte-identical to the pre-policy store.
+type lruPolicy struct {
+	order *list.List // front = most recently used; values are data.ItemID
+	byID  map[data.ItemID]*list.Element
+}
+
+func newLRUPolicy() *lruPolicy {
+	return &lruPolicy{order: list.New(), byID: make(map[data.ItemID]*list.Element)}
+}
+
+func (p *lruPolicy) Name() string { return string(PolicyLRU) }
+
+func (p *lruPolicy) Admit(id data.ItemID, _ Meta) {
+	if el, ok := p.byID[id]; ok {
+		p.order.MoveToFront(el)
+		return
+	}
+	p.byID[id] = p.order.PushFront(id)
+}
+
+func (p *lruPolicy) Touch(id data.ItemID, _ Meta) {
+	if el, ok := p.byID[id]; ok {
+		p.order.MoveToFront(el)
+	}
+}
+
+func (p *lruPolicy) Victim() (data.ItemID, bool) {
+	back := p.order.Back()
+	if back == nil {
+		return 0, false
+	}
+	return back.Value.(data.ItemID), true
+}
+
+func (p *lruPolicy) Remove(id data.ItemID) {
+	if el, ok := p.byID[id]; ok {
+		p.order.Remove(el)
+		delete(p.byID, id)
+	}
+}

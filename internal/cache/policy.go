@@ -1,0 +1,139 @@
+package cache
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/manetlab/rpcc/internal/data"
+)
+
+// Meta is what a replacement policy may know about a cached entry. The
+// store maintains it; policies receive a fresh snapshot on every Admit
+// and Touch and must not retain pointers into store state.
+type Meta struct {
+	// StoredAt is when the entry's current content was fetched. It
+	// advances only when the version advances — a same-version re-Put is
+	// a no-op for freshness (see Store.PutEvict).
+	StoredAt time.Duration
+	// Version is the entry's data version.
+	Version data.Version
+	// Size is the payload size in bytes.
+	Size int
+	// Hops estimates the network distance to the item's source host at
+	// the time the copy was stored (0 when the store has no hint; see
+	// Store.SetHopsHint). Re-fetching a far copy costs more, so
+	// utility-based policies weight it.
+	Hops int
+}
+
+// Policy decides which cached entry to sacrifice when the store is full.
+// The store drives it through four hooks: Admit when an entry is
+// inserted, Touch on every access or refresh of an existing entry,
+// Victim when space is needed, and Remove when an entry leaves for any
+// reason (eviction included — the store calls Remove for the id Victim
+// returned).
+//
+// Policies are single-threaded like the store and must be deterministic:
+// given the same hook sequence they must produce the same victims, with
+// ties broken by ascending item id. One policy instance serves exactly
+// one store.
+type Policy interface {
+	// Name identifies the policy ("lru", "lfu", ...).
+	Name() string
+	// Admit records a newly inserted entry.
+	Admit(id data.ItemID, m Meta)
+	// Touch records an access or refresh of an entry previously admitted.
+	Touch(id data.ItemID, m Meta)
+	// Victim nominates the entry to evict. It reports false only when
+	// the policy tracks no entries.
+	Victim() (data.ItemID, bool)
+	// Remove forgets an entry (eviction, invalidation, crash wipe).
+	Remove(id data.ItemID)
+}
+
+// PolicyKind names a replacement policy for configuration surfaces
+// (experiment.Config, CLI flags, oracle scenarios).
+type PolicyKind string
+
+// The built-in replacement policies.
+const (
+	// PolicyLRU evicts the least recently used entry — the default, and
+	// the paper's implicit choice.
+	PolicyLRU PolicyKind = "lru"
+	// PolicyLFU evicts the least frequently used entry, with periodic
+	// halving of all counts so stale popularity ages out.
+	PolicyLFU PolicyKind = "lfu"
+	// PolicyTTL evicts the entry closest to staleness: minimum
+	// storedAt + TTL. Fresh copies survive; about-to-expire ones go
+	// first (they would cost a refresh anyway).
+	PolicyTTL PolicyKind = "ttl"
+	// PolicyUtility evicts the entry with the least keep-utility:
+	// access rate x distance-to-source hops / payload size, after the
+	// utility-based replacement schemes for cooperative MANET caches.
+	PolicyUtility PolicyKind = "utility"
+)
+
+// Valid reports whether k names a built-in policy. The empty kind is
+// valid and means the default (LRU).
+func (k PolicyKind) Valid() bool {
+	switch k {
+	case "", PolicyLRU, PolicyLFU, PolicyTTL, PolicyUtility:
+		return true
+	default:
+		return false
+	}
+}
+
+// AllPolicyKinds returns the built-in kinds in presentation order.
+func AllPolicyKinds() []PolicyKind {
+	return []PolicyKind{PolicyLRU, PolicyLFU, PolicyTTL, PolicyUtility}
+}
+
+// PolicyParams tunes the built-in policies; zero values select defaults.
+type PolicyParams struct {
+	// TTL is PolicyTTL's freshness horizon (default 4 minutes, the
+	// paper's TTP). Entries are ranked by storedAt + TTL.
+	TTL time.Duration
+	// AgePeriod is how many Admit/Touch events pass between PolicyLFU's
+	// count halvings (default 128; 0 selects the default, negative is
+	// rejected by NewPolicy).
+	AgePeriod int
+}
+
+// Default policy tuning.
+const (
+	DefaultPolicyTTL      = 4 * time.Minute
+	DefaultLFUAgePeriod   = 128
+	defaultUtilityMinSize = 1
+)
+
+// NewPolicy builds a fresh instance of the named policy. The empty kind
+// yields LRU. Every store needs its own instance: policies are stateful.
+func NewPolicy(kind PolicyKind, p PolicyParams) (Policy, error) {
+	if p.TTL < 0 {
+		return nil, fmt.Errorf("cache: negative policy TTL %v", p.TTL)
+	}
+	if p.AgePeriod < 0 {
+		return nil, fmt.Errorf("cache: negative LFU age period %d", p.AgePeriod)
+	}
+	switch kind {
+	case "", PolicyLRU:
+		return newLRUPolicy(), nil
+	case PolicyLFU:
+		period := p.AgePeriod
+		if period == 0 {
+			period = DefaultLFUAgePeriod
+		}
+		return newLFUPolicy(uint64(period)), nil
+	case PolicyTTL:
+		ttl := p.TTL
+		if ttl == 0 {
+			ttl = DefaultPolicyTTL
+		}
+		return newTTLPolicy(ttl), nil
+	case PolicyUtility:
+		return newUtilityPolicy(), nil
+	default:
+		return nil, fmt.Errorf("cache: unknown policy kind %q", kind)
+	}
+}

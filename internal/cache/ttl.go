@@ -1,0 +1,55 @@
+package cache
+
+import (
+	"sort"
+	"time"
+
+	"github.com/manetlab/rpcc/internal/data"
+)
+
+// ttlPolicy evicts the entry closest to staleness: the minimum
+// storedAt + TTL. The intuition is freshness-aware caching — a copy near
+// the end of its freshness horizon will need a refresh before it can be
+// served consistently anyway, so sacrificing it loses the least. A copy
+// whose version was just fetched is maximally valuable. Correctness of
+// the ranking depends on the store only advancing storedAt on a strict
+// version advance (the equal-version refresh fix in PutEvict): a re-Put
+// of the same bytes must not make a copy look freshly fetched.
+type ttlPolicy struct {
+	ttl    time.Duration
+	expiry map[data.ItemID]time.Duration // storedAt + ttl
+}
+
+func newTTLPolicy(ttl time.Duration) *ttlPolicy {
+	return &ttlPolicy{ttl: ttl, expiry: make(map[data.ItemID]time.Duration)}
+}
+
+func (p *ttlPolicy) Name() string { return string(PolicyTTL) }
+
+func (p *ttlPolicy) Admit(id data.ItemID, m Meta) { p.expiry[id] = m.StoredAt + p.ttl }
+
+func (p *ttlPolicy) Touch(id data.ItemID, m Meta) {
+	if _, ok := p.expiry[id]; ok {
+		p.expiry[id] = m.StoredAt + p.ttl
+	}
+}
+
+func (p *ttlPolicy) Victim() (data.ItemID, bool) {
+	if len(p.expiry) == 0 {
+		return 0, false
+	}
+	ids := make([]data.ItemID, 0, len(p.expiry))
+	for id := range p.expiry {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	victim := ids[0]
+	for _, id := range ids[1:] {
+		if p.expiry[id] < p.expiry[victim] {
+			victim = id
+		}
+	}
+	return victim, true
+}
+
+func (p *ttlPolicy) Remove(id data.ItemID) { delete(p.expiry, id) }

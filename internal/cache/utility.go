@@ -1,0 +1,87 @@
+package cache
+
+import (
+	"sort"
+
+	"github.com/manetlab/rpcc/internal/data"
+)
+
+// utilityPolicy ranks entries by keep-utility and evicts the minimum,
+// after the utility-based replacement schemes proposed for cooperative
+// MANET caches (see PAPERS.md): an entry is worth keeping in proportion
+// to how often it is accessed and how far away its source is (a re-fetch
+// costs more hops of traffic), and in inverse proportion to the cache
+// space it occupies:
+//
+//	utility = (accesses / residency) * (hops + 1) / size
+//
+// Residency is measured on a logical clock (one tick per Admit/Touch on
+// this store) rather than wall time, so utility stays a pure function of
+// the hook sequence and runs reproduce bit for bit. Ties break toward
+// the lower item id.
+type utilityPolicy struct {
+	entries map[data.ItemID]*utilEntry
+	tick    uint64
+}
+
+type utilEntry struct {
+	count    uint64 // accesses since admission (admission counts as one)
+	admitted uint64 // tick at admission
+	size     int
+	hops     int
+}
+
+func newUtilityPolicy() *utilityPolicy {
+	return &utilityPolicy{entries: make(map[data.ItemID]*utilEntry)}
+}
+
+func (p *utilityPolicy) Name() string { return string(PolicyUtility) }
+
+func (p *utilityPolicy) Admit(id data.ItemID, m Meta) {
+	p.tick++
+	if e, ok := p.entries[id]; ok {
+		e.count++
+		e.size, e.hops = m.Size, m.Hops
+		return
+	}
+	p.entries[id] = &utilEntry{count: 1, admitted: p.tick, size: m.Size, hops: m.Hops}
+}
+
+func (p *utilityPolicy) Touch(id data.ItemID, m Meta) {
+	p.tick++
+	if e, ok := p.entries[id]; ok {
+		e.count++
+		e.size, e.hops = m.Size, m.Hops
+	}
+}
+
+func (p *utilityPolicy) utility(e *utilEntry) float64 {
+	residency := p.tick - e.admitted + 1
+	size := e.size
+	if size < defaultUtilityMinSize {
+		size = defaultUtilityMinSize
+	}
+	rate := float64(e.count) / float64(residency)
+	return rate * float64(e.hops+1) / float64(size)
+}
+
+func (p *utilityPolicy) Victim() (data.ItemID, bool) {
+	if len(p.entries) == 0 {
+		return 0, false
+	}
+	ids := make([]data.ItemID, 0, len(p.entries))
+	for id := range p.entries {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	victim := ids[0]
+	best := p.utility(p.entries[victim])
+	for _, id := range ids[1:] {
+		if u := p.utility(p.entries[id]); u < best {
+			victim, best = id, u
+		}
+	}
+	return victim, true
+}
+
+func (p *utilityPolicy) Remove(id data.ItemID) { delete(p.entries, id) }

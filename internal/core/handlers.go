@@ -280,7 +280,14 @@ func (e *Engine) resetApply(st *itemState) {
 // content is still worth keeping if the store accepts it, but it proves
 // nothing about currency.
 func (e *Engine) storeRefresh(k *sim.Kernel, nd int, c data.Copy, st *itemState, validate bool) {
-	_, _, err := e.ch.Stores[nd].PutEvict(c, k.Now())
+	evicted, has, err := e.ch.Stores[nd].PutEvict(c, k.Now())
+	if has {
+		// A refresh that had to insert (items-map/store desync after a
+		// mid-flight eviction) can itself evict: the victim's relay
+		// role, if any, must still CANCEL with its source — for every
+		// replacement policy, not just LRU.
+		e.dropItemState(k, nd, evicted)
+	}
 	if err != nil && e.cfg.Mutant == MutantStoreRegression {
 		// Conformance mutant: bypass the cache's version-monotone guard
 		// and install the older copy anyway.

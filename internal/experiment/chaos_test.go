@@ -1,13 +1,16 @@
 package experiment
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 	"time"
 
+	"github.com/manetlab/rpcc/internal/cache"
 	"github.com/manetlab/rpcc/internal/core"
 	"github.com/manetlab/rpcc/internal/faults"
 	"github.com/manetlab/rpcc/internal/telemetry"
+	"github.com/manetlab/rpcc/internal/workload"
 )
 
 // chaosConfig is the demonstration scenario: Table 1 shrunk to 25
@@ -151,5 +154,55 @@ func TestChaosBrokenRepairCaught(t *testing.T) {
 	}
 	if rep.Passed() {
 		t.Fatalf("report passed with repair disabled: %s", rep)
+	}
+}
+
+// flashCrowdChaosConfig squeezes every cache to four slots under
+// Zipf-skewed demand with an 80%-weight hotspot on item 1 spanning the
+// partition window, so replacement churn and the fault campaign overlap.
+func flashCrowdChaosConfig(policy cache.PolicyKind) Config {
+	cfg := chaosConfig()
+	cfg.CachePolicy = policy
+	cfg.CacheNum = 4
+	cfg.Popularity = workload.PopularityZipf
+	cfg.Hotspots = []workload.Hotspot{
+		{Start: 6 * time.Minute, Duration: 8 * time.Minute, Item: 1, Weight: 0.8},
+	}
+	return cfg
+}
+
+// The flash-crowd campaign: a popularity spike rides through the full
+// fault demonstration (partition, bursty loss, assassination, crash)
+// while caches churn under every replacement policy. The consistency
+// invariants are policy-independent and must hold throughout; the
+// policies must also actually behave differently under this pressure —
+// identical results across all four would mean the churn is vacuous.
+func TestChaosFlashCrowdUnderFaultsPerPolicy(t *testing.T) {
+	camp := chaosCampaign()
+	distinct := map[string][]string{}
+	for _, kind := range cache.AllPolicyKinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			res, rep, err := RunChaos(flashCrowdChaosConfig(kind), telemetry.NewHub(telemetry.LevelMetrics), camp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Passed() {
+				t.Errorf("invariants violated under %s flash crowd: %s", kind, rep)
+			}
+			if res.Issued == 0 || res.Answered == 0 {
+				t.Errorf("flash crowd starved the workload: %s", res)
+			}
+			for _, fault := range []string{"partition-split", "partition-heal", "crash", "assassination"} {
+				if res.Telemetry.CounterValue("rpcc_fault_events_total", telemetry.Label{Key: "kind", Value: fault}) == 0 {
+					t.Errorf("fault kind %q never fired under %s", fault, kind)
+				}
+			}
+			key := fmt.Sprintf("%d/%d/%d", res.Answered, res.Failed, res.TotalTx)
+			distinct[key] = append(distinct[key], string(kind))
+		})
+	}
+	if len(distinct) < 2 {
+		t.Errorf("all policies produced identical chaos results — no replacement pressure: %v", distinct)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/manetlab/rpcc/internal/cache"
 	"github.com/manetlab/rpcc/internal/consistency"
 	"github.com/manetlab/rpcc/internal/data"
 	"github.com/manetlab/rpcc/internal/node"
@@ -142,6 +143,18 @@ type Config struct {
 	// runs enable it — at 100k peers per-flip resampling costs more than
 	// the rest of the simulation.
 	LazyChurnRefresh bool
+	// CachePolicy selects the replacement policy for every node's store
+	// ("" or "lru" = the default LRU; "lfu", "ttl", "utility"). The TTL
+	// policy's freshness horizon is the scenario's TTP.
+	CachePolicy cache.PolicyKind
+	// Hotspots are flash-crowd popularity spikes layered over the
+	// workload's base popularity model (empty = none; see
+	// workload.Hotspot).
+	Hotspots []workload.Hotspot
+	// DiurnalPeriod/DiurnalMin modulate query demand sinusoidally (the
+	// diurnal-load sweep); zero period disables.
+	DiurnalPeriod time.Duration
+	DiurnalMin    float64
 }
 
 // DefaultConfig returns the Table 1 scenario for one strategy.
@@ -209,6 +222,9 @@ func (c Config) Validate() error {
 	}
 	if !c.ChurnDisabled && (c.SwitchInterval <= 0 || c.MeanDown <= 0) {
 		return fmt.Errorf("experiment: bad churn intervals")
+	}
+	if !c.CachePolicy.Valid() {
+		return fmt.Errorf("experiment: unknown cache policy %q", c.CachePolicy)
 	}
 	return nil
 }

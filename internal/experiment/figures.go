@@ -43,6 +43,13 @@ func MetricMeanLatencyMs(r Result) float64 {
 // MetricRelayCount is the relay-population metric of the §5.3 discussion.
 func MetricRelayCount(r Result) float64 { return float64(r.RelayCount) }
 
+// SeriesDef is one curve of a figure: a label and a config mutation
+// selecting what the curve varies (a strategy, a cache policy, ...).
+type SeriesDef struct {
+	Label string
+	Apply func(cfg *Config)
+}
+
 // SweepSpec describes one figure's parameter sweep.
 type SweepSpec struct {
 	ID         string
@@ -50,11 +57,34 @@ type SweepSpec struct {
 	XLabel     string
 	YLabel     string
 	Strategies []StrategyKind
-	Xs         []float64
+	// Series, when non-empty, overrides the strategy axis: one curve per
+	// SeriesDef instead of one per strategy (the policy-comparison
+	// figures use this to plot replacement policies against each other
+	// under a single strategy). Figure labels come from SeriesDef.Label.
+	Series []SeriesDef
+	Xs     []float64
 	// Apply sets the swept parameter (value x) on a scenario config.
 	Apply func(cfg *Config, x float64)
 	// Metric picks the y value.
 	Metric Metric
+}
+
+// seriesDefs resolves the figure's curves: explicit Series if given,
+// else one per strategy — the construction every paper figure uses, and
+// byte-identical to the pre-SeriesDef job enumeration.
+func (s SweepSpec) seriesDefs() []SeriesDef {
+	if len(s.Series) > 0 {
+		return s.Series
+	}
+	defs := make([]SeriesDef, 0, len(s.Strategies))
+	for _, strat := range s.Strategies {
+		strat := strat
+		defs = append(defs, SeriesDef{
+			Label: string(strat),
+			Apply: func(cfg *Config) { cfg.Strategy = strat },
+		})
+	}
+	return defs
 }
 
 // RunSweep evaluates the spec: one simulation per (strategy, x) pair.

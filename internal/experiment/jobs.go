@@ -79,17 +79,18 @@ func SweepJobs(spec SweepSpec, base Config, replicas int) ([]SweepJob, error) {
 	if spec.Apply == nil {
 		return nil, fmt.Errorf("experiment: spec %q has no Apply", spec.ID)
 	}
-	jobs := make([]SweepJob, 0, len(spec.Strategies)*len(spec.Xs)*replicas)
-	for _, strat := range spec.Strategies {
+	defs := spec.seriesDefs()
+	jobs := make([]SweepJob, 0, len(defs)*len(spec.Xs)*replicas)
+	for _, def := range defs {
 		for _, x := range spec.Xs {
 			for r := 0; r < replicas; r++ {
 				cfg := base
-				cfg.Strategy = strat
 				cfg.Seed = base.Seed + int64(r)
+				def.Apply(&cfg)
 				spec.Apply(&cfg, x)
 				jobs = append(jobs, SweepJob{
 					SpecID:   spec.ID,
-					Strategy: strat,
+					Strategy: StrategyKind(def.Label),
 					X:        x,
 					Replica:  r,
 					Key:      cfg.Key(),
@@ -119,8 +120,8 @@ func AssembleFigure(spec SweepSpec, base Config, replicas int, lookup func(key s
 		YLabel: spec.YLabel,
 	}
 	i := 0
-	for _, strat := range spec.Strategies {
-		s := Series{Strategy: strat, Points: make([]Point, 0, len(spec.Xs))}
+	for _, def := range spec.seriesDefs() {
+		s := Series{Strategy: StrategyKind(def.Label), Points: make([]Point, 0, len(spec.Xs))}
 		for _, x := range spec.Xs {
 			runs := make([]Result, 0, replicas)
 			for r := 0; r < replicas; r++ {
@@ -129,7 +130,7 @@ func AssembleFigure(spec SweepSpec, base Config, replicas int, lookup func(key s
 				res, ok := lookup(j.Key)
 				if !ok {
 					return Figure{}, fmt.Errorf("experiment: %s %s x=%g replica=%d (job %s): no result (failed or not run)",
-						spec.ID, strat, x, r, j.Key)
+						spec.ID, def.Label, x, r, j.Key)
 				}
 				runs = append(runs, res)
 			}

@@ -1,0 +1,70 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"github.com/manetlab/rpcc/internal/cache"
+)
+
+// TestPolicyComparisonDistinctAndDeterministic: the policy-comparison
+// matrix must (a) reproduce bit-for-bit for a seed and (b) actually
+// separate the policies — if every policy yields an identical Result the
+// comparison figure is vacuous (the pressure config failed to cause
+// evictions).
+func TestPolicyComparisonDistinctAndDeterministic(t *testing.T) {
+	spec := PolicyHitSpec()
+	spec.Xs = []float64{3} // one column is enough pressure to compare
+	base := DefaultConfig(StrategyRPCCSC, 1)
+	base.NPeers = 30
+	base.SimTime = 12 * time.Minute
+
+	run := func() Figure {
+		fig, err := RunSweep(spec, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fig
+	}
+	a := run()
+	if len(a.Series) != len(cache.AllPolicyKinds()) {
+		t.Fatalf("got %d series, want one per policy", len(a.Series))
+	}
+	seen := map[float64][]string{}
+	for _, s := range a.Series {
+		y := s.Points[0].Result.MeanHitRatio
+		tx := float64(s.Points[0].Result.TotalTx)
+		seen[y*1e9+tx] = append(seen[y*1e9+tx], string(s.Strategy))
+	}
+	if len(seen) < len(a.Series) {
+		t.Fatalf("policies indistinguishable under pressure: %v", seen)
+	}
+
+	b := run()
+	for i := range a.Series {
+		if a.Series[i].Strategy != b.Series[i].Strategy {
+			t.Fatalf("series order nondeterministic")
+		}
+		ra, rb := a.Series[i].Points[0].Result, b.Series[i].Points[0].Result
+		if ra.MeanHitRatio != rb.MeanHitRatio || ra.TotalTx != rb.TotalTx || ra.MeanLatency != rb.MeanLatency {
+			t.Fatalf("policy %s nondeterministic: %+v vs %+v", a.Series[i].Strategy,
+				ra.MeanHitRatio, rb.MeanHitRatio)
+		}
+	}
+}
+
+// TestPolicyConfigValidation: unknown policy kinds are rejected before a
+// run assembles.
+func TestPolicyConfigValidation(t *testing.T) {
+	cfg := DefaultConfig(StrategyRPCCSC, 1)
+	cfg.CachePolicy = "random"
+	if cfg.Validate() == nil {
+		t.Fatal("unknown cache policy accepted")
+	}
+	for _, kind := range cache.AllPolicyKinds() {
+		cfg.CachePolicy = kind
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("policy %q rejected: %v", kind, err)
+		}
+	}
+}

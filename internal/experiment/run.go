@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
@@ -254,9 +255,29 @@ func assembleScenario(cfg Config, hub *telemetry.Hub, k *sim.Kernel, tracer *ctr
 	}
 	stores := make([]*cache.Store, cfg.NPeers)
 	for i := range stores {
-		stores[i], err = cache.NewStore(cfg.CacheNum)
+		// One policy instance per store: policies are stateful. The TTL
+		// policy ranks freshness against the scenario's TTP horizon.
+		pol, perr := cache.NewPolicy(cfg.CachePolicy, cache.PolicyParams{TTL: cfg.TTP})
+		if perr != nil {
+			return nil, perr
+		}
+		stores[i], err = cache.NewStoreWithPolicy(cfg.CacheNum, pol)
 		if err != nil {
 			return nil, err
+		}
+		if cfg.CachePolicy == cache.PolicyUtility {
+			// Estimate the re-fetch distance to an item's source host
+			// geometrically (current positions, one hop per CommRange).
+			// Pure function of sim state, so runs stay deterministic.
+			node := i
+			stores[i].SetHopsHint(func(item data.ItemID) int {
+				owner := reg.Owner(item)
+				if owner < 0 || owner >= cfg.NPeers || owner == node {
+					return 0
+				}
+				d := field.PeekPosition(node, k.Now()).Dist(field.PeekPosition(owner, k.Now()))
+				return int(math.Ceil(d / cfg.CommRange))
+			})
 		}
 	}
 
@@ -298,6 +319,9 @@ func assembleScenario(cfg Config, hub *telemetry.Hub, k *sim.Kernel, tracer *ctr
 		MeanQueryEvery:  cfg.QueryInterval,
 		MeanUpdateEvery: cfg.UpdateInterval,
 		Popularity:      cfg.Popularity,
+		Hotspots:        cfg.Hotspots,
+		DiurnalPeriod:   cfg.DiurnalPeriod,
+		DiurnalMin:      cfg.DiurnalMin,
 	}
 	if cfg.Popularity == workload.PopularityCached {
 		if domains == nil {
@@ -316,6 +340,7 @@ func assembleScenario(cfg Config, hub *telemetry.Hub, k *sim.Kernel, tracer *ctr
 	if err != nil {
 		return nil, err
 	}
+	wl.AttachTelemetry(hub)
 	wl.Start(k)
 
 	a := &assembled{

@@ -69,10 +69,14 @@ func (c AuditorConfig) Validate() error {
 //     answer is ever torn or from the future — read from the consistency
 //     auditor at Finish. (RPCC's strong level is TTR-window approximate
 //     even fault-free, hence a budget rather than strictly zero.)
-//  2. The versions any node observes for an item are monotone — swept
-//     periodically against per-node watermarks; a crash legitimately
-//     resets the node's watermarks (cold restart may re-learn an older
-//     copy before catching up).
+//  2. The versions any node observes for an item are monotone within a
+//     cache residency — swept periodically against per-node watermarks
+//     keyed to the copy's admission time. Replacement churn legitimately
+//     breaks cross-residency monotonicity (a node that evicted v1 may
+//     re-learn v0 from a stale peer), so a changed StoredAt resets the
+//     baseline, exactly like the crash reset (cold restart may re-learn
+//     an older copy before catching up). A regression with an unchanged
+//     StoredAt can only be an in-place overwrite — a store bug.
 //  3. Every partition heal is followed by relay-state convergence within
 //     RepairWindow: at the deadline, no relay sits on unserviced repair
 //     debt — version evidence it heard longer than RepairGrace ago while
@@ -89,8 +93,18 @@ type Auditor struct {
 	engine *core.Engine
 	cons   *consistency.Auditor
 
-	watermarks []map[data.ItemID]data.Version
+	watermarks []map[data.ItemID]watermark
 	rep        Report
+}
+
+// watermark is one node's last swept observation of an item. storedAt
+// identifies the residency epoch: the store advances it only on
+// admission and on strict version advance, never on a same-version
+// refresh, so an unchanged storedAt pins the comparison to one
+// continuously-held copy.
+type watermark struct {
+	version  data.Version
+	storedAt time.Duration
 }
 
 // NewAuditor wires the invariant checks. cons may be nil (invariant 1
@@ -106,9 +120,9 @@ func NewAuditor(cfg AuditorConfig, reg *data.Registry, stores []*cache.Store, ch
 	if cfg.RepairGrace <= 0 {
 		cfg.RepairGrace = 2*cfg.TTN + 30*time.Second
 	}
-	wm := make([]map[data.ItemID]data.Version, len(stores))
+	wm := make([]map[data.ItemID]watermark, len(stores))
 	for i := range wm {
-		wm[i] = make(map[data.ItemID]data.Version)
+		wm[i] = make(map[data.ItemID]watermark)
 	}
 	return &Auditor{
 		cfg: cfg, reg: reg, stores: stores, chn: chn,
@@ -137,7 +151,7 @@ func (a *Auditor) Install(k *sim.Kernel, p *Plane) error {
 // rediscovery may legitimately observe older versions than it held.
 func (a *Auditor) resetNode(node int) {
 	if node >= 0 && node < len(a.watermarks) {
-		a.watermarks[node] = make(map[data.ItemID]data.Version)
+		a.watermarks[node] = make(map[data.ItemID]watermark)
 	}
 }
 
@@ -150,13 +164,15 @@ func (a *Auditor) sweep(k *sim.Kernel) {
 			if !ok {
 				continue
 			}
-			if prev, seen := a.watermarks[nd][item]; seen && cp.Version < prev {
+			storedAt, _ := s.StoredAt(item)
+			if prev, seen := a.watermarks[nd][item]; seen &&
+				cp.Version < prev.version && storedAt == prev.storedAt {
 				a.rep.MonotoneViolations++
-				a.detail("monotone: node %d item %v regressed %d -> %d at %v",
-					nd, item, prev, cp.Version, k.Now())
+				a.detail("monotone: node %d item %v regressed %d -> %d in place at %v",
+					nd, item, prev.version, cp.Version, k.Now())
 				continue
 			}
-			a.watermarks[nd][item] = cp.Version
+			a.watermarks[nd][item] = watermark{version: cp.Version, storedAt: storedAt}
 		}
 	}
 	if a.engine != nil && a.cfg.MaxRepairAttempts > 0 {

@@ -1,0 +1,88 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"github.com/manetlab/rpcc/internal/cache"
+	"github.com/manetlab/rpcc/internal/data"
+	"github.com/manetlab/rpcc/internal/sim"
+)
+
+func copyOf(id data.ItemID, v data.Version) data.Copy {
+	return data.Copy{ID: id, Version: v, Value: data.ValueFor(id, v)}
+}
+
+// sweepAuditor builds the minimal auditor state the monotone sweep
+// touches: one store, empty watermarks, no engine.
+func sweepAuditor(s *cache.Store) *Auditor {
+	return &Auditor{
+		stores:     []*cache.Store{s},
+		watermarks: []map[data.ItemID]watermark{make(map[data.ItemID]watermark)},
+	}
+}
+
+// Replacement churn may legitimately regress the version a node holds:
+// evicting v1 and later re-admitting v0 from a stale peer starts a new
+// residency (fresh StoredAt) and must NOT trip the monotone invariant.
+func TestMonotoneAllowsRegressionAcrossResidencies(t *testing.T) {
+	s, err := cache.NewStore(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sweepAuditor(s)
+	k := sim.NewKernel()
+
+	if err := s.Put(copyOf(1, 1), 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	a.sweep(k)
+
+	// Evict (here: explicit remove) and re-learn an older copy later.
+	s.Remove(1)
+	if err := s.Put(copyOf(1, 0), 400*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	a.sweep(k)
+
+	if a.rep.MonotoneViolations != 0 {
+		t.Fatalf("cross-residency rediscovery flagged as violation: %s", &a.rep)
+	}
+	// And a same-version refresh (which keeps StoredAt) stays silent too.
+	if _, _, err := s.PutEvict(copyOf(1, 0), 500*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	a.sweep(k)
+	if a.rep.MonotoneViolations != 0 {
+		t.Fatalf("same-version refresh flagged as violation: %s", &a.rep)
+	}
+}
+
+// An in-place overwrite — version drops while the residency (StoredAt)
+// is unchanged — can only be a store bug and must still be caught. The
+// healthy store rejects regressions itself, so the test re-admits the
+// older copy at the original admission instant to forge an identical
+// StoredAt.
+func TestMonotoneCatchesInPlaceRegression(t *testing.T) {
+	s, err := cache.NewStore(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sweepAuditor(s)
+	k := sim.NewKernel()
+
+	if err := s.Put(copyOf(1, 2), 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	a.sweep(k)
+
+	s.Remove(1)
+	if err := s.Put(copyOf(1, 1), 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	a.sweep(k)
+
+	if a.rep.MonotoneViolations != 1 {
+		t.Fatalf("in-place regression not caught: %s", &a.rep)
+	}
+}

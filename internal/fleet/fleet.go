@@ -49,6 +49,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"reflect"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -180,7 +181,9 @@ func Run(ctx context.Context, jobs []Job, opts Options) (Report, error) {
 	seen := make(map[string]experiment.Config, len(jobs))
 	for _, j := range jobs {
 		if prev, dup := seen[j.Key]; dup {
-			if prev != j.Config {
+			// Config holds slices (workload hotspots) so it is not
+			// comparable with ==; DeepEqual is fine off the hot path.
+			if !reflect.DeepEqual(prev, j.Config) {
 				return Report{}, fmt.Errorf("fleet: key %q maps to two different configs", j.Key)
 			}
 			continue

@@ -1,0 +1,54 @@
+package oracle
+
+import "testing"
+
+// TestPolicySweepZeroDivergences: the consistency guarantees are
+// replacement-policy independent — the eviction-churn and flash-crowd
+// scenarios must finish clean (and non-vacuously) under every policy.
+func TestPolicySweepZeroDivergences(t *testing.T) {
+	for _, sc := range PolicySweep(1) {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			rep, err := Run(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Divergences) > 0 {
+				t.Fatalf("%d divergences, first: %s", len(rep.Divergences), rep.Divergences[0])
+			}
+			if rep.Answered == 0 {
+				t.Fatal("vacuous run: zero answered queries")
+			}
+		})
+	}
+}
+
+// TestPolicySweepDeterminism: a policy scenario replays byte-for-byte.
+func TestPolicySweepDeterminism(t *testing.T) {
+	sc := EvictionChurnScenario(7, "lfu")
+	a, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Issued != b.Issued || a.Answered != b.Answered || a.Failed != b.Failed {
+		t.Fatalf("same-seed policy runs diverged: %+v vs %+v", a, b)
+	}
+}
+
+// TestScenarioPolicyValidation: bad policy/capacity configs fail fast.
+func TestScenarioPolicyValidation(t *testing.T) {
+	sc := EvictionChurnScenario(1, "lru")
+	sc.Policy = "random"
+	if sc.Validate() == nil {
+		t.Error("unknown policy accepted")
+	}
+	sc = EvictionChurnScenario(1, "lru")
+	sc.CacheCap = -2
+	if sc.Validate() == nil {
+		t.Error("negative cache capacity accepted")
+	}
+}

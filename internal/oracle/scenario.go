@@ -84,6 +84,13 @@ type Scenario struct {
 	// CheckReach enables the flood-underreach check (sound only without
 	// drop rules or crashes).
 	CheckReach bool `json:"check_reach,omitempty"`
+	// CacheCap overrides the per-node cache capacity (0 = the default
+	// 10). Small caps force evictions, exercising the replacement policy
+	// and the eviction → relay-CANCEL teardown under the oracle's eye.
+	CacheCap int `json:"cache_cap,omitempty"`
+	// Policy selects the cache replacement policy ("" = lru; "lfu",
+	// "ttl", "utility"). Consistency guarantees must hold under any.
+	Policy string `json:"policy,omitempty"`
 
 	Warm    []Placement   `json:"warm,omitempty"`
 	Relays  []Placement   `json:"relays,omitempty"`
@@ -164,6 +171,12 @@ func (sc Scenario) Validate() error {
 	}
 	if _, err := parseMutant(sc.Mutant); err != nil {
 		return err
+	}
+	if sc.CacheCap < 0 {
+		return fmt.Errorf("oracle: negative cache capacity %d", sc.CacheCap)
+	}
+	if !cache.PolicyKind(sc.Policy).Valid() {
+		return fmt.Errorf("oracle: unknown cache policy %q", sc.Policy)
 	}
 	if _, err := compileRules(sc.Rules); err != nil {
 		return err
@@ -323,13 +336,21 @@ func Run(sc Scenario) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	cap := sc.CacheCap
+	if cap == 0 {
+		cap = 10
+	}
+	ccfg := core.DefaultConfig()
 	stores := make([]*cache.Store, sc.Nodes)
 	for i := range stores {
-		if stores[i], err = cache.NewStore(10); err != nil {
+		pol, perr := cache.NewPolicy(cache.PolicyKind(sc.Policy), cache.PolicyParams{TTL: ccfg.TTP})
+		if perr != nil {
+			return nil, perr
+		}
+		if stores[i], err = cache.NewStoreWithPolicy(cap, pol); err != nil {
 			return nil, err
 		}
 	}
-	ccfg := core.DefaultConfig()
 	aud, err := consistency.NewAuditor(reg, ccfg.TTP, 2*time.Second)
 	if err != nil {
 		return nil, err

@@ -39,3 +39,109 @@ func CleanSweep(seed int64) []Scenario {
 	}
 	return out
 }
+
+// EvictionChurnScenario squeezes an RPCC line into two-item caches so
+// replacement pressure constantly evicts copies — including a seeded
+// relay's — while pollers keep demanding all three active items. It
+// pins the eviction → relay-CANCEL teardown for the given replacement
+// policy ("" = lru): a relay that keeps answering after silently losing
+// its copy, or a source that keeps pushing to a cancelled relay, shows
+// up as a divergence or an unanswered poll.
+func EvictionChurnScenario(seed int64, policy string) Scenario {
+	const min = int64(60_000)
+	return Scenario{
+		Name:      fmt.Sprintf("eviction-churn-%s", policyLabel(policy)),
+		Seed:      seed,
+		Nodes:     8,
+		Strategy:  "rpcc",
+		HorizonMS: 20 * min,
+		CacheCap:  2,
+		Policy:    policy,
+		// Three items contend for two slots at every caching host.
+		Warm: []Placement{
+			{Host: 2, Item: 0}, {Host: 2, Item: 1},
+			{Host: 3, Item: 0}, {Host: 3, Item: 3},
+			{Host: 5, Item: 1}, {Host: 5, Item: 3},
+		},
+		Relays: []Placement{{Host: 2, Item: 0}},
+		Commits: []CommitEvent{
+			{AtMS: 3 * min, Host: 0}, {AtMS: 9 * min, Host: 0}, {AtMS: 15 * min, Host: 0},
+			{AtMS: 5 * min, Host: 1}, {AtMS: 13 * min, Host: 1},
+			{AtMS: 7 * min, Host: 3}, {AtMS: 17 * min, Host: 3},
+		},
+		Pollers: []Poller{
+			{Host: 2, Item: 0, Level: "SC", StartMS: 15_000, PeriodMS: 9_000},
+			{Host: 2, Item: 3, Level: "DC", StartMS: 21_000, PeriodMS: 12_000},
+			{Host: 3, Item: 1, Level: "DC", StartMS: 24_000, PeriodMS: 13_000},
+			{Host: 4, Item: 0, Level: "WC", StartMS: 27_000, PeriodMS: 11_000},
+			{Host: 5, Item: 0, Level: "SC", StartMS: 30_000, PeriodMS: 17_000},
+			{Host: 5, Item: 3, Level: "WC", StartMS: 33_000, PeriodMS: 14_000},
+			{Host: 6, Item: 1, Level: "DC", StartMS: 36_000, PeriodMS: 19_000},
+		},
+	}
+}
+
+// FlashCrowdScenario models a mid-run popularity spike: background
+// demand on items 1 and 3, then every consumer host converges on item 0
+// with tight poll periods for a five-minute window while its source
+// keeps committing. Consistency levels must hold through the surge and
+// the crowd's copies must keep being admitted/evicted coherently under
+// the given replacement policy.
+func FlashCrowdScenario(seed int64, policy string) Scenario {
+	const min = int64(60_000)
+	sc := Scenario{
+		Name:      fmt.Sprintf("flash-crowd-%s", policyLabel(policy)),
+		Seed:      seed,
+		Nodes:     8,
+		Strategy:  "rpcc",
+		HorizonMS: 20 * min,
+		CacheCap:  3,
+		Policy:    policy,
+		Warm: []Placement{
+			{Host: 2, Item: 0}, {Host: 4, Item: 1}, {Host: 6, Item: 3},
+		},
+		Relays: []Placement{{Host: 2, Item: 0}},
+		Commits: []CommitEvent{
+			// The hot source commits through the surge.
+			{AtMS: 6 * min, Host: 0}, {AtMS: 8 * min, Host: 0},
+			{AtMS: 10 * min, Host: 0}, {AtMS: 12 * min, Host: 0},
+			{AtMS: 4 * min, Host: 1}, {AtMS: 16 * min, Host: 3},
+		},
+		Pollers: []Poller{
+			// Background demand across the run.
+			{Host: 4, Item: 1, Level: "DC", StartMS: 20_000, PeriodMS: 25_000},
+			{Host: 6, Item: 3, Level: "WC", StartMS: 30_000, PeriodMS: 31_000},
+			// The flash crowd: five hosts hammer item 0 from minute 5
+			// to minute 13.
+			{Host: 2, Item: 0, Level: "SC", StartMS: 5 * min, PeriodMS: 7_000, StopMS: 13 * min},
+			{Host: 3, Item: 0, Level: "SC", StartMS: 5*min + 2_000, PeriodMS: 8_000, StopMS: 13 * min},
+			{Host: 4, Item: 0, Level: "DC", StartMS: 5*min + 4_000, PeriodMS: 6_000, StopMS: 13 * min},
+			{Host: 5, Item: 0, Level: "DC", StartMS: 5*min + 6_000, PeriodMS: 9_000, StopMS: 13 * min},
+			{Host: 6, Item: 0, Level: "WC", StartMS: 5*min + 8_000, PeriodMS: 5_000, StopMS: 13 * min},
+			// Stragglers after the crowd disperses.
+			{Host: 7, Item: 0, Level: "SC", StartMS: 14 * min, PeriodMS: 45_000},
+		},
+	}
+	return sc
+}
+
+func policyLabel(policy string) string {
+	if policy == "" {
+		return "lru"
+	}
+	return policy
+}
+
+// PolicySweep returns the replacement-policy conformance matrix: the
+// eviction-churn and flash-crowd scenarios under every built-in policy.
+// Like CleanSweep, every scenario must finish with zero divergences.
+func PolicySweep(seed int64) []Scenario {
+	var out []Scenario
+	for _, policy := range []string{"lru", "lfu", "ttl", "utility"} {
+		out = append(out,
+			EvictionChurnScenario(seed, policy),
+			FlashCrowdScenario(seed, policy),
+		)
+	}
+	return out
+}
